@@ -1,0 +1,83 @@
+"""Figure 4: per-query runtime normalized to plaintext Postgres.
+
+Paper result (TPC-H scale 10, 10 Mbit/s link): MONOMI median 1.24x
+(1.03x-2.33x); CryptDB+Client median ~3.16x worse than MONOMI with
+outliers to 55.9x; Execution-Greedy between the two, never better than
+MONOMI.  The reproduction reports the same three bars per query.
+"""
+
+from __future__ import annotations
+
+import statistics
+
+from conftest import geometric_mean, write_report
+
+
+def test_fig4_overall(tpch_env, benchmark):
+    def run_figure():
+        monomi = tpch_env.monomi(space_budget=2.0)
+        greedy = tpch_env.execution_greedy()
+        cryptdb = tpch_env.cryptdb_client()
+        rows = []
+        for number in tpch_env.numbers:
+            plain = tpch_env.plaintext_seconds(number)
+            entry = {"query": number, "plain": plain}
+            for label, client in (
+                ("cryptdb", cryptdb),
+                ("greedy", greedy),
+                ("monomi", monomi),
+            ):
+                try:
+                    outcome = tpch_env.encrypted_outcome(client, number)
+                    entry[label] = outcome.ledger.total_seconds
+                except Exception as exc:  # Mirrors the paper's timeouts.
+                    entry[label] = None
+                    entry[f"{label}_err"] = type(exc).__name__
+            rows.append(entry)
+        return rows
+
+    rows = benchmark.pedantic(run_figure, rounds=1, iterations=1)
+
+    lines = [
+        "| query | plaintext (s) | CryptDB+Client | Exec-Greedy | MONOMI |",
+        "|---|---|---|---|---|",
+    ]
+    ratios = {"cryptdb": [], "greedy": [], "monomi": []}
+    for entry in rows:
+        cells = [f"Q{entry['query']}", f"{entry['plain']:.3f}"]
+        for label in ("cryptdb", "greedy", "monomi"):
+            seconds = entry[label]
+            if seconds is None:
+                cells.append(entry.get(f"{label}_err", "n/a"))
+            else:
+                ratio = seconds / max(entry["plain"], 1e-9)
+                ratios[label].append(ratio)
+                cells.append(f"{ratio:.2f}x")
+        lines.append("| " + " | ".join(cells) + " |")
+    lines.append("")
+    for label, name in (
+        ("cryptdb", "CryptDB+Client"),
+        ("greedy", "Execution-Greedy"),
+        ("monomi", "MONOMI"),
+    ):
+        if ratios[label]:
+            lines.append(
+                f"- {name}: median {statistics.median(ratios[label]):.2f}x, "
+                f"geomean {geometric_mean(ratios[label]):.2f}x, "
+                f"max {max(ratios[label]):.2f}x"
+            )
+    monomi_med = statistics.median(ratios["monomi"])
+    cryptdb_med = statistics.median(ratios["cryptdb"])
+    lines.append("")
+    lines.append(
+        f"- paper: MONOMI median 1.24x; CryptDB+Client ~3.16x worse than "
+        f"MONOMI in the median; measured MONOMI median {monomi_med:.2f}x, "
+        f"CryptDB/MONOMI median gap "
+        f"{cryptdb_med / max(monomi_med, 1e-9):.2f}x"
+    )
+    write_report("fig4_overall", "Figure 4 — per-query slowdown vs plaintext", lines)
+
+    # Shape assertions: MONOMI never worse than Execution-Greedy overall,
+    # and CryptDB+Client clearly behind MONOMI.
+    assert statistics.median(ratios["monomi"]) <= statistics.median(ratios["greedy"]) * 1.25
+    assert statistics.median(ratios["cryptdb"]) > statistics.median(ratios["monomi"])

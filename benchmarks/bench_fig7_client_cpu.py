@@ -1,0 +1,53 @@
+"""Figure 7: client CPU with MONOMI vs running the query locally.
+
+Paper: the ratio is below 1 for most queries (outsourcing saves client
+CPU), above 1 where decryption dominates (paper: Q9, Q10, Q11, Q18).
+"""
+
+from __future__ import annotations
+
+import time
+
+from conftest import write_report
+
+from repro.core import normalize_query
+from repro.engine import Executor
+from repro.sql import parse
+
+
+def test_fig7_client_cpu(tpch_env, benchmark):
+    def run_figure():
+        monomi = tpch_env.monomi(space_budget=2.0)
+        rows = []
+        for number in tpch_env.numbers:
+            outcome = tpch_env.encrypted_outcome(monomi, number)
+            executor = Executor(tpch_env.plain_db)
+            query = normalize_query(parse(tpch_env.queries[number].sql))
+            start = time.perf_counter()
+            executor.execute(query)
+            local = time.perf_counter() - start
+            rows.append((number, outcome.ledger.client_seconds, local))
+        return rows
+
+    rows = benchmark.pedantic(run_figure, rounds=1, iterations=1)
+
+    lines = [
+        "| query | MONOMI client CPU (s) | local plaintext CPU (s) | ratio |",
+        "|---|---|---|---|",
+    ]
+    below_one = 0
+    for number, client_cpu, local_cpu in rows:
+        ratio = client_cpu / max(local_cpu, 1e-9)
+        below_one += ratio < 1.0
+        lines.append(
+            f"| Q{number} | {client_cpu:.4f} | {local_cpu:.4f} | {ratio:.3f} |"
+        )
+    lines.append("")
+    lines.append(
+        f"- {below_one}/{len(rows)} queries need less client CPU under "
+        f"MONOMI than running locally (paper: most, except Q9/Q10/Q11/Q18)"
+    )
+    write_report("fig7_client_cpu", "Figure 7 — client CPU ratio", lines)
+
+    # Shape: outsourcing pays off for most of the workload.
+    assert below_one >= len(rows) // 2

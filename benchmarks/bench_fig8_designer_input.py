@@ -1,0 +1,152 @@
+"""Figure 8: how many (well-chosen) designer input queries are needed.
+
+For each k the harness picks the best k-query subset by the designer's own
+cost estimate (the paper enumerates all n-choose-k subsets), materializes
+that design, and measures the full 19-query workload on it.
+
+Paper shape: k = 0 effectively times out; by k = 4 the workload matches
+the full-input design; the §8.1 designer setup time (52 s in the paper) is
+reported alongside.
+"""
+
+from __future__ import annotations
+
+import time
+from itertools import combinations
+
+from conftest import PAILLIER_BITS, write_report
+
+from repro.core import MonomiClient
+from repro.core.candidates import base_design_for_plain
+from repro.core.designer import Designer
+from repro.core.encdata import CryptoProvider
+from repro.core.normalize import normalize_query
+from repro.sql import parse
+
+UNPLANNABLE_PENALTY = 1e6
+K_VALUES = (0, 1, 2, 3, 4)
+
+
+def test_fig8_designer_input(tpch_env, benchmark):
+    def run_figure():
+        provider = CryptoProvider(b"monomi-master-key", paillier_bits=PAILLIER_BITS)
+        designer = Designer(tpch_env.plain_db, provider, network=tpch_env.network)
+        queries = [normalize_query(parse(sql)) for sql in tpch_env.workload]
+
+        setup_start = time.perf_counter()
+        full = designer.design_ilp(queries, space_budget=2.0)
+        setup_seconds = time.perf_counter() - setup_start
+
+        # Bitmask candidate tables for fast subset-cost evaluation.  DET
+        # copies of plain columns are *free* items — the loader's fallback
+        # stores them regardless of the workload — so they are granted to
+        # every design.
+        from repro.core.schemes import Scheme
+
+        item_index: dict = {}
+        free_mask = 0
+        tables = []
+        for query in queries:
+            entries = []
+            for candidate in designer.candidates_for(query):
+                mask = 0
+                for key in candidate.item_keys:
+                    if key not in item_index:
+                        item_index[key] = len(item_index)
+                        kind, payload = key
+                        if (
+                            kind == "pair"
+                            and payload.scheme is Scheme.DET
+                            and "(" not in payload.expr_sql
+                            and " " not in payload.expr_sql
+                        ):
+                            free_mask |= 1 << item_index[key]
+                    mask |= 1 << item_index[key]
+                entries.append((candidate.cost, mask, candidate))
+            entries.sort(key=lambda e: e[0])
+            tables.append(entries)
+
+        def workload_cost(design_mask: int) -> float:
+            design_mask |= free_mask
+            total = 0.0
+            for entries in tables:
+                for cost, mask, _ in entries:
+                    if mask & ~design_mask == 0:
+                        total += cost
+                        break
+                else:
+                    total += UNPLANNABLE_PENALTY
+            return total
+
+        best_masks = [entries[0][1] for entries in tables]  # §6.2 best per query.
+        results = []
+        for k in K_VALUES:
+            best = None
+            for combo in combinations(range(len(queries)), k):
+                mask = 0
+                for qi in combo:
+                    mask |= best_masks[qi]
+                estimate = workload_cost(mask)
+                if best is None or estimate < best[0]:
+                    best = (estimate, combo)
+            estimate, combo = best
+            measured = _measure(tpch_env, designer, [queries[qi] for qi in combo])
+            results.append((k, [tpch_env.numbers[qi] for qi in combo], estimate, measured))
+        full_measured = _measure_design(tpch_env, full.design)
+        results.append((len(queries), "all", sum(full.per_query_cost), full_measured))
+        return results, setup_seconds
+
+    results, setup_seconds = benchmark.pedantic(run_figure, rounds=1, iterations=1)
+
+    lines = [
+        f"designer (ILP) setup over the full workload: {setup_seconds:.1f}s "
+        f"(paper: 52 s at scale 10)",
+        "",
+        "| k | chosen queries | cost estimate | measured workload (s) |",
+        "|---|---|---|---|",
+    ]
+    for k, chosen, estimate, measured in results:
+        label = ",".join(f"Q{q}" for q in chosen) if isinstance(chosen, list) else chosen
+        lines.append(f"| {k} | {label or '-'} | {estimate:.1f} | {measured:.2f} |")
+    lines.append("")
+    lines.append(
+        "- paper shape: k = 0 is catastrophic; a well-chosen k = 4 matches "
+        "the full-workload design"
+    )
+    write_report("fig8_designer_input", "Figure 8 — designer input sensitivity", lines)
+
+    measured = {k: m for k, _, _, m in results}
+    # Shape: a good k=4 input lands within a small factor of the full
+    # design (the paper matches it exactly after hand-verifying subsets;
+    # our subset choice trusts the cost estimates), while k=0 is
+    # catastrophic (unplannable queries "time out").
+    assert measured[4] <= measured[len(tpch_env.numbers)] * 4.0
+    assert measured[0] >= measured[4] * 10
+
+
+def _measure(env, designer: Designer, input_queries) -> float:
+    if input_queries:
+        result = designer.design_greedy(list(input_queries))
+        design = result.design
+    else:
+        design = base_design_for_plain(env.plain_db)
+    return _measure_design(env, design)
+
+
+def _measure_design(env, design) -> float:
+    client = MonomiClient.setup(
+        env.plain_db,
+        env.workload,
+        paillier_bits=PAILLIER_BITS,
+        network=env.network,
+        disk=env.disk,
+        design=design,
+    )
+    total = 0.0
+    for number in env.numbers:
+        try:
+            outcome = env.encrypted_outcome(client, number)
+            total += outcome.ledger.total_seconds
+        except Exception:
+            total += UNPLANNABLE_PENALTY / 1e3  # "times out" marker.
+    return total

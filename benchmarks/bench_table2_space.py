@@ -1,0 +1,41 @@
+"""Table 2: server space requirements.
+
+Paper (TPC-H scale 10): plaintext 17.10 GB; CryptDB+Client 4.21x;
+Execution-Greedy 1.90x; MONOMI 1.72x.
+"""
+
+from __future__ import annotations
+
+from conftest import write_report
+
+
+def test_table2_space(tpch_env, benchmark):
+    def run_table():
+        plaintext = sum(t.total_bytes for t in tpch_env.plain_db.tables.values())
+        systems = {
+            "CryptDB+Client": tpch_env.cryptdb_client(),
+            "Execution-Greedy": tpch_env.execution_greedy(),
+            "MONOMI": tpch_env.monomi(space_budget=2.0),
+        }
+        return plaintext, {label: c.server_bytes() for label, c in systems.items()}
+
+    plaintext, sizes = benchmark.pedantic(run_table, rounds=1, iterations=1)
+
+    paper = {"CryptDB+Client": 4.21, "Execution-Greedy": 1.90, "MONOMI": 1.72}
+    lines = [
+        "| system | size (bytes) | relative to plaintext | paper |",
+        "|---|---|---|---|",
+        f"| Plaintext | {plaintext} | — | — |",
+    ]
+    ratios = {}
+    for label, size in sizes.items():
+        ratios[label] = size / plaintext
+        lines.append(
+            f"| {label} | {size} | {ratios[label]:.2f}x | {paper[label]:.2f}x |"
+        )
+    write_report("table2_space", "Table 2 — server space requirements", lines)
+
+    # Shape: CryptDB largest, MONOMI at most Execution-Greedy, MONOMI within budget.
+    assert ratios["CryptDB+Client"] > ratios["Execution-Greedy"]
+    assert ratios["MONOMI"] <= ratios["Execution-Greedy"] + 0.05
+    assert ratios["MONOMI"] <= 2.1

@@ -1,0 +1,130 @@
+"""Shared benchmark environment: TPC-H data, the compared systems, report
+writing.
+
+Scale is controlled by ``REPRO_BENCH_SCALE`` (default 0.001 — a few seconds
+per query on a laptop; raise towards 0.01 for smoother curves).  Every
+figure/table writes a markdown report into ``benchmarks/results/`` so the
+numbers survive pytest's output capture.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import pathlib
+import time
+from dataclasses import dataclass, field
+
+import pytest
+
+from repro.baselines import cryptdb_client_setup, execution_greedy_setup
+from repro.common.ledger import DiskModel, NetworkModel
+from repro.core import MonomiClient, normalize_query
+from repro.engine import Executor
+from repro.sql import parse
+from repro.tpch import generate, supported_numbers, tpch_queries
+
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.001"))
+PAILLIER_BITS = int(os.environ.get("REPRO_BENCH_PAILLIER", "384"))
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@dataclass
+class TpchEnv:
+    scale: float
+    plain_db: object
+    queries: dict
+    workload: list[str]
+    numbers: list[int]
+    network: NetworkModel
+    disk: DiskModel
+    _clients: dict = field(default_factory=dict)
+
+    def monomi(self, space_budget: float = 2.0, designer_mode: str = "ilp") -> MonomiClient:
+        key = ("monomi", space_budget, designer_mode)
+        if key not in self._clients:
+            self._clients[key] = MonomiClient.setup(
+                self.plain_db,
+                self.workload,
+                space_budget=space_budget,
+                designer_mode=designer_mode,
+                paillier_bits=PAILLIER_BITS,
+                network=self.network,
+                disk=self.disk,
+            )
+        return self._clients[key]
+
+    def cryptdb_client(self) -> MonomiClient:
+        if "cryptdb" not in self._clients:
+            self._clients["cryptdb"] = cryptdb_client_setup(
+                self.plain_db,
+                self.workload,
+                paillier_bits=PAILLIER_BITS,
+                network=self.network,
+                disk=self.disk,
+            )
+        return self._clients["cryptdb"]
+
+    def execution_greedy(self) -> MonomiClient:
+        if "greedy" not in self._clients:
+            self._clients["greedy"] = execution_greedy_setup(
+                self.plain_db,
+                self.workload,
+                paillier_bits=PAILLIER_BITS,
+                network=self.network,
+                disk=self.disk,
+            )
+        return self._clients["greedy"]
+
+    # -- measurement ------------------------------------------------------------
+
+    def plaintext_seconds(self, number: int) -> float:
+        """Local plaintext baseline: engine time + modeled disk time."""
+        executor = Executor(self.plain_db)
+        query = normalize_query(parse(self.queries[number].sql))
+        start = time.perf_counter()
+        executor.execute(query)
+        elapsed = time.perf_counter() - start
+        return elapsed + self.disk.read_seconds(executor.last_stats.bytes_scanned)
+
+    def encrypted_outcome(self, client: MonomiClient, number: int):
+        return client.execute(self.queries[number].sql)
+
+
+@pytest.fixture(scope="session")
+def tpch_env() -> TpchEnv:
+    plain_db = generate(scale=BENCH_SCALE)
+    queries = tpch_queries(BENCH_SCALE)
+    numbers = supported_numbers()
+    # Link latency is scaled down with the data: the paper's 20 ms RTT is
+    # invisible against 10-300 s queries at scale 10, but would dominate
+    # our sub-second queries and distort every ratio.
+    network = NetworkModel(latency_seconds=0.002)
+    return TpchEnv(
+        scale=BENCH_SCALE,
+        plain_db=plain_db,
+        queries=queries,
+        workload=[queries[n].sql for n in numbers],
+        numbers=numbers,
+        network=network,
+        disk=DiskModel(),
+    )
+
+
+def geometric_mean(values: list[float]) -> float:
+    positive = [v for v in values if v > 0]
+    if not positive:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in positive) / len(positive))
+
+
+def write_report(name: str, title: str, lines: list[str]) -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.md"
+    body = [f"# {title}", "", f"scale factor: {BENCH_SCALE}, Paillier bits: {PAILLIER_BITS}", ""]
+    body.extend(lines)
+    path.write_text("\n".join(body) + "\n")
+    print(f"\n[{name}] -> {path}")
+    for line in lines:
+        print(line)
+    return path

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The canonical metadata lives in pyproject.toml; this file exists so the
+package installs in offline environments that lack the ``wheel`` package
+(``pip install -e . --no-build-isolation`` falls back to the legacy
+develop path through it).
+"""
+
+from setuptools import setup
+
+setup()

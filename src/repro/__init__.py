@@ -1,0 +1,13 @@
+"""MONOMI reproduction: processing analytical queries over encrypted data.
+
+Public entry points:
+
+* :class:`repro.core.MonomiClient` — setup (design + encrypt + load) and
+  runtime (plan + split-execute) for the full system;
+* :mod:`repro.tpch` — the TPC-H workload used throughout the paper;
+* :mod:`repro.baselines` — the comparison systems from §8.
+
+See README.md for a tour and DESIGN.md for the system inventory.
+"""
+
+__version__ = "1.0.0"

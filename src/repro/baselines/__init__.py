@@ -1,0 +1,38 @@
+"""Comparison systems from the paper's evaluation (§8.2–§8.3, §8.6).
+
+* :func:`cryptdb_client_setup` — **CryptDB+Client**: the paper's modified
+  CryptDB strawman.  Per-column basic encryption schemes only (DET
+  everywhere, OPE and SEARCH where any query compares/sorts/matches, a
+  one-value-per-ciphertext Paillier column per summed *column*), none of
+  MONOMI's §5 optimizations (no multi-column packing, no precomputation,
+  no columnar packing, no pre-filtering), and greedy execution — push
+  everything pushable, Algorithm 1 only as the client-side fallback the
+  paper added on top of CryptDB.
+
+* :func:`execution_greedy_setup` — **Execution-Greedy**: all of MONOMI's
+  techniques in the physical design, but greedy plan choice instead of the
+  optimizing planner (Figure 4's middle bar; the "+Other" point of
+  Figure 5).
+
+* :func:`space_greedy_design` — the §8.6 space baseline: unconstrained
+  design, then drop the largest column until the budget fits.
+
+* :func:`client_only_setup` — ship-everything-to-the-client: RND-only
+  design, every operation local.  The naive outsourcing strawman from §1.
+"""
+
+from repro.baselines.systems import (
+    client_only_setup,
+    cryptdb_client_setup,
+    execution_greedy_setup,
+    greedy_union_design,
+    space_greedy_design,
+)
+
+__all__ = [
+    "client_only_setup",
+    "cryptdb_client_setup",
+    "execution_greedy_setup",
+    "greedy_union_design",
+    "space_greedy_design",
+]

@@ -1,0 +1,190 @@
+"""Setup helpers for the paper's comparison systems."""
+
+from __future__ import annotations
+
+from repro.common.ledger import DiskModel, NetworkModel
+from repro.core.candidates import base_design_for_plain, build_candidate
+from repro.core.client import MonomiClient
+from repro.core.design import HomGroup, PhysicalDesign, TechniqueFlags
+from repro.core.designer import Designer
+from repro.core.encdata import CryptoProvider
+from repro.core.encset import EncSetExtractor
+from repro.core.normalize import normalize_query
+from repro.core.schemes import Scheme
+from repro.engine.catalog import Database
+from repro.sql import ast, parse
+
+
+def cryptdb_client_setup(
+    plain_db: Database,
+    workload: list[str],
+    master_key: bytes = b"monomi-master-key",
+    paillier_bits: int = 512,
+    network: NetworkModel | None = None,
+    disk: DiskModel | None = None,
+) -> MonomiClient:
+    """CryptDB+Client (§8.2): onion-style per-column encryption, greedy
+    execution, no §5 optimizations.
+
+    The design mirrors CryptDB's onions: *every* column carries both an RND
+    and a DET copy (the Eq onion's outer and inner layers both exist on
+    disk), OPE where the workload ever compares or sorts, SEARCH where it
+    pattern-matches, and a one-value-per-ciphertext Paillier column for
+    every *plain column* that is summed (no precomputed expressions, no
+    packing).  This is what gives CryptDB its 4.21x space in Table 2.
+    """
+    flags = TechniqueFlags.cryptdb_client()
+    provider = CryptoProvider(master_key, paillier_bits=paillier_bits)
+    queries = [normalize_query(parse(sql)) for sql in workload]
+    schemas = {name: t.schema for name, t in plain_db.tables.items()}
+    design = PhysicalDesign()
+    # Onion base: RND + DET copies of every column (floats: RND only).
+    for name, table in plain_db.tables.items():
+        for column in table.schema.columns:
+            design.add(name, ast.Column(column.name), Scheme.RND)
+            if column.type != "float":
+                design.add(name, ast.Column(column.name), Scheme.DET)
+    # Workload-driven onions: OPE / SEARCH / per-column Paillier.
+    extractor = EncSetExtractor(schemas, flags)
+    designer = Designer(plain_db, provider, flags, network, det_default=False)
+    for query in queries:
+        for unit in extractor.extract(query):
+            if not designer._unit_loadable(unit):
+                continue
+            for pair in unit.pairs:
+                if pair.scheme is Scheme.HOM:
+                    expr = parse_column(pair.expr_sql)
+                    if expr is None:
+                        continue  # No precomputation in CryptDB.
+                    design.add_hom_group(
+                        HomGroup(pair.table, (pair.expr_sql,), rows_per_ciphertext=1)
+                    )
+                elif pair.scheme in (Scheme.OPE, Scheme.SEARCH):
+                    if parse_column(pair.expr_sql) is not None:
+                        design.add(pair.table, pair.expr_sql, pair.scheme)
+    return MonomiClient.setup(
+        plain_db,
+        workload,
+        master_key=master_key,
+        flags=flags,
+        paillier_bits=paillier_bits,
+        network=network,
+        disk=disk,
+        design=design,
+    )
+
+
+def execution_greedy_setup(
+    plain_db: Database,
+    workload: list[str],
+    master_key: bytes = b"monomi-master-key",
+    paillier_bits: int = 512,
+    network: NetworkModel | None = None,
+    disk: DiskModel | None = None,
+) -> MonomiClient:
+    """Execution-Greedy (§8.3): every MONOMI technique in the design, but
+    greedy always-push-to-server execution instead of the optimizing
+    planner, and a greedy (union-of-everything) design instead of the ILP.
+    """
+    flags = TechniqueFlags.execution_greedy()
+    provider = CryptoProvider(master_key, paillier_bits=paillier_bits)
+    queries = [normalize_query(parse(sql)) for sql in workload]
+    design = greedy_union_design(plain_db, provider, queries, flags, network)
+    return MonomiClient.setup(
+        plain_db,
+        workload,
+        master_key=master_key,
+        flags=flags,
+        paillier_bits=paillier_bits,
+        network=network,
+        disk=disk,
+        design=design,
+    )
+
+
+def space_greedy_design(
+    plain_db: Database,
+    workload: list[str],
+    space_budget: float,
+    master_key: bytes = b"monomi-master-key",
+    paillier_bits: int = 512,
+    network: NetworkModel | None = None,
+    disk: DiskModel | None = None,
+) -> MonomiClient:
+    """§8.6's Space-Greedy baseline: full design, then delete the largest
+    column until the budget is satisfied."""
+    return MonomiClient.setup(
+        plain_db,
+        workload,
+        master_key=master_key,
+        space_budget=space_budget,
+        designer_mode="space_greedy",
+        paillier_bits=paillier_bits,
+        network=network,
+        disk=disk,
+    )
+
+
+def client_only_setup(
+    plain_db: Database,
+    workload: list[str],
+    master_key: bytes = b"monomi-master-key",
+    paillier_bits: int = 512,
+    network: NetworkModel | None = None,
+    disk: DiskModel | None = None,
+) -> MonomiClient:
+    """Ship-everything-to-the-client: RND for every column, nothing
+    computable on the server (§1's naive outsourcing strawman)."""
+    design = PhysicalDesign()
+    for name, table in plain_db.tables.items():
+        for column in table.schema.columns:
+            design.add(name, ast.Column(column.name), Scheme.RND)
+    return MonomiClient.setup(
+        plain_db,
+        workload,
+        master_key=master_key,
+        flags=TechniqueFlags.cryptdb_client(),
+        paillier_bits=paillier_bits,
+        network=network,
+        disk=disk,
+        design=design,
+    )
+
+
+def greedy_union_design(plain_db, provider, queries, flags, network=None):
+    """Greedy design: every usable unit of every query, one packing layout
+    per homomorphic value (columnar replaces per-row when the flag is on,
+    matching the cumulative ladder in Figure 5)."""
+    schemas = {name: t.schema for name, t in plain_db.tables.items()}
+    extractor = EncSetExtractor(schemas, flags)
+    designer = Designer(plain_db, provider, flags, network, det_default=False)
+    design = base_design_for_plain(plain_db)
+    for query in queries:
+        units = [u for u in extractor.extract(query) if designer._unit_loadable(u)]
+        if flags.columnar_agg:
+            columnar_exprs = {
+                (p.table, p.expr_sql)
+                for u in units
+                for p in u.pairs
+                if p.scheme is Scheme.HOM and p.variant == "col"
+            }
+            units = [
+                u
+                for u in units
+                if not any(
+                    p.scheme is Scheme.HOM
+                    and (p.variant or "row") == "row"
+                    and (p.table, p.expr_sql) in columnar_exprs
+                    for p in u.pairs
+                )
+            ]
+        design = design.union(build_candidate(design, tuple(units), flags))
+    return design
+
+
+def parse_column(expr_sql: str):
+    """The Column node if ``expr_sql`` is a bare column, else None."""
+    from repro.sql import parse_expression
+
+    expr = parse_expression(expr_sql)
+    return expr if isinstance(expr, ast.Column) else None

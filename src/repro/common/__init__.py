@@ -1,0 +1,37 @@
+"""Shared utilities: errors, cost ledger, and configuration."""
+
+from repro.common.errors import (
+    CatalogError,
+    CryptoError,
+    DesignError,
+    DomainError,
+    EngineError,
+    ExecutionError,
+    InfeasibleDesignError,
+    LexError,
+    ParseError,
+    PlanningError,
+    ReproError,
+    SQLError,
+    UnsupportedQueryError,
+)
+from repro.common.ledger import CostLedger, DiskModel, NetworkModel
+
+__all__ = [
+    "CatalogError",
+    "CostLedger",
+    "CryptoError",
+    "DesignError",
+    "DiskModel",
+    "DomainError",
+    "EngineError",
+    "ExecutionError",
+    "InfeasibleDesignError",
+    "LexError",
+    "NetworkModel",
+    "ParseError",
+    "PlanningError",
+    "ReproError",
+    "SQLError",
+    "UnsupportedQueryError",
+]

@@ -1,0 +1,68 @@
+"""Exception hierarchy for the MONOMI reproduction.
+
+Every subsystem raises a subclass of :class:`ReproError` so that callers can
+catch library errors without catching programming mistakes (``TypeError`` and
+friends propagate untouched).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class CryptoError(ReproError):
+    """A cryptographic operation failed (bad key, corrupt ciphertext, ...)."""
+
+
+class DomainError(CryptoError):
+    """A plaintext fell outside the domain an encryption scheme supports."""
+
+
+class SQLError(ReproError):
+    """Base class for SQL frontend errors."""
+
+
+class LexError(SQLError):
+    """The lexer met a character sequence it cannot tokenize."""
+
+    def __init__(self, message: str, position: int) -> None:
+        super().__init__(f"{message} (at offset {position})")
+        self.position = position
+
+
+class ParseError(SQLError):
+    """The parser met an unexpected token."""
+
+
+class EngineError(ReproError):
+    """Base class for execution engine errors."""
+
+
+class CatalogError(EngineError):
+    """Unknown table/column, duplicate definition, or schema mismatch."""
+
+
+class ExecutionError(EngineError):
+    """A query failed while executing (type error, bad aggregate use, ...)."""
+
+
+class PlanningError(ReproError):
+    """The MONOMI planner could not produce a plan for a query."""
+
+
+class UnsupportedQueryError(PlanningError):
+    """The query uses a construct MONOMI does not support (paper §7).
+
+    Mirrors the paper's documented limitations: views and multi-pattern
+    ``LIKE`` (TPC-H queries 13, 15, 16).
+    """
+
+
+class DesignError(ReproError):
+    """The designer could not produce a physical design."""
+
+
+class InfeasibleDesignError(DesignError):
+    """No design satisfies the space constraint (requires S >= 1)."""

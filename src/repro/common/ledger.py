@@ -1,0 +1,114 @@
+"""Cost ledger: the unit of accounting for split query execution.
+
+The paper evaluates MONOMI on two physical machines joined by a throttled
+10 Mbit/s link (§8.1) and reports *normalized* runtimes.  This reproduction
+runs everything in one process, so instead of wall-clock totals we keep a
+ledger separating the three components of the paper's cost model (§6.4):
+
+* ``server_seconds``   — measured CPU time spent inside the untrusted engine,
+  plus modeled disk-read time for the bytes scanned,
+* ``transfer_bytes``   — exact intermediate-result bytes that would cross the
+  client/server link, converted to seconds by a bandwidth model,
+* ``client_seconds``   — measured CPU time spent decrypting and running local
+  plan operators on the trusted client.
+
+``total_seconds`` is their sum and is the quantity every benchmark reports,
+mirroring how Figure 4's slowdowns are computed.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator
+
+
+@dataclass
+class NetworkModel:
+    """Deterministic stand-in for the paper's throttled WAN link.
+
+    The paper throttles to 10 Mbit/s with ``tc`` and compresses traffic with
+    ``ssh -C``.  We model compression as a constant factor on ciphertext
+    bytes (ciphertexts are incompressible, but result framing is not).
+    """
+
+    bandwidth_bits_per_sec: float = 10_000_000.0
+    latency_seconds: float = 0.02
+    compression_ratio: float = 1.0
+
+    def transfer_seconds(self, num_bytes: int, round_trips: int = 1) -> float:
+        """Seconds to move ``num_bytes`` across the link."""
+        wire_bytes = num_bytes * self.compression_ratio
+        return self.latency_seconds * round_trips + (wire_bytes * 8.0) / self.bandwidth_bits_per_sec
+
+
+@dataclass
+class DiskModel:
+    """Sequential-read disk model for the server's table scans.
+
+    The paper's server has six 7,200 RPM disks in RAID 5 and flushes caches
+    before each query, so scans are I/O bound; larger ciphertexts directly
+    slow queries down (§5.2).  We charge scanned bytes at a configurable
+    sequential throughput.
+    """
+
+    read_bytes_per_sec: float = 300_000_000.0
+
+    def read_seconds(self, num_bytes: int) -> float:
+        return num_bytes / self.read_bytes_per_sec
+
+
+@dataclass
+class CostLedger:
+    """Accumulates the three cost components of one query execution."""
+
+    server_seconds: float = 0.0
+    client_seconds: float = 0.0
+    transfer_bytes: int = 0
+    transfer_seconds: float = 0.0
+    server_bytes_scanned: int = 0
+    round_trips: int = 0
+    notes: list[str] = field(default_factory=list)
+
+    @property
+    def total_seconds(self) -> float:
+        return self.server_seconds + self.client_seconds + self.transfer_seconds
+
+    def add_transfer(self, num_bytes: int, network: NetworkModel) -> None:
+        self.transfer_bytes += num_bytes
+        self.round_trips += 1
+        self.transfer_seconds += network.transfer_seconds(num_bytes)
+
+    def merge(self, other: "CostLedger") -> None:
+        self.server_seconds += other.server_seconds
+        self.client_seconds += other.client_seconds
+        self.transfer_bytes += other.transfer_bytes
+        self.transfer_seconds += other.transfer_seconds
+        self.server_bytes_scanned += other.server_bytes_scanned
+        self.round_trips += other.round_trips
+        self.notes.extend(other.notes)
+
+    @contextmanager
+    def timing_server(self) -> Iterator[None]:
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.server_seconds += time.perf_counter() - start
+
+    @contextmanager
+    def timing_client(self) -> Iterator[None]:
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.client_seconds += time.perf_counter() - start
+
+    def summary(self) -> str:
+        return (
+            f"total={self.total_seconds:.4f}s "
+            f"(server={self.server_seconds:.4f}s, "
+            f"net={self.transfer_seconds:.4f}s/{self.transfer_bytes}B, "
+            f"client={self.client_seconds:.4f}s)"
+        )

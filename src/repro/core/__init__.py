@@ -1,0 +1,45 @@
+"""MONOMI core: split execution, optimizations, designer, and planner."""
+
+from repro.core.client import MonomiClient, QueryOutcome
+from repro.core.design import (
+    EncEntry,
+    HomGroup,
+    PhysicalDesign,
+    TechniqueFlags,
+    normalize_expr,
+)
+from repro.core.designer import Designer, DesignResult
+from repro.core.encdata import CryptoProvider
+from repro.core.loader import EncryptedLoader, complete_design
+from repro.core.normalize import normalize_query
+from repro.core.pexec import PlanExecutor
+from repro.core.plan import RemoteRelation, SplitPlan
+from repro.core.planner import Planner
+from repro.core.schemes import SCHEME_TABLE, Scheme, weakest
+from repro.core.sizer import DesignSizer
+from repro.core.splitter import generate_query_plan
+
+__all__ = [
+    "CryptoProvider",
+    "DesignResult",
+    "DesignSizer",
+    "Designer",
+    "EncEntry",
+    "EncryptedLoader",
+    "HomGroup",
+    "MonomiClient",
+    "PhysicalDesign",
+    "PlanExecutor",
+    "Planner",
+    "QueryOutcome",
+    "RemoteRelation",
+    "SCHEME_TABLE",
+    "Scheme",
+    "SplitPlan",
+    "TechniqueFlags",
+    "complete_design",
+    "generate_query_plan",
+    "normalize_expr",
+    "normalize_query",
+    "weakest",
+]

@@ -1,0 +1,200 @@
+"""MONOMI client library: the only component holding decryption keys.
+
+:class:`MonomiClient` is the public face of the system (Figure 1):
+
+* :meth:`MonomiClient.setup` plays the setup phase — run the designer over
+  a representative workload, encrypt and load the database onto the
+  untrusted server, and profile decryption costs;
+* :meth:`MonomiClient.execute` plays the runtime — normalize the incoming
+  SQL, pick the best split plan with the planner, execute it against the
+  server, decrypt, finish locally, and return plaintext rows together with
+  the cost ledger.
+
+The server half (:attr:`server_db`) holds only ciphertexts, the Paillier
+public key, and packing metadata; every decryption happens in this class'
+provider.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.errors import UnsupportedQueryError
+from repro.common.ledger import CostLedger, DiskModel, NetworkModel
+from repro.core.cost import MonomiCostModel
+from repro.core.design import PhysicalDesign, TechniqueFlags
+from repro.core.designer import Designer, DesignResult
+from repro.core.encdata import CryptoProvider
+from repro.core.loader import EncryptedLoader
+from repro.core.normalize import has_multi_pattern_like, normalize_query
+from repro.core.pexec import PlanExecutor
+from repro.core.planner import PlannedQuery, Planner
+from repro.engine.catalog import Database
+from repro.engine.executor import ResultSet
+from repro.sql import ast, parse
+
+
+@dataclass
+class QueryOutcome:
+    """Everything one encrypted query execution produced."""
+
+    result: ResultSet
+    ledger: CostLedger
+    planned: PlannedQuery
+
+    @property
+    def rows(self) -> list[tuple]:
+        return self.result.rows
+
+    @property
+    def columns(self) -> list[str]:
+        return self.result.columns
+
+
+class MonomiClient:
+    def __init__(
+        self,
+        plain_db: Database,
+        design: PhysicalDesign,
+        provider: CryptoProvider,
+        server_db: Database,
+        flags: TechniqueFlags,
+        network: NetworkModel,
+        disk: DiskModel,
+        design_result: DesignResult | None = None,
+    ) -> None:
+        self.plain_db = plain_db
+        self.design = design
+        self.provider = provider
+        self.server_db = server_db
+        self.flags = flags
+        self.network = network
+        self.disk = disk
+        self.design_result = design_result
+        self.schemas = {name: t.schema for name, t in plain_db.tables.items()}
+        self._designer = Designer(plain_db, provider, flags, network)
+        # Runtime cost model: plaintext statistics, but scan sizes and
+        # packing facts from what is actually loaded on the server.
+        from repro.engine.cost import HomFileInfo
+
+        table_bytes = {
+            name: float(table.total_bytes)
+            for name, table in server_db.tables.items()
+            if name in self.schemas
+        }
+        hom_info = {
+            name: HomFileInfo(
+                server_db.ciphertext_store.get(name).rows_per_ciphertext,
+                server_db.ciphertext_store.get(name).ciphertext_bytes,
+            )
+            for name in server_db.ciphertext_store.names()
+        }
+        cost_model = MonomiCostModel(
+            plain_db,
+            provider,
+            network=network,
+            table_bytes=table_bytes,
+            hom_info=hom_info,
+        )
+        self.planner = Planner(
+            design,
+            self.schemas,
+            provider,
+            cost_model,
+            flags,
+            stats_max=self._designer.stats_max,
+            plain_db=plain_db,
+        )
+        self.executor = PlanExecutor(server_db, provider, network, disk)
+
+    # -- setup phase -----------------------------------------------------------
+
+    @classmethod
+    def setup(
+        cls,
+        plain_db: Database,
+        workload: list[str | ast.Select],
+        master_key: bytes = b"monomi-master-key",
+        space_budget: float | None = 2.0,
+        flags: TechniqueFlags = TechniqueFlags(),
+        designer_mode: str = "ilp",
+        paillier_bits: int = 512,
+        network: NetworkModel | None = None,
+        disk: DiskModel | None = None,
+        design: PhysicalDesign | None = None,
+        det_default: bool = True,
+    ) -> "MonomiClient":
+        """Design (unless ``design`` is given), encrypt, and load.
+
+        ``paillier_bits`` defaults to 512 for tractable pure-Python
+        benchmarking; pass 2048 for the paper's key size.
+        """
+        network = network or NetworkModel()
+        disk = disk or DiskModel()
+        provider = CryptoProvider(master_key, paillier_bits=paillier_bits)
+        queries = [
+            normalize_query(parse(q) if isinstance(q, str) else q) for q in workload
+        ]
+        design_result: DesignResult | None = None
+        if design is None:
+            designer = Designer(
+                plain_db, provider, flags, network, det_default=det_default
+            )
+            if designer_mode == "ilp" and space_budget is not None:
+                design_result = designer.design_ilp(queries, space_budget)
+            elif designer_mode == "space_greedy" and space_budget is not None:
+                design_result = designer.design_space_greedy(queries, space_budget)
+            else:
+                design_result = designer.design_greedy(queries)
+            design = design_result.design
+        loader = EncryptedLoader(plain_db, provider)
+        server_db = loader.load(design)
+        return cls(
+            plain_db,
+            design,
+            provider,
+            server_db,
+            flags,
+            network,
+            disk,
+            design_result,
+        )
+
+    # -- runtime -----------------------------------------------------------------
+
+    def execute(
+        self, sql: str | ast.Select, params: dict[str, object] | None = None
+    ) -> QueryOutcome:
+        query = parse(sql) if isinstance(sql, str) else sql
+        query = normalize_query(query, params)
+        if has_multi_pattern_like(query):
+            raise UnsupportedQueryError(
+                "multi-pattern LIKE is not supported (paper §7)"
+            )
+        planned = self.planner.plan(query)
+        result, ledger = self.executor.execute(planned.plan)
+        return QueryOutcome(result, ledger, planned)
+
+    def explain(self, sql: str | ast.Select, params: dict[str, object] | None = None) -> str:
+        query = parse(sql) if isinstance(sql, str) else sql
+        query = normalize_query(query, params)
+        planned = self.planner.plan(query)
+        header = (
+            f"estimated cost: {planned.cost.total_seconds:.4f}s "
+            f"(server {planned.cost.server_seconds:.4f}s, "
+            f"net {planned.cost.transfer_seconds:.4f}s, "
+            f"client {planned.cost.client_seconds:.4f}s); "
+            f"{planned.candidates_tried} candidate plans"
+        )
+        return header + "\n" + planned.plan.explain()
+
+    # -- reporting --------------------------------------------------------------------
+
+    def server_bytes(self) -> int:
+        return self.server_db.total_bytes
+
+    def plaintext_bytes(self) -> int:
+        return sum(t.total_bytes for t in self.plain_db.tables.values())
+
+    def space_overhead(self) -> float:
+        return self.server_bytes() / max(1, self.plaintext_bytes())

@@ -1,0 +1,214 @@
+"""Physical design model: what encrypted columns exist on the server.
+
+A design is a set of :class:`EncEntry` — ⟨value, scheme⟩ pairs in the
+paper's terminology (§6.2): the value is either a base column or a
+per-row precomputed expression (§5.1), identified by its normalized SQL
+text relative to one table.  Homomorphic entries additionally belong to a
+:class:`HomGroup`, the packed-Paillier layout the designer chose for them
+(§5.2–§5.3).
+
+:class:`TechniqueFlags` gates the paper's individual optimizations so the
+Figure 5 / Figure 6 experiments can enable them one at a time.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field, replace
+
+from repro.common.errors import DesignError
+from repro.core.schemes import Scheme
+from repro.sql import ast, parse_expression, to_sql
+
+
+def normalize_expr(expr: ast.Expr | str) -> str:
+    """Canonical text for an expression (identity for EncSet membership)."""
+    if isinstance(expr, str):
+        expr = parse_expression(expr)
+    return to_sql(expr)
+
+
+def expr_of(text: str) -> ast.Expr:
+    return parse_expression(text)
+
+
+def enc_column_name(expr_sql: str, scheme: Scheme) -> str:
+    """Server-side column name for an encrypted value.
+
+    Base columns keep readable names (``l_quantity_det``); precomputed
+    expressions get a stable hash (``pc_1a2b3c4d_ope``), mirroring the
+    paper's ``precomp_DET`` columns.
+    """
+    expr = parse_expression(expr_sql)
+    if isinstance(expr, ast.Column):
+        return f"{expr.name}_{scheme.value}"
+    digest = hashlib.sha1(expr_sql.encode()).hexdigest()[:8]
+    return f"pc_{digest}_{scheme.value}"
+
+
+@dataclass(frozen=True)
+class EncEntry:
+    """One ⟨value, scheme⟩ pair: an encrypted column on the server."""
+
+    table: str
+    expr_sql: str  # Normalized via normalize_expr.
+    scheme: Scheme
+
+    @property
+    def is_precomputed(self) -> bool:
+        return not isinstance(parse_expression(self.expr_sql), ast.Column)
+
+    @property
+    def column_name(self) -> str:
+        return enc_column_name(self.expr_sql, self.scheme)
+
+    def __repr__(self) -> str:
+        return f"<{self.table}:{self.expr_sql}:{self.scheme.value}>"
+
+
+@dataclass(frozen=True)
+class HomGroup:
+    """One packed Paillier ciphertext file (§5.3 grouped addition).
+
+    ``expr_sqls`` are the table-relative expressions packed per row, in slot
+    order.  ``rows_per_ciphertext`` = 1 is per-row packing (multi-column
+    only); > 1 is the §5.2 columnar packing.
+    """
+
+    table: str
+    expr_sqls: tuple[str, ...]
+    rows_per_ciphertext: int = 1
+
+    def __post_init__(self) -> None:
+        if not self.expr_sqls:
+            raise DesignError("empty homomorphic group")
+        if self.rows_per_ciphertext < 1:
+            raise DesignError("rows_per_ciphertext must be >= 1")
+
+    @property
+    def file_name(self) -> str:
+        digest = hashlib.sha1(
+            ("|".join(self.expr_sqls) + f"#{self.rows_per_ciphertext}").encode()
+        ).hexdigest()[:8]
+        return f"{self.table}_hom_{digest}"
+
+    def covers(self, expr_sql: str) -> bool:
+        return expr_sql in self.expr_sqls
+
+
+@dataclass(frozen=True)
+class TechniqueFlags:
+    """Which of §5's optimizations the designer/planner may use.
+
+    The names follow Figure 5's cumulative configurations:
+    ``col_packing`` packs multiple columns per Paillier ciphertext,
+    ``precomputation`` materializes per-row expressions, ``columnar_agg``
+    packs multiple rows per ciphertext, ``prefilter`` enables conservative
+    pre-filtering, and ``optimizing_planner`` replaces greedy
+    execute-everything-on-server with cost-based plan choice.
+    """
+
+    col_packing: bool = True
+    precomputation: bool = True
+    columnar_agg: bool = True
+    prefilter: bool = True
+    optimizing_planner: bool = True
+
+    @staticmethod
+    def cryptdb_client() -> "TechniqueFlags":
+        return TechniqueFlags(False, False, False, False, False)
+
+    @staticmethod
+    def execution_greedy() -> "TechniqueFlags":
+        return TechniqueFlags(True, True, True, True, False)
+
+    @staticmethod
+    def all_enabled() -> "TechniqueFlags":
+        return TechniqueFlags(True, True, True, True, True)
+
+
+@dataclass
+class PhysicalDesign:
+    """The complete server-side encrypted layout."""
+
+    entries: set[EncEntry] = field(default_factory=set)
+    hom_groups: list[HomGroup] = field(default_factory=list)
+
+    # -- construction ---------------------------------------------------------
+
+    def add(self, table: str, expr: ast.Expr | str, scheme: Scheme) -> EncEntry:
+        entry = EncEntry(table, normalize_expr(expr), scheme)
+        self.entries.add(entry)
+        return entry
+
+    def add_hom_group(self, group: HomGroup) -> None:
+        if group not in self.hom_groups:
+            self.hom_groups.append(group)
+        for expr_sql in group.expr_sqls:
+            self.entries.add(EncEntry(group.table, expr_sql, Scheme.HOM))
+
+    # -- lookup ----------------------------------------------------------------
+
+    def has(self, table: str, expr: ast.Expr | str, scheme: Scheme) -> bool:
+        return EncEntry(table, normalize_expr(expr), scheme) in self.entries
+
+    def entry_for(self, table: str, expr: ast.Expr | str, scheme: Scheme) -> EncEntry | None:
+        entry = EncEntry(table, normalize_expr(expr), scheme)
+        return entry if entry in self.entries else None
+
+    def schemes_for(self, table: str, expr: ast.Expr | str) -> set[Scheme]:
+        text = normalize_expr(expr)
+        return {e.scheme for e in self.entries if e.table == table and e.expr_sql == text}
+
+    def hom_group_for(self, table: str, expr: ast.Expr | str) -> HomGroup | None:
+        text = normalize_expr(expr)
+        for group in self.hom_groups:
+            if group.table == table and group.covers(text):
+                return group
+        return None
+
+    def table_entries(self, table: str) -> list[EncEntry]:
+        return sorted(
+            (e for e in self.entries if e.table == table),
+            key=lambda e: (e.expr_sql, e.scheme.value),
+        )
+
+    def tables(self) -> list[str]:
+        return sorted({e.table for e in self.entries})
+
+    def copy(self) -> "PhysicalDesign":
+        return PhysicalDesign(set(self.entries), list(self.hom_groups))
+
+    def union(self, other: "PhysicalDesign") -> "PhysicalDesign":
+        merged = self.copy()
+        merged.entries |= other.entries
+        for group in other.hom_groups:
+            if group not in merged.hom_groups:
+                merged.hom_groups.append(group)
+        return merged
+
+    def without_entry(self, entry: EncEntry) -> "PhysicalDesign":
+        out = self.copy()
+        out.entries.discard(entry)
+        if entry.scheme is Scheme.HOM:
+            out.hom_groups = [
+                g
+                for g in out.hom_groups
+                if not (g.table == entry.table and g.covers(entry.expr_sql))
+            ]
+            # Keep HOM entries that some remaining group still covers.
+            out.entries = {
+                e
+                for e in out.entries
+                if e.scheme is not Scheme.HOM
+                or any(
+                    g.table == e.table and g.covers(e.expr_sql) for g in out.hom_groups
+                )
+            }
+        return out
+
+    def __repr__(self) -> str:
+        return (
+            f"PhysicalDesign({len(self.entries)} entries, "
+            f"{len(self.hom_groups)} hom groups)"
+        )

@@ -1,0 +1,269 @@
+"""Typed value encryption: the bridge between schemas and ciphers.
+
+One :class:`CryptoProvider` owns every key, derived from a single master
+key.  Design choices that mirror the paper's prototype:
+
+* **DET and OPE keys are shared across columns of the same SQL type**, so
+  deterministic equality works across tables (equi-joins) and OPE
+  comparisons work between columns (e.g. TPC-H Q4's
+  ``l_commitdate < l_receiptdate``).  CryptDB achieves the same with
+  adjustable join keys; a shared key has the same leakage once all joins
+  are allowed.
+* **Integers encrypt with FFX** (zero expansion: int in, int out) — the
+  §5.2 space optimization; strings use the CMC-style wide-block DET.
+* **Dates** encrypt as days-since-epoch through FFX/OPE.
+* **OPE on strings** order-preserves a fixed-length prefix (10 bytes);
+  TPC-H's sorted string columns are distinguished within that prefix.
+* Encryption results are memoized per value — analytical columns repeat
+  values heavily, and the paper likewise caches repeated (de)cryptions
+  (§8.1 uses a 512-entry decryption cache; ours is unbounded, a laptop
+  nicety).
+"""
+
+from __future__ import annotations
+
+import datetime
+
+from repro.common.errors import CryptoError, DomainError
+from repro.crypto.det import DetCipher
+from repro.crypto.ffx import FFXInteger
+from repro.crypto.ope import OpeCipher
+from repro.crypto.paillier import generate_keypair
+from repro.crypto.prf import derive_key
+from repro.crypto.rnd import RndCipher
+from repro.crypto.search import SearchCipher
+from repro.storage.rowcodec import decode_value, encode_value
+
+_EPOCH = datetime.date(1970, 1, 1)
+
+# Integer domain for FFX/OPE: wide enough for TPC-H's precomputed products
+# (price-cents x quantity x tax factors ~ 1e13).
+INT_BOUND = 1 << 47
+DATE_DAYS = 1 << 15  # Covers 1970..2059.
+_STR_PREFIX_BYTES = 10
+# Texts up to this many UTF-8 bytes DET-encrypt through FFX (format
+# preserving: ~len-byte ciphertext instead of a 16-byte AES block) — the
+# paper's §5.2 point that flags and category columns should not balloon.
+_SHORT_TEXT_BYTES = 12
+# Cumulative domain offsets make short-text ciphertexts injective across
+# lengths: a length-L plaintext maps into
+# [_OFFSETS[L], _OFFSETS[L] + 256**L).
+_OFFSETS = [0]
+for _L in range(_SHORT_TEXT_BYTES + 1):
+    _OFFSETS.append(_OFFSETS[-1] + 256 ** _L)
+
+DEFAULT_PAILLIER_BITS = 2048
+
+
+class CryptoProvider:
+    """All keys and ciphers for one encrypted database."""
+
+    def __init__(
+        self,
+        master_key: bytes,
+        paillier_bits: int = DEFAULT_PAILLIER_BITS,
+        ope_expansion_bits: int = 16,
+    ) -> None:
+        if len(master_key) < 16:
+            raise CryptoError("master key must be at least 16 bytes")
+        self.master_key = master_key
+        self._det_str = DetCipher(derive_key(master_key, "det", "str"))
+        self._det_short_text = [
+            FFXInteger(
+                derive_key(master_key, "det", "short-text", length),
+                0,
+                256 ** length - 1,
+            )
+            if length > 0
+            else None
+            for length in range(_SHORT_TEXT_BYTES + 1)
+        ]
+        self._det_int = FFXInteger(
+            derive_key(master_key, "det", "int"), -INT_BOUND, INT_BOUND - 1
+        )
+        self._det_date = FFXInteger(
+            derive_key(master_key, "det", "date"), 0, DATE_DAYS - 1
+        )
+        self._ope_int = OpeCipher(
+            derive_key(master_key, "ope", "int"),
+            -INT_BOUND,
+            INT_BOUND - 1,
+            expansion_bits=ope_expansion_bits,
+        )
+        self._ope_date = OpeCipher(
+            derive_key(master_key, "ope", "date"),
+            0,
+            DATE_DAYS - 1,
+            expansion_bits=ope_expansion_bits,
+        )
+        self._ope_str = OpeCipher(
+            derive_key(master_key, "ope", "str"),
+            0,
+            (1 << (8 * _STR_PREFIX_BYTES)) - 1,
+            expansion_bits=8,
+        )
+        self._rnd = RndCipher(derive_key(master_key, "rnd"))
+        self._search = SearchCipher(derive_key(master_key, "search"))
+        self.paillier_public, self.paillier_private = generate_keypair(
+            paillier_bits, seed=derive_key(master_key, "paillier-seed")
+        )
+        self._det_cache: dict[tuple, object] = {}
+        self._ope_cache: dict[tuple, int] = {}
+        self._ope_dec_cache: dict[tuple, object] = {}
+
+    # -- DET ---------------------------------------------------------------------
+
+    def det_encrypt(self, value: object) -> object:
+        if value is None:
+            return None
+        key = ("e", _type_tag(value), value)
+        cached = self._det_cache.get(key)
+        if cached is None:
+            cached = self._det_encrypt_uncached(value)
+            self._det_cache[key] = cached
+        return cached
+
+    def _det_encrypt_uncached(self, value: object) -> object:
+        if isinstance(value, bool):
+            return self._det_int.encrypt(int(value))
+        if isinstance(value, int):
+            return self._det_int.encrypt(value)
+        if isinstance(value, datetime.date):
+            return self._det_date.encrypt((value - _EPOCH).days)
+        if isinstance(value, str):
+            raw = value.encode("utf-8")
+            if 0 < len(raw) <= _SHORT_TEXT_BYTES:
+                ffx = self._det_short_text[len(raw)]
+                inner = ffx.encrypt(int.from_bytes(raw, "big"))
+                return _OFFSETS[len(raw)] + inner
+            return self._det_str.encrypt(raw)
+        if isinstance(value, float):
+            raise DomainError(
+                "DET over floats is not supported; scale DECIMALs to integers "
+                "(the paper does the same, §8.1)"
+            )
+        raise DomainError(f"DET cannot encrypt {type(value).__name__}")
+
+    def det_decrypt(self, ciphertext: object, sql_type: str) -> object:
+        if ciphertext is None:
+            return None
+        if sql_type in ("int", "bool"):
+            plain = self._det_int.decrypt(ciphertext)
+            return bool(plain) if sql_type == "bool" else plain
+        if sql_type == "date":
+            return _EPOCH + datetime.timedelta(days=self._det_date.decrypt(ciphertext))
+        if sql_type == "text":
+            if isinstance(ciphertext, int):
+                length = 1
+                while ciphertext >= _OFFSETS[length + 1]:
+                    length += 1
+                ffx = self._det_short_text[length]
+                inner = ffx.decrypt(ciphertext - _OFFSETS[length])
+                return inner.to_bytes(length, "big").decode("utf-8")
+            return self._det_str.decrypt(ciphertext).decode("utf-8")
+        raise DomainError(f"DET cannot decrypt type {sql_type!r}")
+
+    # -- OPE ---------------------------------------------------------------------
+
+    def ope_encrypt(self, value: object) -> int | None:
+        if value is None:
+            return None
+        key = ("e", _type_tag(value), value)
+        cached = self._ope_cache.get(key)
+        if cached is None:
+            cached = self._ope_encrypt_uncached(value)
+            self._ope_cache[key] = cached
+        return cached
+
+    def _ope_encrypt_uncached(self, value: object) -> int:
+        if isinstance(value, bool):
+            return self._ope_int.encrypt(int(value))
+        if isinstance(value, int):
+            return self._ope_int.encrypt(value)
+        if isinstance(value, datetime.date):
+            return self._ope_date.encrypt((value - _EPOCH).days)
+        if isinstance(value, str):
+            prefix = value.encode("utf-8")[:_STR_PREFIX_BYTES]
+            prefix = prefix + b"\x00" * (_STR_PREFIX_BYTES - len(prefix))
+            return self._ope_str.encrypt(int.from_bytes(prefix, "big"))
+        raise DomainError(f"OPE cannot encrypt {type(value).__name__}")
+
+    def ope_decrypt(self, ciphertext: int | None, sql_type: str) -> object:
+        if ciphertext is None:
+            return None
+        key = (sql_type, ciphertext)
+        cached = self._ope_dec_cache.get(key)
+        if cached is not None:
+            return cached
+        if sql_type in ("int", "bool"):
+            plain: object = self._ope_int.decrypt(ciphertext)
+            if sql_type == "bool":
+                plain = bool(plain)
+        elif sql_type == "date":
+            plain = _EPOCH + datetime.timedelta(days=self._ope_date.decrypt(ciphertext))
+        elif sql_type == "text":
+            raw = self._ope_str.decrypt(ciphertext).to_bytes(_STR_PREFIX_BYTES, "big")
+            plain = raw.rstrip(b"\x00").decode("utf-8", errors="replace")
+        else:
+            raise DomainError(f"OPE cannot decrypt type {sql_type!r}")
+        self._ope_dec_cache[key] = plain
+        return plain
+
+    # -- RND ---------------------------------------------------------------------
+
+    def rnd_encrypt(self, value: object) -> bytes | None:
+        if value is None:
+            return None
+        return self._rnd.encrypt(encode_value(value))
+
+    def rnd_decrypt(self, ciphertext: bytes | None) -> object:
+        if ciphertext is None:
+            return None
+        value, _ = decode_value(self._rnd.decrypt(ciphertext))
+        return value
+
+    # -- SEARCH ------------------------------------------------------------------
+
+    def search_encrypt(self, value: str | None):
+        if value is None:
+            return None
+        return self._search.encrypt(value)
+
+    def search_trapdoor(self, pattern: str) -> bytes:
+        return self._search.trapdoor(pattern)
+
+    # -- generic dispatch ----------------------------------------------------------
+
+    def encrypt(self, value: object, scheme: str) -> object:
+        if scheme == "det":
+            return self.det_encrypt(value)
+        if scheme == "ope":
+            return self.ope_encrypt(value)
+        if scheme == "rnd":
+            return self.rnd_encrypt(value)
+        if scheme == "search":
+            return self.search_encrypt(value)
+        raise DomainError(f"no direct encryption for scheme {scheme!r}")
+
+    def decrypt(self, ciphertext: object, scheme: str, sql_type: str) -> object:
+        if scheme == "det":
+            return self.det_decrypt(ciphertext, sql_type)
+        if scheme == "ope":
+            return self.ope_decrypt(ciphertext, sql_type)
+        if scheme == "rnd":
+            return self.rnd_decrypt(ciphertext)
+        if scheme == "plain":
+            return ciphertext
+        raise DomainError(f"no direct decryption for scheme {scheme!r}")
+
+
+def _type_tag(value: object) -> str:
+    if isinstance(value, bool):
+        return "bool"
+    if isinstance(value, int):
+        return "int"
+    if isinstance(value, datetime.date):
+        return "date"
+    if isinstance(value, str):
+        return "str"
+    return type(value).__name__

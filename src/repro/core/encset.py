@@ -1,0 +1,412 @@
+"""EncSet extraction: §6.2 step 1 plus the §6.3 pruning units.
+
+For each query the designer collects the ⟨value, scheme⟩ pairs that would
+let each of its operations execute on the server, grouped into *units*
+(§6.3): the planner's power-set enumeration toggles whole units — a WHERE
+conjunct's pairs are useless individually (if one side of an OR cannot be
+evaluated server-side, the whole clause comes to the client anyway).
+
+Units emitted per query:
+
+* one per top-level WHERE/JOIN conjunct (the paper's special case);
+* one for the GROUP BY key list (all keys must push together);
+* one per HAVING conjunct, plus a pre-filter unit (⟨x, OPE⟩) for
+  ``SUM(x) > c`` conjuncts that cannot push (§5.4);
+* per aggregate: a HOM unit for ``SUM``; an OPE unit for MIN/MAX; for
+  composite SUM arguments also a DET precomputation unit (the Figure 3
+  ``precomp_DET`` alternative where the client sums decrypted values);
+* a DET precomputation unit per composite projection/group-key expression
+  (§5.1);
+* one OPE unit for the ORDER BY keys (enables ORDER BY + LIMIT pushdown).
+
+Precomputation pairs are emitted only when the technique flag allows, and
+only for single-table expressions (§5.1 considers per-row expressions
+within one table).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import PlanningError
+from repro.core.design import TechniqueFlags, normalize_expr
+from repro.core.rewrite import BindingContext, strip_qualifiers
+from repro.core.schemes import Scheme
+from repro.engine.schema import TableSchema
+from repro.sql import ast
+
+
+@dataclass(frozen=True)
+class Pair:
+    """One candidate encrypted column: the paper's ⟨value, scheme⟩.
+
+    HOM pairs carry a packing ``variant``: ``"row"`` for per-row packing
+    (§5.3 grouped addition — works under any GROUP BY) or ``"col"`` for
+    columnar multi-row packing (§5.2 — smallest scan footprint).  The
+    designer may materialize either or both; the planner picks per query.
+    """
+
+    table: str
+    expr_sql: str
+    scheme: Scheme
+    variant: str = ""
+
+    def __repr__(self) -> str:
+        tag = f"/{self.variant}" if self.variant else ""
+        return f"⟨{self.table}:{self.expr_sql},{self.scheme.value.upper()}{tag}⟩"
+
+
+@dataclass(frozen=True)
+class Unit:
+    """An all-or-nothing group of pairs (§6.3)."""
+
+    label: str
+    pairs: frozenset[Pair]
+
+    def __repr__(self) -> str:
+        return f"Unit({self.label}: {sorted(map(str, self.pairs))})"
+
+
+class EncSetExtractor:
+    def __init__(
+        self,
+        schemas: dict[str, TableSchema],
+        flags: TechniqueFlags = TechniqueFlags(),
+    ) -> None:
+        self.schemas = schemas
+        self.flags = flags
+
+    # -- public ---------------------------------------------------------------
+
+    def extract(self, query: ast.Select) -> list[Unit]:
+        try:
+            bindings = self._bindings_for(query, parent=None)
+        except PlanningError:
+            return []
+        return self._extract_with(query, bindings)
+
+    # -- internals ----------------------------------------------------------------
+
+    def _extract_with(self, query: ast.Select, bindings: BindingContext) -> list[Unit]:
+        units: list[Unit] = []
+        seen: set[frozenset[Pair]] = set()
+
+        def add(label: str, pairs: set[Pair] | None) -> None:
+            if not pairs:
+                return
+            key = frozenset(pairs)
+            if key in seen:
+                return
+            seen.add(key)
+            units.append(Unit(label, key))
+
+        # FROM subqueries contribute their own units.
+        join_conditions: list[ast.Expr] = []
+        for ref in _flatten(query.from_items, join_conditions):
+            if isinstance(ref, ast.SubqueryRef):
+                units.extend(self.extract(ref.query))
+
+        for i, conjunct in enumerate(join_conditions + ast.conjuncts(query.where)):
+            add(f"where[{i}]", self._predicate_pairs(conjunct, bindings, units, add))
+
+        group_pairs: set[Pair] = set()
+        for key in query.group_by:
+            pair_set = self._value_pairs(key, Scheme.DET, bindings)
+            if pair_set is None:
+                group_pairs = set()
+                break
+            group_pairs |= pair_set
+        add("group_by", group_pairs)
+
+        if query.having is not None:
+            for i, conjunct in enumerate(ast.conjuncts(query.having)):
+                pairs = self._predicate_pairs(conjunct, bindings, units, add)
+                if pairs:
+                    add(f"having[{i}]", pairs)
+                else:
+                    prefilter = self._prefilter_pairs(conjunct, bindings)
+                    add(f"prefilter[{i}]", prefilter)
+
+        for item in query.items:
+            self._output_units(item.expr, bindings, add)
+        for order in query.order_by:
+            self._output_units(order.expr, bindings, add)
+
+        if query.order_by and query.limit is not None:
+            order_pairs: set[Pair] = set()
+            ok = True
+            for order in query.order_by:
+                expr = order.expr
+                if ast.contains_aggregate(expr):
+                    ok = False
+                    break
+                pair_set = self._value_pairs(expr, Scheme.OPE, bindings)
+                if pair_set is None:
+                    ok = False
+                    break
+                order_pairs |= pair_set
+            if ok:
+                add("order_by", order_pairs)
+        return units
+
+    # -- predicates ------------------------------------------------------------------
+
+    def _predicate_pairs(
+        self, expr: ast.Expr, bindings: BindingContext, units: list[Unit], add
+    ) -> set[Pair] | None:
+        """Pairs enabling server evaluation of a predicate (None: impossible)."""
+        if isinstance(expr, ast.Literal):
+            return set()
+        if isinstance(expr, ast.BinOp):
+            if expr.op in ("and", "or"):
+                left = self._predicate_pairs(expr.left, bindings, units, add)
+                right = self._predicate_pairs(expr.right, bindings, units, add)
+                if left is None or right is None:
+                    return None
+                return left | right
+            if expr.op in ("=", "<>"):
+                det = self._comparison_pairs(expr, Scheme.DET, bindings)
+                if det is not None:
+                    return det
+                return self._comparison_pairs(expr, Scheme.OPE, bindings)
+            if expr.op in ("<", "<=", ">", ">="):
+                return self._comparison_pairs(expr, Scheme.OPE, bindings)
+            return None
+        if isinstance(expr, ast.UnaryOp) and expr.op == "not":
+            return self._predicate_pairs(expr.operand, bindings, units, add)
+        if isinstance(expr, ast.Between):
+            out: set[Pair] = set()
+            for part in (expr.needle, expr.low, expr.high):
+                pairs = self._value_pairs(part, Scheme.OPE, bindings)
+                if pairs is None:
+                    return None
+                out |= pairs
+            return out
+        if isinstance(expr, ast.InList):
+            pairs = self._value_pairs(expr.needle, Scheme.DET, bindings)
+            if pairs is None:
+                return None
+            return pairs
+        if isinstance(expr, ast.Like):
+            return self._like_pairs(expr, bindings)
+        if isinstance(expr, ast.IsNull):
+            return set()
+        if isinstance(expr, ast.Exists):
+            return self._subquery_pairs(expr.query, bindings, item_scheme=None)
+        if isinstance(expr, ast.InSubquery):
+            needle = self._value_pairs(expr.needle, Scheme.DET, bindings)
+            if needle is None:
+                return None
+            inner = self._subquery_pairs(expr.query, bindings, item_scheme=Scheme.DET)
+            if inner is None:
+                # Round-trip materialization: the subquery plans separately;
+                # its units stand alone, the needle's DET still helps.
+                sub_bindings = self._safe_bindings(expr.query)
+                if sub_bindings is not None:
+                    for unit in self._extract_with(expr.query, sub_bindings):
+                        add(f"subq:{unit.label}", set(unit.pairs))
+                return needle
+            return needle | inner
+        return None
+
+    def _comparison_pairs(
+        self, expr: ast.BinOp, scheme: Scheme, bindings: BindingContext
+    ) -> set[Pair] | None:
+        left = self._value_pairs(expr.left, scheme, bindings)
+        right = self._value_pairs(expr.right, scheme, bindings)
+        if left is None or right is None:
+            return None
+        return left | right
+
+    def _like_pairs(self, expr: ast.Like, bindings: BindingContext) -> set[Pair] | None:
+        from repro.crypto.search import parse_like_pattern
+
+        if not isinstance(expr.needle, ast.Column):
+            return None
+        if not isinstance(expr.pattern, ast.Literal) or not isinstance(
+            expr.pattern.value, str
+        ):
+            return None
+        try:
+            parse_like_pattern(expr.pattern.value)
+        except Exception:
+            return None
+        resolved = bindings.resolve_column(expr.needle)
+        if resolved is None:
+            return None
+        _, table = resolved
+        return {Pair(table, normalize_expr(ast.Column(expr.needle.name)), Scheme.SEARCH)}
+
+    def _prefilter_pairs(self, conjunct: ast.Expr, bindings: BindingContext) -> set[Pair] | None:
+        if not self.flags.prefilter:
+            return None
+        if not (isinstance(conjunct, ast.BinOp) and conjunct.op in (">", ">=")):
+            return None
+        left = conjunct.left
+        if not (
+            isinstance(left, ast.FuncCall) and left.name == "sum" and len(left.args) == 1
+        ):
+            return None
+        return self._value_pairs(left.args[0], Scheme.OPE, bindings)
+
+    # -- values ---------------------------------------------------------------------
+
+    def _value_pairs(
+        self, expr: ast.Expr, scheme: Scheme, bindings: BindingContext
+    ) -> set[Pair] | None:
+        """Pairs making ``expr`` available under ``scheme`` (None: never)."""
+        if isinstance(expr, (ast.Literal, ast.Interval)):
+            return set()
+        if isinstance(expr, ast.Column):
+            resolved = bindings.resolve_column(expr)
+            if resolved is None:
+                return None
+            _, table = resolved
+            return {Pair(table, normalize_expr(ast.Column(expr.name)), scheme)}
+        if isinstance(expr, ast.FuncCall) and expr.name in ("min", "max"):
+            if scheme is not Scheme.OPE or len(expr.args) != 1:
+                return None
+            return self._value_pairs(expr.args[0], Scheme.OPE, bindings)
+        if isinstance(expr, ast.FuncCall) and expr.name == "count":
+            return set()  # Counts are server-visible (plainval).
+        if isinstance(expr, ast.ScalarSubquery):
+            return self._subquery_pairs(expr.query, bindings, item_scheme=scheme)
+        # Composite expression: precomputation candidate (§5.1).
+        if not self.flags.precomputation:
+            return None
+        if ast.contains_aggregate(expr):
+            return None
+        table = self._single_table(expr, bindings)
+        if table is None:
+            return None
+        return {Pair(table, normalize_expr(strip_qualifiers(expr)), scheme)}
+
+    def _subquery_pairs(
+        self, query: ast.Select, bindings: BindingContext, item_scheme: Scheme | None
+    ) -> set[Pair] | None:
+        try:
+            sub_bindings = self._bindings_for(query, parent=bindings)
+        except PlanningError:
+            return None
+        out: set[Pair] = set()
+        for ref in query.from_items:
+            if not isinstance(ref, ast.TableName):
+                return None
+        for conjunct in ast.conjuncts(query.where):
+            pairs = self._predicate_pairs(conjunct, sub_bindings, [], lambda *a: None)
+            if pairs is None:
+                return None
+            out |= pairs
+        for key in query.group_by:
+            pairs = self._value_pairs(key, Scheme.DET, sub_bindings)
+            if pairs is None:
+                return None
+            out |= pairs
+        if query.having is not None:
+            pairs = self._predicate_pairs(query.having, sub_bindings, [], lambda *a: None)
+            if pairs is None:
+                return None
+            out |= pairs
+        if item_scheme is not None:
+            if len(query.items) != 1:
+                return None
+            pairs = self._value_pairs(query.items[0].expr, item_scheme, sub_bindings)
+            if pairs is None and item_scheme is Scheme.DET:
+                pairs = self._value_pairs(query.items[0].expr, Scheme.OPE, sub_bindings)
+            if pairs is None:
+                return None
+            out |= pairs
+        return out
+
+    # -- outputs -----------------------------------------------------------------------
+
+    def _output_units(self, expr: ast.Expr, bindings: BindingContext, add) -> None:
+        for call in ast.find_aggregates(expr):
+            if call.name == "sum" and len(call.args) == 1 and not call.distinct:
+                arg = call.args[0]
+                table = self._single_table(arg, bindings)
+                if table is not None:
+                    text = normalize_expr(strip_qualifiers(arg))
+                    add(f"hom:{text}", {Pair(table, text, Scheme.HOM, "row")})
+                    if self.flags.columnar_agg:
+                        add(f"homcol:{text}", {Pair(table, text, Scheme.HOM, "col")})
+                    if not isinstance(arg, ast.Column) and self.flags.precomputation:
+                        add(f"precomp:{text}", {Pair(table, text, Scheme.DET)})
+            elif call.name in ("min", "max") and len(call.args) == 1:
+                pairs = self._value_pairs(call, Scheme.OPE, bindings)
+                if pairs:
+                    add(f"aggope:{normalize_expr(strip_qualifiers(call))}", pairs)
+        # Composite non-aggregate sub-expressions: DET precomputation.
+        if self.flags.precomputation:
+            for sub in self._composite_scalars(expr):
+                table = self._single_table(sub, bindings)
+                if table is not None:
+                    text = normalize_expr(strip_qualifiers(sub))
+                    add(f"precomp:{text}", {Pair(table, text, Scheme.DET)})
+
+    def _composite_scalars(self, expr: ast.Expr) -> list[ast.Expr]:
+        """Maximal aggregate-free composite subexpressions (lowest useful
+        precomputation points, §5.1)."""
+        out: list[ast.Expr] = []
+
+        def visit(node: ast.Expr) -> None:
+            if isinstance(node, (ast.Literal, ast.Param, ast.Interval, ast.Column)):
+                return
+            if isinstance(node, (ast.ScalarSubquery, ast.InSubquery, ast.Exists)):
+                return
+            if not ast.contains_aggregate(node) and ast.find_columns(node):
+                out.append(node)
+                return
+            for child in node.children():
+                visit(child)
+
+        visit(expr)
+        return out
+
+    # -- helpers -------------------------------------------------------------------------
+
+    def _single_table(self, expr: ast.Expr, bindings: BindingContext) -> str | None:
+        tables = set()
+        columns = ast.find_columns(expr)
+        if not columns:
+            return None
+        for column in columns:
+            resolved = bindings.resolve_column(column)
+            if resolved is None:
+                return None
+            tables.add(resolved[1])
+        if len(tables) == 1:
+            return next(iter(tables))
+        return None
+
+    def _bindings_for(
+        self, query: ast.Select, parent: BindingContext | None
+    ) -> BindingContext:
+        tables: dict[str, str] = {}
+        schemas: dict[str, TableSchema] = {}
+        for ref in _flatten(query.from_items, []):
+            if isinstance(ref, ast.TableName):
+                schema = self.schemas.get(ref.name)
+                if schema is None:
+                    raise PlanningError(f"unknown table {ref.name!r}")
+                tables[ref.binding] = ref.name
+                schemas[ref.binding] = schema
+        return BindingContext(tables, schemas, parent=parent, registry=self.schemas)
+
+    def _safe_bindings(self, query: ast.Select) -> BindingContext | None:
+        try:
+            return self._bindings_for(query, parent=None)
+        except PlanningError:
+            return None
+
+
+def _flatten(refs, join_conditions: list) -> list[ast.TableRef]:
+    out: list[ast.TableRef] = []
+    for ref in refs:
+        if isinstance(ref, ast.Join):
+            if ref.condition is not None:
+                join_conditions.extend(ast.conjuncts(ref.condition))
+            out.extend(_flatten([ref.left, ref.right], join_conditions))
+        else:
+            out.append(ref)
+    return out

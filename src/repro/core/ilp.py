@@ -1,0 +1,173 @@
+"""ILP formulation for the space-constrained designer (§6.5).
+
+Minimize   Σ_i Σ_j cost(i,j) · x_ij
+subject to Σ_j x_ij = 1                          (one plan per query)
+           ‖items_ij‖ · x_ij − Σ_{k∈items_ij} e_k ≤ 0   (plans imply columns)
+           Σ_k e_k · encsize(k) ≤ S · plainsize − basesize
+           x_ij, e_k ∈ {0, 1}
+
+``items`` are candidate encrypted columns (non-HOM pairs) and candidate
+packed Paillier groups; the base design (the DET fallback copy of every
+column) is a constant ``basesize`` outside the optimization, so a DET pair
+on a plain column has zero *marginal* size — exactly the paper's
+observation that S = 1 admits the all-DET design.
+
+Solved with ``scipy.optimize.milp`` (HiGHS).  A small exhaustive-search
+fallback handles environments without scipy and doubles as a correctness
+check in tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+
+import numpy as np
+
+from repro.common.errors import InfeasibleDesignError
+
+
+@dataclass(frozen=True)
+class IlpCandidate:
+    """One (query, unit-subset) plan choice."""
+
+    query_index: int
+    cost: float
+    item_keys: frozenset
+
+
+@dataclass
+class IlpProblem:
+    candidates: list[IlpCandidate]
+    item_sizes: dict[object, float]  # item key -> marginal bytes
+    space_budget: float  # S * plainsize - basesize
+
+    def num_queries(self) -> int:
+        return max(c.query_index for c in self.candidates) + 1 if self.candidates else 0
+
+
+@dataclass
+class IlpSolution:
+    chosen: dict[int, IlpCandidate]  # query index -> picked candidate
+    items: set  # item keys enabled
+    objective: float
+    used_bytes: float
+
+
+def solve(problem: IlpProblem, use_scipy: bool = True) -> IlpSolution:
+    if not problem.candidates:
+        return IlpSolution({}, set(), 0.0, 0.0)
+    if use_scipy:
+        try:
+            return _solve_scipy(problem)
+        except ImportError:  # pragma: no cover - scipy is a dependency
+            pass
+    return solve_exhaustive(problem)
+
+
+# ---------------------------------------------------------------------------
+# scipy / HiGHS
+# ---------------------------------------------------------------------------
+
+
+def _solve_scipy(problem: IlpProblem) -> IlpSolution:
+    from scipy.optimize import Bounds, LinearConstraint, milp
+
+    candidates = problem.candidates
+    items = sorted(problem.item_sizes, key=repr)
+    item_index = {k: i for i, k in enumerate(items)}
+    nx = len(candidates)
+    ne = len(items)
+    n = nx + ne
+
+    costs = np.zeros(n)
+    for i, candidate in enumerate(candidates):
+        costs[i] = candidate.cost
+
+    constraints = []
+    # One plan per query.
+    num_queries = problem.num_queries()
+    a_eq = np.zeros((num_queries, n))
+    for i, candidate in enumerate(candidates):
+        a_eq[candidate.query_index, i] = 1.0
+    constraints.append(LinearConstraint(a_eq, lb=1.0, ub=1.0))
+
+    # Plan => items.
+    rows = []
+    for i, candidate in enumerate(candidates):
+        if not candidate.item_keys:
+            continue
+        row = np.zeros(n)
+        row[i] = float(len(candidate.item_keys))
+        for key in candidate.item_keys:
+            row[nx + item_index[key]] = -1.0
+        rows.append(row)
+    if rows:
+        constraints.append(
+            LinearConstraint(np.array(rows), lb=-np.inf, ub=0.0)
+        )
+
+    # Space.
+    space_row = np.zeros(n)
+    for key, size in problem.item_sizes.items():
+        space_row[nx + item_index[key]] = size
+    constraints.append(
+        LinearConstraint(space_row.reshape(1, -1), lb=-np.inf, ub=problem.space_budget)
+    )
+
+    result = milp(
+        c=costs,
+        constraints=constraints,
+        bounds=Bounds(0.0, 1.0),
+        integrality=np.ones(n),
+    )
+    if not result.success or result.x is None:
+        raise InfeasibleDesignError(
+            f"ILP infeasible under space budget {problem.space_budget:.0f} bytes"
+        )
+    x = result.x
+    chosen: dict[int, IlpCandidate] = {}
+    for i, candidate in enumerate(candidates):
+        if x[i] > 0.5:
+            chosen[candidate.query_index] = candidate
+    enabled = {items[j] for j in range(ne) if x[nx + j] > 0.5}
+    used = sum(problem.item_sizes[k] for k in enabled)
+    objective = sum(c.cost for c in chosen.values())
+    return IlpSolution(chosen, enabled, objective, used)
+
+
+# ---------------------------------------------------------------------------
+# Exhaustive fallback (small instances / cross-check)
+# ---------------------------------------------------------------------------
+
+
+def solve_exhaustive(problem: IlpProblem, limit: int = 2_000_000) -> IlpSolution:
+    by_query: dict[int, list[IlpCandidate]] = {}
+    for candidate in problem.candidates:
+        by_query.setdefault(candidate.query_index, []).append(candidate)
+    queries = sorted(by_query)
+    total = 1
+    for q in queries:
+        total *= len(by_query[q])
+        if total > limit:
+            raise InfeasibleDesignError(
+                "exhaustive ILP fallback: instance too large"
+            )
+    best: IlpSolution | None = None
+    for combo in product(*(by_query[q] for q in queries)):
+        items: set = set()
+        for candidate in combo:
+            items |= candidate.item_keys
+        used = sum(problem.item_sizes[k] for k in items)
+        if used > problem.space_budget + 1e-9:
+            continue
+        objective = sum(c.cost for c in combo)
+        if best is None or objective < best.objective:
+            best = IlpSolution(
+                {c.query_index: c for c in combo}, items, objective, used
+            )
+    if best is None:
+        raise InfeasibleDesignError(
+            f"no design satisfies space budget {problem.space_budget:.0f} bytes"
+        )
+    return best

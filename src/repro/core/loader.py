@@ -1,0 +1,194 @@
+"""Database loader: encrypt a plaintext database under a physical design.
+
+Produces the untrusted server's state (Figure 1's "Encrypted database"):
+
+* one encrypted table per plaintext table, holding every encrypted column
+  copy the design calls for (§7: "one or more copies of every column ...
+  based on the number of encryption schemes chosen");
+* a plain ``row_id`` column on tables that participate in homomorphic
+  groups (§7), pointing into packed Paillier ciphertext files kept outside
+  the tables.
+
+Before loading, :func:`complete_design` guarantees every base column has at
+least one client-decryptable representation (RND if nothing stronger was
+requested) — MONOMI never stores plaintext on the server (§3).
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import DesignError
+from repro.core.design import EncEntry, HomGroup, PhysicalDesign, normalize_expr
+from repro.core.encdata import CryptoProvider
+from repro.core.schemes import Scheme
+from repro.core.typing import infer_type
+from repro.crypto.packing import PackedLayout
+from repro.engine.catalog import Database
+from repro.engine.eval import Env, EvalContext, Scope, evaluate
+from repro.engine.schema import ColumnDef, TableSchema
+from repro.sql import ast, parse_expression
+
+ROW_ID_COLUMN = "row_id"
+
+
+def complete_design(design: PhysicalDesign, plain_db: Database) -> PhysicalDesign:
+    """Guarantee every base column has a cheap client-decryptable copy.
+
+    The paper's prototype stores every column "with at most deterministic
+    encryption" (§7): DET is the space-efficient fallback (FFX keeps
+    integers integer-sized), which is what makes a space budget of S = 1
+    equivalent to an all-DET database (§6.5).  Floats cannot go through
+    FFX, so they fall back to RND.
+    """
+    completed = design.copy()
+    for name, table in plain_db.tables.items():
+        for col in table.schema.columns:
+            expr_sql = normalize_expr(ast.Column(col.name))
+            fetchable = {
+                e.scheme
+                for e in completed.entries
+                if e.table == name
+                and e.expr_sql == expr_sql
+                and e.scheme in (Scheme.RND, Scheme.DET)
+            }
+            if not fetchable:
+                scheme = Scheme.RND if col.type == "float" else Scheme.DET
+                completed.add(name, ast.Column(col.name), scheme)
+    return completed
+
+
+def server_column_type(entry: EncEntry, plain_type: str) -> str:
+    """Engine column type for an encrypted column copy."""
+    if entry.scheme is Scheme.RND:
+        return "bytes"
+    if entry.scheme is Scheme.OPE:
+        return "int"
+    if entry.scheme is Scheme.SEARCH:
+        return "tagset"
+    if entry.scheme is Scheme.DET:
+        if plain_type in ("int", "bool", "date"):
+            return "int"  # FFX keeps integers integers (zero expansion).
+        # Text: short values FFX to integers, long values CMC to bytes.
+        return "any"
+    raise DesignError(f"no server column for scheme {entry.scheme}")
+
+
+class EncryptedLoader:
+    """Builds the encrypted server database."""
+
+    def __init__(self, plain_db: Database, provider: CryptoProvider) -> None:
+        self.plain_db = plain_db
+        self.provider = provider
+
+    def load(self, design: PhysicalDesign) -> Database:
+        design = complete_design(design, self.plain_db)
+        server = Database(name=f"{self.plain_db.name}_enc")
+        for table_name in sorted(self.plain_db.tables):
+            self._load_table(server, table_name, design)
+        return server
+
+    # -- per-table -----------------------------------------------------------
+
+    def _load_table(self, server: Database, table_name: str, design: PhysicalDesign) -> None:
+        plain = self.plain_db.table(table_name)
+        schemas = {table_name: plain.schema}
+        entries = [
+            e for e in design.table_entries(table_name) if e.scheme is not Scheme.HOM
+        ]
+        hom_groups = [g for g in design.hom_groups if g.table == table_name]
+
+        columns: list[ColumnDef] = []
+        exprs: list[ast.Expr] = []
+        plain_types: list[str] = []
+        for entry in entries:
+            expr = parse_expression(entry.expr_sql)
+            plain_type = infer_type(expr, schemas)
+            columns.append(
+                ColumnDef(entry.column_name, server_column_type(entry, plain_type))
+            )
+            exprs.append(expr)
+            plain_types.append(plain_type)
+        if hom_groups:
+            columns.append(ColumnDef(ROW_ID_COLUMN, "int"))
+
+        enc_schema = TableSchema(name=table_name, columns=tuple(columns))
+        enc_table = server.create_table(enc_schema)
+
+        scope = Scope([(table_name, c) for c in plain.schema.column_names])
+        ctx = EvalContext()
+        for row_id, row in enumerate(plain.rows):
+            env = Env(scope, row)
+            values: list[object] = []
+            for entry, expr, plain_type in zip(entries, exprs, plain_types):
+                plain_value = evaluate(expr, env, ctx)
+                values.append(self._encrypt_value(plain_value, entry.scheme))
+            if hom_groups:
+                values.append(row_id)
+            enc_table.insert(tuple(values))
+
+        for group in hom_groups:
+            self._load_hom_group(server, group, plain, scope)
+
+    def _encrypt_value(self, value: object, scheme: Scheme) -> object:
+        if scheme is Scheme.SEARCH:
+            if value is not None and not isinstance(value, str):
+                raise DesignError("SEARCH applies to text columns only")
+            return self.provider.search_encrypt(value)
+        return self.provider.encrypt(value, scheme.value)
+
+    # -- homomorphic groups ------------------------------------------------------
+
+    def _load_hom_group(self, server: Database, group: HomGroup, plain, scope: Scope) -> None:
+        from repro.storage.ciphertext_store import CiphertextFile
+
+        ctx = EvalContext()
+        exprs = [parse_expression(sql) for sql in group.expr_sqls]
+        # Gather plaintext values (None -> 0: additive identity).
+        matrix: list[list[int]] = []
+        for row in plain.rows:
+            env = Env(scope, row)
+            values = []
+            for expr in exprs:
+                value = evaluate(expr, env, ctx)
+                if value is None:
+                    value = 0
+                if not isinstance(value, int) or isinstance(value, bool):
+                    raise DesignError(
+                        f"homomorphic column {group.table}:{expr!r} must be "
+                        f"integer-valued, got {value!r}"
+                    )
+                if value < 0:
+                    raise DesignError(
+                        "homomorphic packing requires non-negative values "
+                        f"(got {value} in {group.table})"
+                    )
+                values.append(value)
+            matrix.append(values)
+
+        column_bits = tuple(
+            max(1, max((row[i] for row in matrix), default=0).bit_length())
+            for i in range(len(exprs))
+        )
+        pad_bits = max(4, plain.num_rows.bit_length())
+        public = self.provider.paillier_public
+        layout = PackedLayout(
+            column_bits=column_bits,
+            pad_bits=pad_bits,
+            plaintext_bits=public.plaintext_bits,
+        )
+        rows_per_ct = min(group.rows_per_ciphertext, layout.rows_per_ciphertext)
+        layout = PackedLayout(
+            column_bits=column_bits,
+            pad_bits=pad_bits,
+            plaintext_bits=min(public.plaintext_bits, layout.row_bits * rows_per_ct),
+        )
+        file = CiphertextFile(
+            name=group.file_name,
+            public_key=public,
+            layout=layout,
+            column_names=group.expr_sqls,
+            num_rows=plain.num_rows,
+        )
+        for start in range(0, len(matrix), rows_per_ct):
+            chunk = matrix[start : start + rows_per_ct]
+            file.ciphertexts.append(public.encrypt(layout.encode_rows(chunk)))
+        server.ciphertext_store.add(file)

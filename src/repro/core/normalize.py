@@ -1,0 +1,152 @@
+"""Query normalization before planning.
+
+Three rewrites run on every incoming query (recursing into subqueries):
+
+* **parameter binding** — ``:1``-style parameters become literals (the
+  planner must encrypt constants, so they have to be known);
+* **AVG expansion** — ``avg(x)`` becomes ``sum(x) / count(x)``, so the
+  planner only reasons about SUM and COUNT (the paper's designs likewise
+  precompute sums and counts rather than averages);
+* **constant folding** — literal arithmetic, in particular date ± interval
+  (``DATE '1998-12-01' - INTERVAL '90' DAY``), folds to a literal so it can
+  be encrypted as a DET/OPE constant.
+"""
+
+from __future__ import annotations
+
+import datetime
+from dataclasses import replace
+
+from repro.common.errors import PlanningError
+from repro.engine.eval import EvalContext, evaluate
+from repro.sql import ast
+
+
+def normalize_query(query: ast.Select, params: dict[str, object] | None = None) -> ast.Select:
+    params = params or {}
+
+    def rewrite_expr(expr: ast.Expr) -> ast.Expr:
+        expr = ast.transform(expr, lambda e: _rewrite_node(e, params))
+        return expr
+
+    def rewrite_select(q: ast.Select) -> ast.Select:
+        q = q.map_expressions(rewrite_expr)
+        q = _rewrite_subqueries(q, rewrite_select)
+        return q
+
+    return rewrite_select(query)
+
+
+def _rewrite_node(expr: ast.Expr, params: dict[str, object]) -> ast.Expr:
+    if isinstance(expr, ast.Param):
+        if expr.name not in params:
+            raise PlanningError(f"unbound parameter :{expr.name}")
+        return ast.Literal(params[expr.name])
+    if isinstance(expr, ast.FuncCall) and expr.name == "avg" and len(expr.args) == 1:
+        arg = expr.args[0]
+        return ast.BinOp(
+            "/",
+            ast.FuncCall("sum", (arg,), distinct=expr.distinct),
+            ast.FuncCall("count", (arg,), distinct=expr.distinct),
+        )
+    folded = _fold_constant(expr)
+    return folded if folded is not None else expr
+
+
+def _fold_constant(expr: ast.Expr) -> ast.Expr | None:
+    if isinstance(expr, ast.BinOp) and expr.op in ("+", "-", "*", "/"):
+        left, right = expr.left, expr.right
+        lv = left.value if isinstance(left, ast.Literal) else (left if isinstance(left, ast.Interval) else None)
+        rv = right.value if isinstance(right, ast.Literal) else (right if isinstance(right, ast.Interval) else None)
+        if lv is None or rv is None:
+            return None
+        if isinstance(lv, bool) or isinstance(rv, bool):
+            return None
+        try:
+            from repro.engine.eval import _eval_arith
+
+            value = _eval_arith(expr.op, lv, rv)
+        except Exception:
+            return None
+        if isinstance(value, (int, float, datetime.date, str)):
+            return ast.Literal(value)
+    if isinstance(expr, ast.UnaryOp) and expr.op == "-":
+        if isinstance(expr.operand, ast.Literal) and isinstance(
+            expr.operand.value, (int, float)
+        ):
+            return ast.Literal(-expr.operand.value)
+    return None
+
+
+def _rewrite_subqueries(query: ast.Select, rewrite_select) -> ast.Select:
+    """Recurse normalization into subqueries in expressions and FROM."""
+
+    def expr_walk(expr: ast.Expr) -> ast.Expr:
+        if isinstance(expr, ast.ScalarSubquery):
+            return ast.ScalarSubquery(rewrite_select(expr.query))
+        if isinstance(expr, ast.InSubquery):
+            return ast.InSubquery(expr.needle, rewrite_select(expr.query), expr.negated)
+        if isinstance(expr, ast.Exists):
+            return ast.Exists(rewrite_select(expr.query), expr.negated)
+        return expr
+
+    query = query.map_expressions(lambda e: ast.transform(e, expr_walk))
+    new_from = tuple(_rewrite_ref(ref, rewrite_select) for ref in query.from_items)
+    return replace(query, from_items=new_from)
+
+
+def _rewrite_ref(ref: ast.TableRef, rewrite_select) -> ast.TableRef:
+    if isinstance(ref, ast.SubqueryRef):
+        return ast.SubqueryRef(rewrite_select(ref.query), ref.alias)
+    if isinstance(ref, ast.Join):
+        condition = ref.condition
+        if condition is not None:
+            def expr_walk(expr: ast.Expr) -> ast.Expr:
+                if isinstance(expr, ast.ScalarSubquery):
+                    return ast.ScalarSubquery(rewrite_select(expr.query))
+                if isinstance(expr, ast.InSubquery):
+                    return ast.InSubquery(expr.needle, rewrite_select(expr.query), expr.negated)
+                if isinstance(expr, ast.Exists):
+                    return ast.Exists(rewrite_select(expr.query), expr.negated)
+                return expr
+
+            condition = ast.transform(condition, expr_walk)
+        return ast.Join(
+            _rewrite_ref(ref.left, rewrite_select),
+            _rewrite_ref(ref.right, rewrite_select),
+            ref.kind,
+            condition,
+        )
+    return ref
+
+
+def has_multi_pattern_like(query: ast.Select) -> bool:
+    """Detect the multi-pattern LIKE shapes the prototype rejects (§7)."""
+
+    found = False
+
+    def check_expr(expr: ast.Expr) -> ast.Expr:
+        nonlocal found
+        if isinstance(expr, ast.Like) and isinstance(expr.pattern, ast.Literal):
+            pattern = expr.pattern.value
+            if isinstance(pattern, str) and pattern.strip("%").count("%") > 0:
+                found = True
+        for sub in ast.find_subqueries(expr):
+            if has_multi_pattern_like(sub):
+                found = True
+        return expr
+
+    for item in query.items:
+        ast.transform(item.expr, check_expr)
+    if query.where is not None:
+        ast.transform(query.where, check_expr)
+    if query.having is not None:
+        ast.transform(query.having, check_expr)
+    for ref in query.from_items:
+        if isinstance(ref, ast.SubqueryRef) and has_multi_pattern_like(ref.query):
+            found = True
+        if isinstance(ref, ast.Join):
+            for side in (ref.left, ref.right):
+                if isinstance(side, ast.SubqueryRef) and has_multi_pattern_like(side.query):
+                    found = True
+    return found

@@ -1,0 +1,225 @@
+"""Split-plan execution: the MONOMI client library's runtime half.
+
+Runs a :class:`~repro.core.plan.SplitPlan` against the untrusted server:
+
+1. execute subplans (their results bind as DET-encrypted server-side IN
+   sets or plaintext residual parameters — the multi-round-trip plans);
+2. for each RemoteRelation: run the encrypted query on the server
+   (charging measured server CPU + modeled disk time for bytes scanned),
+   charge modeled network time for the intermediate result's exact bytes,
+   then decrypt every output column on the client per its DecryptSpec
+   (charging measured client CPU), unnesting grp() lists when the plan
+   says so;
+3. run the residual query over the decrypted virtual tables with the same
+   relational engine, on the trusted side.
+
+The returned :class:`~repro.common.ledger.CostLedger` carries the paper's
+three cost components (§6.4) for every benchmark to aggregate.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import ExecutionError
+from repro.common.ledger import CostLedger, DiskModel, NetworkModel
+from repro.core.encdata import CryptoProvider
+from repro.core.plan import ClientRelation, DecryptSpec, RemoteRelation, SplitPlan
+from repro.engine.aggregates import HomAggResult
+from repro.engine.catalog import Database
+from repro.engine.executor import Executor, ResultSet
+from repro.engine.schema import ColumnDef, TableSchema
+
+_TYPE_MAP = {
+    "int": "int",
+    "float": "float",
+    "text": "text",
+    "date": "date",
+    "bool": "bool",
+}
+
+
+class PlanExecutor:
+    """Executes split plans for one (server database, key chain) pair."""
+
+    def __init__(
+        self,
+        server_db: Database,
+        provider: CryptoProvider,
+        network: NetworkModel | None = None,
+        disk: DiskModel | None = None,
+    ) -> None:
+        self.server = Executor(server_db)
+        self.provider = provider
+        self.network = network or NetworkModel()
+        self.disk = disk or DiskModel()
+
+    # -- public ---------------------------------------------------------------
+
+    def execute(self, plan: SplitPlan) -> tuple[ResultSet, CostLedger]:
+        ledger = CostLedger()
+        result = self._run(plan, ledger)
+        return result, ledger
+
+    # -- internals ----------------------------------------------------------------
+
+    def _run(self, plan: SplitPlan, ledger: CostLedger) -> ResultSet:
+        server_params: dict[str, object] = {}
+        residual_params: dict[str, object] = {}
+        for subplan in plan.subplans:
+            sub_result = self._run(subplan.plan, ledger)
+            values = [row[0] for row in sub_result.rows]
+            if subplan.mode == "in_set_server":
+                with ledger.timing_client():
+                    encrypted = frozenset(
+                        self.provider.det_encrypt(v) for v in values if v is not None
+                    )
+                server_params[subplan.param_name] = encrypted
+            elif subplan.mode == "scalar_residual":
+                if len(values) > 1:
+                    raise ExecutionError("scalar subplan returned multiple rows")
+                residual_params[subplan.param_name] = values[0] if values else None
+            elif subplan.mode == "set_residual":
+                residual_params[subplan.param_name] = frozenset(
+                    v for v in values if v is not None
+                )
+            else:
+                raise ExecutionError(f"unknown subplan mode {subplan.mode!r}")
+
+        client_db = Database("client_tmp")
+        for relation in plan.relations:
+            if isinstance(relation, RemoteRelation):
+                columns, rows = self._materialize_remote(relation, server_params, ledger)
+            elif isinstance(relation, ClientRelation):
+                inner = self._run(relation.plan, ledger)
+                columns, rows = list(inner.columns), inner.rows
+            else:
+                raise ExecutionError(f"unknown relation {relation!r}")
+            schema = TableSchema(
+                name=relation.alias,
+                columns=tuple(ColumnDef(c, "any") for c in columns),
+            )
+            table = client_db.create_table(schema)
+            table.rows = rows  # Trusted side: skip re-validation for speed.
+
+        if plan.residual is None:
+            only = next(iter(client_db.tables.values()))
+            return ResultSet(list(only.schema.column_names), list(only.rows))
+        executor = Executor(client_db)
+        with ledger.timing_client():
+            return executor.execute(plan.residual, params=residual_params)
+
+    # -- remote materialization ------------------------------------------------------
+
+    def _materialize_remote(
+        self,
+        relation: RemoteRelation,
+        server_params: dict[str, object],
+        ledger: CostLedger,
+    ) -> tuple[list[str], list[tuple]]:
+        with ledger.timing_server():
+            result = self.server.execute(relation.query, params=server_params)
+        bytes_scanned = self.server.last_stats.bytes_scanned
+        ledger.server_bytes_scanned += bytes_scanned
+        ledger.server_seconds += self.disk.read_seconds(bytes_scanned)
+        ledger.add_transfer(result.byte_size(), self.network)
+
+        with ledger.timing_client():
+            columns, rows = self._decrypt_rows(relation, result)
+            if relation.unnest:
+                rows = _unnest_rows(columns, rows, relation.specs)
+        return columns, rows
+
+    def _decrypt_rows(
+        self, relation: RemoteRelation, result: ResultSet
+    ) -> tuple[list[str], list[tuple]]:
+        specs = relation.specs
+        if len(specs) != len(result.columns):
+            raise ExecutionError(
+                f"decrypt spec count {len(specs)} != result columns "
+                f"{len(result.columns)}"
+            )
+        columns: list[str] = []
+        for spec in specs:
+            columns.extend(spec.output_names)
+        rows: list[tuple] = []
+        for row in result.rows:
+            out: list[object] = []
+            for spec, value in zip(specs, row):
+                out.extend(self._decrypt_value(spec, value))
+            rows.append(tuple(out))
+        return columns, rows
+
+    def _decrypt_value(self, spec: DecryptSpec, value: object) -> list[object]:
+        if spec.kind == "plain":
+            return [value]
+        if spec.kind in ("det", "ope", "rnd"):
+            return [self.provider.decrypt(value, spec.kind, spec.sql_type)]
+        if spec.kind == "grp":
+            if value is None:
+                return [[]]
+            return [
+                [
+                    self.provider.decrypt(element, spec.elem_kind, spec.sql_type)
+                    for element in value
+                ]
+            ]
+        if spec.kind == "hom":
+            return self._decrypt_hom(spec, value)
+        raise ExecutionError(f"unknown decrypt spec kind {spec.kind!r}")
+
+    def _decrypt_hom(self, spec: DecryptSpec, value: object) -> list[object]:
+        width = len(spec.hom_output_names)
+        if value is None:
+            return [None] * width
+        if not isinstance(value, HomAggResult):
+            raise ExecutionError("hom spec over a non-homomorphic value")
+        layout = value.layout
+        totals = [0] * width
+        saw_any = False
+        private = self.provider.paillier_private
+        if value.product is not None:
+            sums = layout.decode_column_sums(private.decrypt(value.product))
+            totals = [t + s for t, s in zip(totals, sums)]
+            saw_any = True
+        for ciphertext, offsets in value.partials:
+            plaintext = layout.decode_rows(
+                private.decrypt(ciphertext), layout.rows_per_ciphertext
+            )
+            for offset in offsets:
+                if offset >= len(plaintext):
+                    raise ExecutionError("hom partial offset out of range")
+                for c in range(width):
+                    totals[c] += plaintext[offset][c]
+            saw_any = True
+        if not saw_any:
+            return [None] * width
+        return list(totals)
+
+
+def _unnest_rows(
+    columns: list[str], rows: list[tuple], specs: list[DecryptSpec]
+) -> list[tuple]:
+    """Explode grp() list columns back into one row per group element,
+    replicating per-group scalars (hom sums, keys, counts)."""
+    list_positions: list[int] = []
+    position = 0
+    for spec in specs:
+        for _ in spec.output_names:
+            if spec.kind == "grp":
+                list_positions.append(position)
+            position += 1
+    if not list_positions:
+        return rows
+    out: list[tuple] = []
+    for row in rows:
+        lengths = {len(row[i]) for i in list_positions}
+        if len(lengths) != 1:
+            raise ExecutionError("misaligned grp() lists in one group")
+        (length,) = lengths
+        for index in range(length):
+            out.append(
+                tuple(
+                    row[i][index] if i in set(list_positions) else row[i]
+                    for i in range(len(row))
+                )
+            )
+    return out

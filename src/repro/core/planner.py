@@ -1,0 +1,104 @@
+"""The MONOMI planner: choose the best split execution plan for one query.
+
+Given a physical design (§6.2 step 2-3): compute the query's EncSet units,
+enumerate the power set of the units available in the design (with §6.3
+pruning), run Algorithm 1 for each subset, price each plan with the cost
+model (§6.4), and keep the cheapest.
+
+With ``optimizing_planner`` off this degrades to the Execution-Greedy
+strategy the paper compares against (§8.3): use every available scheme,
+push everything pushable to the server.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import PlanningError, UnsupportedQueryError
+from repro.core.candidates import (
+    base_design_for_loaded,
+    build_candidate,
+    conflicting_hom_variants,
+    unit_subsets,
+    usable_units,
+)
+from repro.core.cost import CostBreakdown, MonomiCostModel
+from repro.core.design import PhysicalDesign, TechniqueFlags
+from repro.core.encset import EncSetExtractor, Unit
+from repro.core.plan import SplitPlan
+from repro.core.splitter import StatsMax, generate_query_plan
+from repro.engine.schema import TableSchema
+from repro.sql import ast
+
+
+@dataclass
+class PlannedQuery:
+    plan: SplitPlan
+    cost: CostBreakdown
+    chosen_units: tuple[Unit, ...]
+    candidates_tried: int
+
+
+class Planner:
+    def __init__(
+        self,
+        design: PhysicalDesign,
+        schemas: dict[str, TableSchema],
+        provider,
+        cost_model: MonomiCostModel,
+        flags: TechniqueFlags = TechniqueFlags(),
+        stats_max: StatsMax | None = None,
+        plain_db=None,
+    ) -> None:
+        self.design = design
+        self.schemas = schemas
+        self.provider = provider
+        self.cost_model = cost_model
+        self.flags = flags
+        self.stats_max = stats_max
+        self.plain_db = plain_db
+        self.extractor = EncSetExtractor(schemas, flags)
+        self._base = base_design_for_loaded(design)
+
+    def plan(self, query: ast.Select) -> PlannedQuery:
+        """Pick the best plan for a normalized query."""
+        units = usable_units(self.extractor.extract(query), self.design)
+        if not self.flags.optimizing_planner:
+            plan = self._plan_with(query, tuple(units))
+            if plan is None:
+                plan = self._plan_with(query, ())
+            if plan is None:
+                raise PlanningError("query has no feasible plan under this design")
+            return PlannedQuery(plan, self.cost_model.plan_cost(plan), tuple(units), 1)
+
+        best: PlannedQuery | None = None
+        tried = 0
+        for subset in unit_subsets(units):
+            if conflicting_hom_variants(subset):
+                continue
+            plan = self._plan_with(query, subset)
+            if plan is None:
+                continue
+            tried += 1
+            cost = self.cost_model.plan_cost(plan)
+            if best is None or cost.total_seconds < best.cost.total_seconds:
+                best = PlannedQuery(plan, cost, subset, tried)
+        if best is None:
+            raise PlanningError("query has no feasible plan under this design")
+        best.candidates_tried = tried
+        return best
+
+    def _plan_with(self, query: ast.Select, subset: tuple[Unit, ...]) -> SplitPlan | None:
+        candidate = build_candidate(self._base, subset, self.flags, loaded=self.design)
+        try:
+            return generate_query_plan(
+                query,
+                candidate,
+                self.schemas,
+                self.provider,
+                self.flags,
+                self.stats_max,
+                plain_db=self.plain_db,
+            )
+        except (PlanningError, UnsupportedQueryError):
+            return None

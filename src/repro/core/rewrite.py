@@ -1,0 +1,415 @@
+"""REWRITESERVER: rewrite plaintext expressions to run over ciphertexts.
+
+This is the paper's ``REWRITESERVER(expr, E, enctype)`` (§4): given the set
+of encrypted columns ``E`` (our :class:`~repro.core.design.PhysicalDesign`),
+produce an expression the untrusted server can evaluate, or ``None`` when
+the design does not support it.  Targets:
+
+* ``det``      — the server value is the deterministic encryption of the
+  plaintext value (supports ``=``, ``IN``, GROUP BY, joins);
+* ``ope``      — the order-preserving encryption (supports ``<``, MIN/MAX);
+* ``plainval`` — a value the server computes *in the clear* without seeing
+  row plaintext: row counts and arithmetic over them;
+* ``any``      — any client-decryptable representation (used for
+  projections, Algorithm 1 lines 32–37);
+* ``plain``    — a boolean predicate whose truth value the server computes
+  (Algorithm 1's ``enctype=PLAIN``), built from the above.
+
+Whole subqueries rewrite recursively (:meth:`ServerRewriter.rewrite_select`),
+which is how TPC-H Q2's correlated MIN subquery or Q21's EXISTS chains run
+entirely on the server.  Correlated column references resolve through the
+same design lookups — the engine's executor handles correlation natively
+over encrypted values.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import CryptoError, DomainError, PlanningError
+from repro.core.design import PhysicalDesign, normalize_expr
+from repro.core.encdata import CryptoProvider
+from repro.core.schemes import Scheme
+from repro.engine.schema import TableSchema
+from repro.sql import ast
+
+_VALUE_SCHEMES = {"det": Scheme.DET, "ope": Scheme.OPE, "rnd": Scheme.RND}
+
+
+class BindingContext:
+    """Maps query bindings (aliases) to real tables and schemas; chains to an
+    outer context for correlated subqueries."""
+
+    def __init__(
+        self,
+        tables: dict[str, str],
+        schemas: dict[str, TableSchema],
+        parent: "BindingContext | None" = None,
+        registry: dict[str, TableSchema] | None = None,
+    ) -> None:
+        self.tables = tables  # binding -> real table name
+        self.schemas = schemas  # binding -> plaintext schema
+        self.parent = parent
+        # Global table-name -> schema map: lets server-side subqueries
+        # reference tables that are not in the outer FROM (TPC-H Q4, Q22).
+        self.registry = registry if registry is not None else (
+            parent.registry if parent is not None else None
+        )
+
+    def resolve_column(self, column: ast.Column) -> tuple[str, str] | None:
+        """(binding, real_table) for a column reference, or None."""
+        if column.table is not None:
+            if column.table in self.tables:
+                schema = self.schemas[column.table]
+                if schema.has_column(column.name):
+                    return column.table, self.tables[column.table]
+            if self.parent is not None:
+                return self.parent.resolve_column(column)
+            return None
+        matches = [
+            (binding, self.tables[binding])
+            for binding, schema in self.schemas.items()
+            if schema.has_column(column.name)
+        ]
+        if len(matches) == 1:
+            return matches[0]
+        if not matches and self.parent is not None:
+            return self.parent.resolve_column(column)
+        if len(matches) > 1:
+            raise PlanningError(f"ambiguous column {column.name!r}")
+        return None
+
+    def child(self, tables: dict[str, str], schemas: dict[str, TableSchema]) -> "BindingContext":
+        return BindingContext(tables, schemas, parent=self, registry=self.registry)
+
+    def all_schemas(self) -> dict[str, TableSchema]:
+        out = dict(self.schemas)
+        ctx = self.parent
+        while ctx is not None:
+            for k, v in ctx.schemas.items():
+                out.setdefault(k, v)
+            ctx = ctx.parent
+        return out
+
+
+def strip_qualifiers(expr: ast.Expr) -> ast.Expr:
+    """Remove table qualifiers (design entries are table-relative)."""
+    return ast.transform(
+        expr,
+        lambda e: ast.Column(e.name) if isinstance(e, ast.Column) else e,
+    )
+
+
+class ServerRewriter:
+    def __init__(
+        self,
+        design: PhysicalDesign,
+        provider: CryptoProvider,
+        bindings: BindingContext,
+    ) -> None:
+        self.design = design
+        self.provider = provider
+        self.bindings = bindings
+
+    # -- entry points -------------------------------------------------------------
+
+    def rewrite(self, expr: ast.Expr, target: str) -> ast.Expr | None:
+        """REWRITESERVER.  ``target`` in {plain, det, ope, plainval, any}."""
+        if target == "plain":
+            return self.rewrite_predicate(expr)
+        if target in ("det", "ope"):
+            return self.rewrite_value(expr, target)
+        if target == "plainval":
+            return self.rewrite_plainval(expr)
+        if target == "any":
+            return self.rewrite_any(expr)
+        raise PlanningError(f"unknown rewrite target {target!r}")
+
+    def rewrite_any(self, expr: ast.Expr) -> tuple[ast.Expr, str] | None:
+        """Best decryptable representation; returns (expr', kind)."""
+        for kind in ("det", "rnd", "ope"):
+            rewritten = self.rewrite_value(expr, kind)
+            if rewritten is not None:
+                return rewritten, kind
+        plain = self.rewrite_plainval(expr)
+        if plain is not None:
+            return plain, "plain"
+        return None
+
+    # -- value rewrites -------------------------------------------------------------
+
+    def rewrite_value(self, expr: ast.Expr, kind: str) -> ast.Expr | None:
+        scheme = _VALUE_SCHEMES[kind]
+        if isinstance(expr, ast.Literal):
+            if kind == "rnd":
+                return None  # Literals never need RND on the server.
+            return self._encrypt_literal(expr.value, kind)
+        if isinstance(expr, ast.Column):
+            return self._column_ref(expr, scheme)
+        if isinstance(expr, ast.FuncCall) and expr.name in ("min", "max"):
+            if kind != "ope" or len(expr.args) != 1:
+                return None
+            arg = self.rewrite_value(expr.args[0], "ope")
+            if arg is None:
+                return None
+            return ast.FuncCall(expr.name, (arg,))
+        if isinstance(expr, ast.ScalarSubquery):
+            rewritten = self.rewrite_select(expr.query, item_target=kind)
+            if rewritten is None:
+                return None
+            return ast.ScalarSubquery(rewritten)
+        # Whole-expression (precomputed) lookup, §5.1.
+        if kind in ("det", "ope"):
+            ref = self._precomputed_ref(expr, scheme)
+            if ref is not None:
+                return ref
+        return None
+
+    def rewrite_plainval(self, expr: ast.Expr) -> ast.Expr | None:
+        if isinstance(expr, ast.Literal):
+            if isinstance(expr.value, (int, float)) and not isinstance(expr.value, bool):
+                return expr
+            return None
+        if isinstance(expr, ast.FuncCall) and expr.name == "count":
+            if expr.star:
+                return expr
+            if len(expr.args) == 1:
+                arg = self.rewrite_any(expr.args[0])
+                if arg is None:
+                    return None
+                return ast.FuncCall("count", (arg[0],), distinct=expr.distinct)
+            return None
+        if isinstance(expr, ast.BinOp) and expr.op in ("+", "-", "*", "/"):
+            left = self.rewrite_plainval(expr.left)
+            right = self.rewrite_plainval(expr.right)
+            if left is None or right is None:
+                return None
+            return ast.BinOp(expr.op, left, right)
+        if isinstance(expr, ast.ScalarSubquery):
+            rewritten = self.rewrite_select(expr.query, item_target="plainval")
+            if rewritten is None:
+                return None
+            return ast.ScalarSubquery(rewritten)
+        return None
+
+    # -- predicate rewrites ------------------------------------------------------------
+
+    def rewrite_predicate(self, expr: ast.Expr) -> ast.Expr | None:
+        if isinstance(expr, ast.Literal) and isinstance(expr.value, bool):
+            return expr
+        if isinstance(expr, ast.BinOp):
+            if expr.op in ("and", "or"):
+                left = self.rewrite_predicate(expr.left)
+                right = self.rewrite_predicate(expr.right)
+                if left is None or right is None:
+                    return None
+                return ast.BinOp(expr.op, left, right)
+            if expr.op in ("=", "<>"):
+                return self._rewrite_comparison(expr, ("det", "ope", "plainval"))
+            if expr.op in ("<", "<=", ">", ">="):
+                return self._rewrite_comparison(expr, ("ope", "plainval"))
+            return None
+        if isinstance(expr, ast.UnaryOp) and expr.op == "not":
+            inner = self.rewrite_predicate(expr.operand)
+            if inner is None:
+                return None
+            return ast.UnaryOp("not", inner)
+        if isinstance(expr, ast.Between):
+            for kind in ("ope", "plainval"):
+                needle = self.rewrite_value(expr.needle, kind) if kind != "plainval" else self.rewrite_plainval(expr.needle)
+                low = self.rewrite_value(expr.low, kind) if kind != "plainval" else self.rewrite_plainval(expr.low)
+                high = self.rewrite_value(expr.high, kind) if kind != "plainval" else self.rewrite_plainval(expr.high)
+                if needle is not None and low is not None and high is not None:
+                    return ast.Between(needle, low, high, expr.negated)
+            return None
+        if isinstance(expr, ast.InList):
+            for kind in ("det", "ope"):
+                needle = self.rewrite_value(expr.needle, kind)
+                if needle is None:
+                    continue
+                items = [self.rewrite_value(i, kind) for i in expr.items]
+                if all(i is not None for i in items):
+                    return ast.InList(needle, tuple(items), expr.negated)
+            return None
+        if isinstance(expr, ast.Like):
+            return self._rewrite_like(expr)
+        if isinstance(expr, ast.IsNull):
+            operand = self.rewrite_any(expr.operand)
+            if operand is None:
+                return None
+            return ast.IsNull(operand[0], expr.negated)
+        if isinstance(expr, ast.Exists):
+            rewritten = self.rewrite_select(expr.query, item_target="exists")
+            if rewritten is None:
+                return None
+            return ast.Exists(rewritten, expr.negated)
+        if isinstance(expr, ast.InSubquery):
+            needle = self.rewrite_value(expr.needle, "det")
+            if needle is None:
+                return None
+            rewritten = self.rewrite_select(expr.query, item_target="det")
+            if rewritten is None:
+                return None
+            return ast.InSubquery(needle, rewritten, expr.negated)
+        return None
+
+    def _rewrite_comparison(self, expr: ast.BinOp, kinds: tuple[str, ...]) -> ast.Expr | None:
+        for kind in kinds:
+            if kind == "plainval":
+                left = self.rewrite_plainval(expr.left)
+                right = self.rewrite_plainval(expr.right)
+            else:
+                left = self.rewrite_value(expr.left, kind)
+                right = self.rewrite_value(expr.right, kind)
+            if left is not None and right is not None:
+                return ast.BinOp(expr.op, left, right)
+        return None
+
+    def _rewrite_like(self, expr: ast.Like) -> ast.Expr | None:
+        if not isinstance(expr.needle, ast.Column):
+            return None
+        if not isinstance(expr.pattern, ast.Literal) or not isinstance(
+            expr.pattern.value, str
+        ):
+            return None
+        resolved = self.bindings.resolve_column(expr.needle)
+        if resolved is None:
+            return None
+        binding, table = resolved
+        if not self.design.has(table, ast.Column(expr.needle.name), Scheme.SEARCH):
+            return None
+        try:
+            trapdoor = self.provider.search_trapdoor(expr.pattern.value)
+        except CryptoError:
+            return None  # Multi-pattern LIKE: not supported (paper §7).
+        from repro.core.design import enc_column_name
+
+        column = ast.Column(
+            enc_column_name(normalize_expr(ast.Column(expr.needle.name)), Scheme.SEARCH),
+            table=binding if expr.needle.table else None,
+        )
+        return ast.Like(column, ast.Literal(trapdoor), expr.negated)
+
+    # -- whole-subquery rewrites -----------------------------------------------------
+
+    def rewrite_select(self, query: ast.Select, item_target: str) -> ast.Select | None:
+        """Rewrite an entire subquery to run on the server.
+
+        ``item_target`` controls the select list: ``exists`` (items don't
+        matter), ``det`` / ``ope`` (IN / scalar comparisons), or
+        ``plainval``.
+        """
+        sub_tables: dict[str, str] = {}
+        sub_schemas: dict[str, TableSchema] = {}
+        for ref in query.from_items:
+            if isinstance(ref, ast.TableName):
+                real = ref.name
+                schema = self._schema_for_table(real)
+                if schema is None:
+                    return None
+                sub_tables[ref.binding] = real
+                sub_schemas[ref.binding] = schema
+            else:
+                return None  # Joins/subqueries in server subqueries: bail out.
+        child = ServerRewriter(
+            self.design, self.provider, self.bindings.child(sub_tables, sub_schemas)
+        )
+        where = None
+        if query.where is not None:
+            where = child.rewrite_predicate(query.where)
+            if where is None:
+                return None
+        group_by: list[ast.Expr] = []
+        for key in query.group_by:
+            rewritten = child.rewrite_value(key, "det")
+            if rewritten is None:
+                return None
+            group_by.append(rewritten)
+        having = None
+        if query.having is not None:
+            having = child.rewrite_predicate(query.having)
+            if having is None:
+                return None
+        if item_target == "exists":
+            items = (ast.SelectItem(ast.Literal(1)),)
+        else:
+            if len(query.items) != 1:
+                return None
+            if item_target == "plainval":
+                item = child.rewrite_plainval(query.items[0].expr)
+            else:
+                item = child.rewrite_value(query.items[0].expr, item_target)
+            if item is None:
+                return None
+            items = (ast.SelectItem(item),)
+        if query.order_by and query.limit is not None:
+            return None  # ORDER BY + LIMIT subqueries need exact order; bail.
+        return ast.Select(
+            items=items,
+            from_items=query.from_items,
+            where=where,
+            group_by=tuple(group_by),
+            having=having,
+            order_by=(),
+            limit=query.limit,
+            distinct=query.distinct,
+        )
+
+    # -- helpers -------------------------------------------------------------------
+
+    def _schema_for_table(self, table: str) -> TableSchema | None:
+        for binding, name in self.bindings.tables.items():
+            if name == table:
+                return self.bindings.schemas[binding]
+        ctx = self.bindings.parent
+        while ctx is not None:
+            for binding, name in ctx.tables.items():
+                if name == table:
+                    return ctx.schemas[binding]
+            ctx = ctx.parent
+        registry = self.bindings.registry
+        if registry is not None and table in registry:
+            return registry[table]
+        return None
+
+    def _encrypt_literal(self, value: object, kind: str) -> ast.Expr | None:
+        if isinstance(value, ast.Interval):
+            return None
+        try:
+            encrypted = self.provider.encrypt(value, kind)
+        except (DomainError, CryptoError):
+            return None
+        return ast.Literal(encrypted)
+
+    def _column_ref(self, column: ast.Column, scheme: Scheme) -> ast.Expr | None:
+        resolved = self.bindings.resolve_column(column)
+        if resolved is None:
+            return None
+        binding, table = resolved
+        if not self.design.has(table, ast.Column(column.name), scheme):
+            return None
+        from repro.core.design import enc_column_name
+
+        name = enc_column_name(normalize_expr(ast.Column(column.name)), scheme)
+        qualifier = binding if column.table is not None else None
+        return ast.Column(name, table=qualifier)
+
+    def _precomputed_ref(self, expr: ast.Expr, scheme: Scheme) -> ast.Expr | None:
+        columns = ast.find_columns(expr)
+        if not columns:
+            return None
+        resolutions = set()
+        for column in columns:
+            resolved = self.bindings.resolve_column(column)
+            if resolved is None:
+                return None
+            resolutions.add(resolved)
+        if len(resolutions) != 1:
+            return None  # Precomputation is per-row within one table (§5.1).
+        binding, table = next(iter(resolutions))
+        text = normalize_expr(strip_qualifiers(expr))
+        if not self.design.has(table, text, scheme):
+            return None
+        from repro.core.design import enc_column_name
+
+        had_qualifier = any(c.table is not None for c in columns)
+        qualifier = binding if had_qualifier else None
+        return ast.Column(enc_column_name(text, scheme), table=qualifier)

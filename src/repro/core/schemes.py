@@ -1,0 +1,74 @@
+"""Encryption scheme metadata — the paper's Table 1 as code.
+
+Each scheme records which SQL operations it enables on the untrusted server
+and what its ciphertexts leak at rest.  The designer uses the leakage rank
+to report the security profile (Table 3) and to honor per-column scheme
+ceilings (§9's "minimum security thresholds").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+
+class Scheme(str, Enum):
+    """Encryption schemes available to the designer."""
+
+    RND = "rnd"  # Randomized AES-CTR: no server computation, no leakage.
+    DET = "det"  # Deterministic (CMC/FFX): =, IN, GROUP BY, equi-join.
+    OPE = "ope"  # Order-preserving: <, MAX/MIN, ORDER BY.
+    HOM = "hom"  # Paillier: addition, SUM.
+    SEARCH = "search"  # SWP tags: LIKE (single pattern).
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class SchemeInfo:
+    scheme: Scheme
+    operations: tuple[str, ...]
+    leakage: str
+    leakage_rank: int  # 0 = leaks nothing; higher = leaks more.
+
+
+SCHEME_TABLE: dict[Scheme, SchemeInfo] = {
+    Scheme.RND: SchemeInfo(
+        Scheme.RND,
+        operations=(),
+        leakage="none",
+        leakage_rank=0,
+    ),
+    Scheme.HOM: SchemeInfo(
+        Scheme.HOM,
+        operations=("a + b", "SUM(a)"),
+        leakage="none",
+        leakage_rank=0,
+    ),
+    Scheme.SEARCH: SchemeInfo(
+        Scheme.SEARCH,
+        operations=("a LIKE pattern",),
+        leakage="none at rest; matching rows per query",
+        leakage_rank=1,
+    ),
+    Scheme.DET: SchemeInfo(
+        Scheme.DET,
+        operations=("a = const", "IN", "GROUP BY", "equi-join"),
+        leakage="duplicates",
+        leakage_rank=2,
+    ),
+    Scheme.OPE: SchemeInfo(
+        Scheme.OPE,
+        operations=("a > const", "MAX", "ORDER BY"),
+        leakage="order + partial plaintext",
+        leakage_rank=3,
+    ),
+}
+
+
+def weakest(schemes: set[Scheme]) -> Scheme | None:
+    """The most-leaking scheme in a set (how Table 3 classifies columns)."""
+    if not schemes:
+        return None
+    return max(schemes, key=lambda s: SCHEME_TABLE[s].leakage_rank)

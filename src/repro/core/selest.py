@@ -1,0 +1,148 @@
+"""Plaintext selectivity estimation for pushed predicates.
+
+The server-side optimizer cannot interpolate range predicates over OPE
+ciphertexts (the encrypted literal's position in ciphertext space is not
+linearly related to the plaintext's position).  The trusted client *can*:
+it sees the plaintext predicate and the plaintext statistics.  The splitter
+estimates each pushed conjunct's selectivity here and attaches the product
+to the RemoteSQL node as a hint for the cost model — the same division of
+knowledge the paper's client library has (it owns the statistics used for
+pre-filter thresholds, §5.4/§6.4).
+"""
+
+from __future__ import annotations
+
+import datetime
+
+from repro.core.rewrite import BindingContext
+from repro.engine.catalog import Database
+from repro.sql import ast
+
+_DEFAULT_NDV = 200.0
+
+
+class SelectivityEstimator:
+    def __init__(self, plain_db: Database, bindings: BindingContext) -> None:
+        self.plain_db = plain_db
+        self.bindings = bindings
+
+    def conjunct(self, expr: ast.Expr) -> float:
+        if isinstance(expr, ast.Literal):
+            return 1.0 if expr.value else 0.0
+        if isinstance(expr, ast.BinOp):
+            if expr.op == "and":
+                return self.conjunct(expr.left) * self.conjunct(expr.right)
+            if expr.op == "or":
+                a, b = self.conjunct(expr.left), self.conjunct(expr.right)
+                return min(1.0, a + b - a * b)
+            if expr.op == "=":
+                return self._equality(expr)
+            if expr.op == "<>":
+                return max(0.0, 1.0 - self._equality(expr))
+            if expr.op in ("<", "<=", ">", ">="):
+                return self._range(expr)
+            return 0.5
+        if isinstance(expr, ast.UnaryOp) and expr.op == "not":
+            return max(0.0, 1.0 - self.conjunct(expr.operand))
+        if isinstance(expr, ast.Between):
+            return self._between(expr)
+        if isinstance(expr, ast.InList):
+            stats = self._stats_for(expr.needle)
+            ndv = float(stats.num_distinct) if stats and stats.num_distinct else _DEFAULT_NDV
+            sel = min(1.0, len(expr.items) / ndv)
+            return 1.0 - sel if expr.negated else sel
+        if isinstance(expr, ast.Like):
+            return 0.95 if expr.negated else 0.05
+        if isinstance(expr, ast.IsNull):
+            return 0.98 if expr.negated else 0.02
+        if isinstance(expr, (ast.Exists, ast.InSubquery)):
+            return 0.6
+        return 0.5
+
+    # -- internals ---------------------------------------------------------------
+
+    def _equality(self, expr: ast.BinOp) -> float:
+        left_stats = self._stats_for(expr.left)
+        right_stats = self._stats_for(expr.right)
+        if left_stats is not None and right_stats is not None:
+            ndv = max(
+                left_stats.num_distinct or _DEFAULT_NDV,
+                right_stats.num_distinct or _DEFAULT_NDV,
+            )
+            return 1.0 / float(ndv)
+        stats = left_stats or right_stats
+        if stats is not None and stats.num_distinct:
+            return 1.0 / float(stats.num_distinct)
+        return 1.0 / _DEFAULT_NDV
+
+    def _range(self, expr: ast.BinOp) -> float:
+        column_side, literal = self._column_vs_literal(expr.left, expr.right)
+        op = expr.op
+        if column_side is None:
+            column_side, literal = self._column_vs_literal(expr.right, expr.left)
+            if column_side is None:
+                return 0.33
+            op = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}[op]
+        stats = self._stats_for(column_side)
+        fraction = _position(stats, literal)
+        if fraction is None:
+            return 0.33
+        if op in ("<", "<="):
+            return min(1.0, max(0.0, fraction))
+        return min(1.0, max(0.0, 1.0 - fraction))
+
+    def _between(self, expr: ast.Between) -> float:
+        stats = self._stats_for(expr.needle)
+        low = expr.low.value if isinstance(expr.low, ast.Literal) else None
+        high = expr.high.value if isinstance(expr.high, ast.Literal) else None
+        lo_pos = _position(stats, low)
+        hi_pos = _position(stats, high)
+        if lo_pos is None or hi_pos is None:
+            sel = 0.1
+        else:
+            sel = min(1.0, max(0.0, hi_pos - lo_pos))
+        return 1.0 - sel if expr.negated else sel
+
+    def _column_vs_literal(self, a: ast.Expr, b: ast.Expr):
+        if isinstance(b, ast.Literal) and not isinstance(a, ast.Literal):
+            return a, b.value
+        return None, None
+
+    def _stats_for(self, expr: ast.Expr):
+        columns = ast.find_columns(expr)
+        if len(columns) != 1:
+            return None
+        column = columns[0]
+        resolved = self.bindings.resolve_column(column)
+        if resolved is None:
+            return None
+        _, table = resolved
+        if table not in self.plain_db.tables:
+            return None
+        plain = self.plain_db.table(table)
+        if not plain.schema.has_column(column.name):
+            return None
+        return plain.analyze()[column.name]
+
+
+def _position(stats, value) -> float | None:
+    """Fractional position of ``value`` within [min, max] of the column."""
+    if stats is None or value is None:
+        return None
+    lo, hi = stats.min_value, stats.max_value
+    if lo is None or hi is None:
+        return None
+    lo_n, hi_n, v_n = _numeric(lo), _numeric(hi), _numeric(value)
+    if lo_n is None or hi_n is None or v_n is None or hi_n <= lo_n:
+        return None
+    return (v_n - lo_n) / (hi_n - lo_n)
+
+
+def _numeric(value) -> float | None:
+    if isinstance(value, bool):
+        return float(value)
+    if isinstance(value, (int, float)):
+        return float(value)
+    if isinstance(value, datetime.date):
+        return float(value.toordinal())
+    return None

@@ -1,0 +1,1015 @@
+"""GENERATEQUERYPLAN — Algorithm 1, split client/server execution.
+
+Given a normalized query and a physical design, produce a
+:class:`~repro.core.plan.SplitPlan`: the server query over encrypted
+columns, decryption specs, and the client-side residual query.
+
+Mapping to the paper's pseudo-code:
+
+* lines 1–3   (subqueries in FROM)            → :meth:`_plan_composition`
+* lines 6–13  (WHERE / join clauses)          → :meth:`_split_where`
+* lines 14–18 (GROUP BY onto the server)      → :meth:`_push_group_by`
+* lines 19–31 (HAVING, client GROUP BY)       → :meth:`_split_having` and
+  residual construction
+* lines 32–37 (projections, EXPRS helper)     → :meth:`_plan_outputs` /
+  :meth:`_components`
+* line 38–44  (plan assembly)                 → :meth:`_build_residual`
+
+Beyond the pseudo-code, this implements the paper's §5 techniques the
+planner relies on: homomorphic aggregation via ``hom_agg`` when a packed
+group covers the SUM's expression, the ``grp()`` fallback that ships group
+values for client-side aggregation (Figure 3), conservative pre-filtering
+(§5.4), multi-round-trip subquery materialization (IN-subqueries whose
+HAVING cannot run on the server — TPC-H Q18), and ORDER BY + LIMIT pushdown
+when the whole query runs on the server.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable
+
+from repro.common.errors import PlanningError, UnsupportedQueryError
+from repro.core.design import PhysicalDesign, enc_column_name, normalize_expr
+from repro.core.design import TechniqueFlags
+from repro.core.encdata import CryptoProvider
+from repro.core.loader import ROW_ID_COLUMN
+from repro.core.plan import (
+    ClientRelation,
+    DecryptSpec,
+    RemoteRelation,
+    SplitPlan,
+    SubPlan,
+)
+from repro.core.rewrite import BindingContext, ServerRewriter, strip_qualifiers
+from repro.core.schemes import Scheme
+from repro.core.typing import infer_type
+from repro.engine.schema import TableSchema
+from repro.sql import ast, to_sql
+
+StatsMax = Callable[[str, str], int | None]
+
+
+def generate_query_plan(
+    query: ast.Select,
+    design: PhysicalDesign,
+    schemas: dict[str, TableSchema],
+    provider: CryptoProvider,
+    flags: TechniqueFlags = TechniqueFlags(),
+    stats_max: StatsMax | None = None,
+    plain_db=None,
+) -> SplitPlan:
+    """Plan one (already normalized) query.  ``schemas`` maps plaintext table
+    names to their schemas; ``stats_max`` supplies column maxima for §5.4
+    pre-filtering; ``plain_db`` (optional) provides plaintext statistics for
+    selectivity hints on RemoteSQL nodes."""
+    splitter = _Splitter(design, schemas, provider, flags, stats_max, plain_db)
+    return splitter.plan(query)
+
+
+class _Splitter:
+    def __init__(
+        self,
+        design: PhysicalDesign,
+        schemas: dict[str, TableSchema],
+        provider: CryptoProvider,
+        flags: TechniqueFlags,
+        stats_max: StatsMax | None,
+        plain_db=None,
+    ) -> None:
+        self.design = design
+        self.schemas = schemas
+        self.provider = provider
+        self.flags = flags
+        self.stats_max = stats_max or (lambda table, expr: None)
+        self.plain_db = plain_db
+        self._alias_counter = 0
+
+    # ------------------------------------------------------------------ entry
+
+    def plan(self, query: ast.Select) -> SplitPlan:
+        if self._has_from_subquery(query):
+            return self._plan_composition(query)
+        return self._plan_standard(query)
+
+    def _fresh_alias(self) -> str:
+        self._alias_counter += 1
+        return f"v{self._alias_counter}"
+
+    # ------------------------------------------------- composition (lines 1-3)
+
+    @staticmethod
+    def _has_from_subquery(query: ast.Select) -> bool:
+        def contains(ref: ast.TableRef) -> bool:
+            if isinstance(ref, ast.SubqueryRef):
+                return True
+            if isinstance(ref, ast.Join):
+                return contains(ref.left) or contains(ref.right)
+            return False
+
+        return any(contains(ref) for ref in query.from_items)
+
+    def _plan_composition(self, query: ast.Select) -> SplitPlan:
+        """FROM contains subqueries: plan each input, finish on the client.
+
+        Single-table conjuncts (including fully server-rewritable subquery
+        predicates) push into the corresponding table fetch; subqueries the
+        residual would otherwise re-evaluate become separate subplans whose
+        results bind as residual parameters.
+        """
+        relations: list = []
+        subplans: list[SubPlan] = []
+        new_from: list[ast.TableRef] = []
+        conjuncts = ast.conjuncts(query.where)
+        consumed: set[int] = set()
+        table_refs = [r for r in query.from_items if isinstance(r, ast.TableName)]
+        merged = None
+        if len(table_refs) >= 2:
+            merged = self._merged_table_relation(table_refs, query, conjuncts)
+        if merged is not None:
+            relations.append(merged)
+            new_from.append(ast.TableName(merged.alias))
+        for ref in query.from_items:
+            if isinstance(ref, ast.SubqueryRef):
+                inner = self.plan(ref.query)
+                column_names = tuple(
+                    item.output_name(i) for i, item in enumerate(ref.query.items)
+                )
+                relations.append(ClientRelation(ref.alias, inner, column_names))
+                new_from.append(ast.TableName(ref.alias))
+            elif isinstance(ref, ast.TableName):
+                if merged is not None:
+                    continue  # Covered by the merged server-side join.
+                relation = self._fetch_table_relation(ref, query, conjuncts, consumed)
+                relations.append(relation)
+                new_from.append(ast.TableName(relation.alias))
+            else:
+                raise UnsupportedQueryError(
+                    "explicit JOIN mixed with FROM-subqueries is not supported"
+                )
+        remaining = [c for i, c in enumerate(conjuncts) if i not in consumed]
+        state = _CompositionState(subplans)
+        where = ast.conjoin(
+            [self._replace_residual_subqueries(c, state) for c in remaining]
+        )
+        having = (
+            self._replace_residual_subqueries(query.having, state)
+            if query.having is not None
+            else None
+        )
+        residual = replace(
+            query, from_items=tuple(new_from), where=where, having=having
+        )
+        return SplitPlan(relations=relations, residual=residual, subplans=subplans)
+
+    def _replace_residual_subqueries(self, expr: ast.Expr, state) -> ast.Expr:
+        """Subqueries surviving into a composition residual must run as
+        separate plans — the client database only holds the materialized
+        relations, not the base tables."""
+
+        def rewrite_node(node: ast.Expr) -> ast.Expr:
+            if isinstance(node, ast.ScalarSubquery):
+                param = f"sub{len(state.subplans)}"
+                state.subplans.append(SubPlan(self.plan(node.query), "scalar_residual", param))
+                return ast.Param(param)
+            if isinstance(node, ast.InSubquery):
+                param = f"sub{len(state.subplans)}"
+                state.subplans.append(SubPlan(self.plan(node.query), "set_residual", param))
+                test = ast.FuncCall("in_set", (node.needle, ast.Param(param)))
+                return ast.UnaryOp("not", test) if node.negated else test
+            if isinstance(node, ast.Exists):
+                raise UnsupportedQueryError(
+                    "correlated EXISTS in a FROM-subquery composition"
+                )
+            return node
+
+        return ast.transform(expr, rewrite_node)
+
+    def _merged_table_relation(
+        self,
+        table_refs: list[ast.TableName],
+        query: ast.Select,
+        conjuncts: list[ast.Expr],
+    ) -> RemoteRelation | None:
+        """Join the plain tables of a composition query on the *server*.
+
+        Without this, a query like TPC-H Q17 (lineitem ⋈ part ⋈
+        FROM-subquery) downloads the entire fact table.  When the
+        plain-table join predicates and filters all rewrite, ship one
+        filtered join instead; the client only joins the subquery results.
+
+        Requirements (else fall back to per-table fetches): no qualified or
+        colliding column references into the merged tables, and every
+        conjunct touching 2+ merged tables must be server-rewritable.
+        """
+        tables: dict[str, str] = {}
+        schemas: dict[str, TableSchema] = {}
+        for ref in table_refs:
+            if ref.binding != ref.name:
+                return None  # Aliased tables: keep per-table fetches.
+            schema = self.schemas.get(ref.name)
+            if schema is None:
+                return None
+            tables[ref.binding] = ref.name
+            schemas[ref.binding] = schema
+        bindings = BindingContext(tables, schemas, registry=self.schemas)
+        rewriter = ServerRewriter(self.design, self.provider, bindings)
+
+        # Referenced columns across all merged tables must be unambiguous.
+        referenced: dict[str, str] = {}  # column -> table
+        for ref in table_refs:
+            schema = schemas[ref.binding]
+            for name in self._referenced_columns(query, schema):
+                if name in referenced and referenced[name] != ref.name:
+                    return None
+                referenced[name] = ref.name
+
+        items: list[ast.SelectItem] = []
+        specs: list[DecryptSpec] = []
+        for name in sorted(referenced):
+            rewritten = rewriter.rewrite_any(ast.Column(name))
+            if rewritten is None:
+                return None
+            expr, kind = rewritten
+            items.append(ast.SelectItem(expr))
+            schema = self.schemas[referenced[name]]
+            specs.append(DecryptSpec(kind, name, schema.column(name).type))
+
+        server_where: list[ast.Expr] = []
+        pushed_plain: list[ast.Expr] = []
+        for conjunct in conjuncts:
+            touched = set()
+            resolvable = True
+            for column in ast.find_columns(conjunct):
+                resolved = bindings.resolve_column(column) if column.name != "*" else None
+                if resolved is None:
+                    resolvable = False
+                else:
+                    touched.add(resolved[1])
+            if not touched:
+                continue
+            rewritten = rewriter.rewrite_predicate(conjunct) if resolvable else None
+            if rewritten is not None:
+                server_where.append(rewritten)
+                pushed_plain.append(conjunct)
+            elif len(touched) >= 2:
+                return None  # A cross-table predicate must push, or we bail.
+        remote = ast.Select(
+            items=tuple(items),
+            from_items=tuple(ast.TableName(t) for t in sorted(tables)),
+            where=ast.conjoin(server_where),
+        )
+        return RemoteRelation(
+            alias="__t",
+            query=remote,
+            specs=specs,
+            plain_selectivity=self._selectivity_hint(pushed_plain, bindings),
+        )
+
+    def _fetch_table_relation(
+        self,
+        ref: ast.TableName,
+        query: ast.Select,
+        conjuncts: list[ast.Expr],
+        consumed: set[int],
+    ) -> RemoteRelation:
+        """Download one table's referenced columns for client-side joining."""
+        table = ref.name
+        schema = self.schemas.get(table)
+        if schema is None:
+            raise PlanningError(f"unknown table {table!r}")
+        bindings = BindingContext(
+            {ref.binding: table}, {ref.binding: schema}, registry=self.schemas
+        )
+        rewriter = ServerRewriter(self.design, self.provider, bindings)
+        referenced = self._referenced_columns(query, schema)
+        items: list[ast.SelectItem] = []
+        specs: list[DecryptSpec] = []
+        for name in referenced:
+            rewritten = rewriter.rewrite_any(ast.Column(name))
+            if rewritten is None:
+                raise PlanningError(f"column {table}.{name} has no fetchable copy")
+            expr, kind = rewritten
+            items.append(ast.SelectItem(expr))
+            specs.append(
+                DecryptSpec(
+                    kind=kind,
+                    output_name=name,
+                    sql_type=schema.column(name).type,
+                )
+            )
+        # Push single-table rewritable WHERE conjuncts (and drop them from
+        # the residual — they are exact filters, not approximations).
+        server_where: list[ast.Expr] = []
+        pushed_plain: list[ast.Expr] = []
+        for i, conjunct in enumerate(conjuncts):
+            if i in consumed:
+                continue
+            columns = ast.find_columns(conjunct)
+            if not columns or not all(schema.has_column(c.name) for c in columns):
+                continue
+            rewritten = rewriter.rewrite_predicate(conjunct)
+            if rewritten is not None:
+                server_where.append(rewritten)
+                pushed_plain.append(conjunct)
+                consumed.add(i)
+        remote = ast.Select(
+            items=tuple(items),
+            from_items=(ast.TableName(table),),
+            where=ast.conjoin(server_where),
+        )
+        return RemoteRelation(
+            alias=ref.binding,
+            query=remote,
+            specs=specs,
+            plain_selectivity=self._selectivity_hint(pushed_plain, bindings),
+        )
+
+    @staticmethod
+    def _referenced_columns(query: ast.Select, schema: TableSchema) -> list[str]:
+        names: set[str] = set()
+
+        def collect(expr: ast.Expr) -> None:
+            for column in ast.find_columns(expr):
+                if column.name != "*" and schema.has_column(column.name):
+                    names.add(column.name)
+            for sub in ast.find_subqueries(expr):
+                for item in sub.items:
+                    collect(item.expr)
+                if sub.where is not None:
+                    collect(sub.where)
+
+        for item in query.items:
+            collect(item.expr)
+        if query.where is not None:
+            collect(query.where)
+        for key in query.group_by:
+            collect(key)
+        if query.having is not None:
+            collect(query.having)
+        for order in query.order_by:
+            collect(order.expr)
+        return sorted(names)
+
+    # ------------------------------------------------------------- standard path
+
+    def _plan_standard(self, query: ast.Select) -> SplitPlan:
+        bindings = self._bindings_for(query)
+        rewriter = ServerRewriter(self.design, self.provider, bindings)
+        query = self._expand_aliases(query)
+
+        state = _PlanState(query=query, bindings=bindings, rewriter=rewriter)
+        self._split_where(state)
+        if self._needs_client_join(state):
+            # A join predicate stayed local: executing the multi-table
+            # remote query would cross-product on the server.  Fetch each
+            # table separately and join on the client instead.
+            return self._plan_composition(query)
+        self._push_group_by(state)
+        self._split_having(state)
+        self._plan_outputs(state)
+        self._push_order_limit(state)
+        return self._assemble(state)
+
+    def _needs_client_join(self, state: "_PlanState") -> bool:
+        if len(state.bindings.tables) < 2:
+            return False
+        for conjunct in state.local_filters:
+            bindings_seen = set()
+            for column in ast.find_columns(conjunct):
+                resolved = state.bindings.resolve_column(column)
+                if resolved is not None:
+                    bindings_seen.add(resolved[0])
+            if len(bindings_seen) >= 2:
+                return True
+        return False
+
+    def _bindings_for(self, query: ast.Select) -> BindingContext:
+        tables: dict[str, str] = {}
+        schemas: dict[str, TableSchema] = {}
+        for ref in _flatten(query.from_items):
+            if not isinstance(ref, ast.TableName):
+                raise UnsupportedQueryError("unsupported FROM item in standard path")
+            schema = self.schemas.get(ref.name)
+            if schema is None:
+                raise PlanningError(f"unknown table {ref.name!r}")
+            tables[ref.binding] = ref.name
+            schemas[ref.binding] = schema
+        return BindingContext(tables, schemas, registry=self.schemas)
+
+    def _expand_aliases(self, query: ast.Select) -> ast.Select:
+        """Expand select-alias references in HAVING and ORDER BY."""
+        aliases = {
+            item.alias: item.expr for item in query.items if item.alias is not None
+        }
+        if not aliases:
+            return query
+
+        def expand(expr: ast.Expr) -> ast.Expr:
+            if isinstance(expr, ast.Column) and expr.table is None and expr.name in aliases:
+                return aliases[expr.name]
+            return expr
+
+        having = (
+            ast.transform(query.having, expand) if query.having is not None else None
+        )
+        order_by = tuple(
+            ast.OrderItem(ast.transform(o.expr, expand), o.ascending)
+            for o in query.order_by
+        )
+        return replace(query, having=having, order_by=order_by)
+
+    # -- WHERE (lines 6-13) ------------------------------------------------------
+
+    def _split_where(self, state: "_PlanState") -> None:
+        join_refs, join_conditions = self._rewrite_join_tree(state)
+        state.remote_from = join_refs
+        for conjunct in join_conditions + ast.conjuncts(state.query.where):
+            rewritten = state.rewriter.rewrite_predicate(conjunct)
+            if rewritten is not None:
+                state.server_where.append(rewritten)
+                state.pushed_plain.append(conjunct)
+                continue
+            materialized = self._materialize_in_subquery(state, conjunct)
+            if materialized is not None:
+                state.server_where.append(materialized)
+                state.pushed_plain.append(conjunct)
+                continue
+            local = self._localize_predicate(state, conjunct)
+            state.local_filters.append(local)
+
+    def _rewrite_join_tree(self, state: "_PlanState") -> tuple[tuple, list[ast.Expr]]:
+        """INNER JOIN ... ON conditions merge into WHERE; LEFT JOIN conditions
+        must fully rewrite (outer joins cannot split)."""
+        conditions: list[ast.Expr] = []
+
+        def walk(ref: ast.TableRef) -> ast.TableRef:
+            if isinstance(ref, ast.Join):
+                left = walk(ref.left)
+                right = walk(ref.right)
+                if ref.kind == "inner":
+                    if ref.condition is not None:
+                        conditions.extend(ast.conjuncts(ref.condition))
+                    return ast.Join(left, right, "inner", None)
+                rewritten = None
+                if ref.condition is not None:
+                    rewritten = state.rewriter.rewrite_predicate(ref.condition)
+                    if rewritten is None:
+                        raise UnsupportedQueryError(
+                            "LEFT JOIN condition cannot run on the server"
+                        )
+                return ast.Join(left, right, ref.kind, rewritten)
+            return ref
+
+        return tuple(walk(ref) for ref in state.query.from_items), conditions
+
+    def _materialize_in_subquery(self, state: "_PlanState", conjunct: ast.Expr):
+        """Multi-round-trip: run an IN-subquery separately, DET-encrypt its
+        result, and feed it back as a server-side set membership test."""
+        if not isinstance(conjunct, ast.InSubquery):
+            return None
+        needle = state.rewriter.rewrite_value(conjunct.needle, "det")
+        if needle is None:
+            return None
+        try:
+            subplan = self.plan(conjunct.query)
+        except (PlanningError, UnsupportedQueryError):
+            return None
+        param = f"sub{len(state.subplans)}"
+        state.subplans.append(SubPlan(subplan, "in_set_server", param))
+        test = ast.FuncCall("in_set", (needle, ast.Param(param)))
+        if conjunct.negated:
+            return ast.UnaryOp("not", test)
+        return test
+
+    def _localize_predicate(self, state: "_PlanState", conjunct: ast.Expr) -> ast.Expr:
+        """Prepare a conjunct for client-side evaluation: fetch its
+        components (EXPRS) and replace subqueries with subplan parameters."""
+
+        def rewrite_node(expr: ast.Expr) -> ast.Expr:
+            if isinstance(expr, ast.ScalarSubquery):
+                return ast.Param(self._add_scalar_subplan(state, expr.query))
+            if isinstance(expr, ast.InSubquery):
+                param = self._add_scalar_subplan(state, expr.query, mode="set")
+                test = ast.FuncCall("in_set", (expr.needle, ast.Param(param)))
+                return ast.UnaryOp("not", test) if expr.negated else test
+            if isinstance(expr, ast.Exists):
+                raise UnsupportedQueryError(
+                    "correlated EXISTS cannot run on the server with this design"
+                )
+            return expr
+
+        local = ast.transform(conjunct, rewrite_node)
+        self._collect_components(state, local)
+        return local
+
+    def _add_scalar_subplan(
+        self, state: "_PlanState", query: ast.Select, mode: str = "scalar"
+    ) -> str:
+        subplan = self.plan(query)  # Raises if correlated/unsupported.
+        param = f"sub{len(state.subplans)}"
+        kind = "scalar_residual" if mode == "scalar" else "set_residual"
+        state.subplans.append(SubPlan(subplan, kind, param))
+        return param
+
+    # -- GROUP BY (lines 14-18) -----------------------------------------------------
+
+    def _push_group_by(self, state: "_PlanState") -> None:
+        if state.local_filters:
+            # A client-side filter must run before any aggregation: grouping
+            # on the server would aggregate rows the filter later discards.
+            state.group_pushed = False
+            return
+        keys = state.query.group_by
+        rewritten: list[ast.Expr] = []
+        for key in keys:
+            key_rewritten = state.rewriter.rewrite_value(key, "det")
+            if key_rewritten is None:
+                state.group_pushed = False
+                return
+            rewritten.append(key_rewritten)
+        state.group_pushed = True
+        state.server_group_by = tuple(rewritten)
+
+    # -- HAVING (lines 19-31) ---------------------------------------------------------
+
+    def _split_having(self, state: "_PlanState") -> None:
+        having = state.query.having
+        if having is None:
+            return
+        if not state.group_pushed:
+            state.local_having = self._localize_having(state, having)
+            return
+        server_parts: list[ast.Expr] = []
+        local_parts: list[ast.Expr] = []
+        for conjunct in ast.conjuncts(having):
+            rewritten = state.rewriter.rewrite_predicate(conjunct)
+            if rewritten is not None:
+                server_parts.append(rewritten)
+                continue
+            local_parts.append(self._localize_having(state, conjunct))
+            prefilter = self._build_prefilter(state, conjunct)
+            if prefilter is not None:
+                server_parts.append(prefilter)
+        state.server_having = ast.conjoin(server_parts)
+        state.local_having = ast.conjoin(local_parts)
+
+    def _localize_having(self, state: "_PlanState", having: ast.Expr) -> ast.Expr:
+        def rewrite_node(expr: ast.Expr) -> ast.Expr:
+            if isinstance(expr, ast.ScalarSubquery):
+                return ast.Param(self._add_scalar_subplan(state, expr.query))
+            if isinstance(expr, ast.InSubquery):
+                param = self._add_scalar_subplan(state, expr.query, mode="set")
+                test = ast.FuncCall("in_set", (expr.needle, ast.Param(param)))
+                return ast.UnaryOp("not", test) if expr.negated else test
+            return expr
+
+        local = ast.transform(having, rewrite_node)
+        if state.group_pushed:
+            for call in ast.find_aggregates(local):
+                self._plan_aggregate(state, call)
+            self._collect_components(state, local, skip_aggregates=True)
+        else:
+            self._collect_components(state, local, inside_aggregates=True)
+        return local
+
+    def _build_prefilter(self, state: "_PlanState", conjunct: ast.Expr):
+        """§5.4: SUM(x) > c  ⇒  MAX(x_ope) > E(m) OR COUNT(*) > c/m."""
+        if not self.flags.prefilter:
+            return None
+        if not (isinstance(conjunct, ast.BinOp) and conjunct.op in (">", ">=")):
+            return None
+        left, right = conjunct.left, conjunct.right
+        if not (
+            isinstance(left, ast.FuncCall)
+            and left.name == "sum"
+            and len(left.args) == 1
+            and isinstance(right, ast.Literal)
+            and isinstance(right.value, (int, float))
+        ):
+            return None
+        arg = left.args[0]
+        max_rewritten = state.rewriter.rewrite_value(
+            ast.FuncCall("max", (arg,)), "ope"
+        )
+        if max_rewritten is None:
+            return None
+        table = self._single_table_of(state, arg)
+        if table is None:
+            return None
+        m = self.stats_max(table, normalize_expr(strip_qualifiers(arg)))
+        if m is None or m <= 0:
+            return None
+        threshold = self.provider.ope_encrypt(m)
+        return ast.BinOp(
+            "or",
+            ast.BinOp(conjunct.op, max_rewritten, ast.Literal(threshold)),
+            ast.BinOp(">", ast.FuncCall("count", star=True), ast.Literal(right.value / m)),
+        )
+
+    def _single_table_of(self, state: "_PlanState", expr: ast.Expr) -> str | None:
+        tables = set()
+        for column in ast.find_columns(expr):
+            resolved = state.bindings.resolve_column(column)
+            if resolved is None:
+                return None
+            tables.add(resolved[1])
+        if len(tables) == 1:
+            return next(iter(tables))
+        return None
+
+    # -- projections (lines 32-37) ---------------------------------------------------
+
+    def _plan_outputs(self, state: "_PlanState") -> None:
+        for item in state.query.items:
+            self._plan_output_expr(state, item.expr)
+        for order in state.query.order_by:
+            self._plan_output_expr(state, order.expr)
+        if not state.group_pushed:
+            for key in state.query.group_by:
+                self._collect_components(state, key)
+
+    def _plan_output_expr(self, state: "_PlanState", expr: ast.Expr) -> None:
+        if state.group_pushed:
+            for call in ast.find_aggregates(expr):
+                self._plan_aggregate(state, call)
+            self._collect_components(state, expr, skip_aggregates=True)
+        else:
+            self._collect_components(state, expr, inside_aggregates=True)
+
+    def _plan_aggregate(self, state: "_PlanState", call: ast.FuncCall) -> None:
+        """Decide how one aggregate is computed when the server groups."""
+        name = to_sql(call)
+        if name in state.agg_plans:
+            return
+        if call.name == "count":
+            rewritten = state.rewriter.rewrite_plainval(call)
+            if rewritten is not None:
+                state.agg_plans[name] = ("plain", rewritten)
+                state.add_fetch(name, rewritten, DecryptSpec("plain", name, "int"))
+                return
+        if call.name in ("min", "max") and len(call.args) == 1:
+            rewritten = state.rewriter.rewrite_value(call, "ope")
+            if rewritten is not None:
+                sql_type = infer_type(call.args[0], state.bindings.all_schemas())
+                state.agg_plans[name] = ("ope", rewritten)
+                state.add_fetch(name, rewritten, DecryptSpec("ope", name, sql_type))
+                return
+        if call.name == "sum" and len(call.args) == 1 and not call.distinct:
+            if self._plan_hom_sum(state, call):
+                return
+        # GROUP() fallback: ship each component's group values (Figure 3).
+        self._plan_grp_fallback(state, call)
+
+    def _plan_hom_sum(self, state: "_PlanState", call: ast.FuncCall) -> bool:
+        arg = call.args[0]
+        table = self._single_table_of(state, arg)
+        if table is None:
+            return False
+        text = normalize_expr(strip_qualifiers(arg))
+        group = self.design.hom_group_for(table, text)
+        if group is None:
+            return False
+        binding = self._binding_for_table(state, arg, table)
+        name = to_sql(call)
+        file_key = (group.file_name, binding)
+        if file_key not in state.hom_fetches:
+            # Always qualify row_id: several joined tables may carry one.
+            remote = ast.FuncCall(
+                "hom_agg",
+                (ast.Literal(group.file_name), ast.Column(ROW_ID_COLUMN, table=binding)),
+            )
+            spec = DecryptSpec(
+                kind="hom",
+                output_name=f"__hom_{group.file_name}",
+                hom_file=group.file_name,
+                hom_output_names=tuple(f"sum({e})" for e in group.expr_sqls),
+                hom_expr_sqls=group.expr_sqls,
+            )
+            state.add_fetch(f"__hom_{group.file_name}", remote, spec)
+            state.hom_fetches[file_key] = spec
+        state.agg_plans[to_sql(call)] = ("hom", None)
+        # The decrypted virtual column is named sum(<normalized arg>).
+        state.agg_virtual_names[name] = f"sum({text})"
+        return True
+
+    def _plan_grp_fallback(self, state: "_PlanState", call: ast.FuncCall) -> None:
+        state.needs_unnest = True
+        name = to_sql(call)
+        state.agg_plans[name] = ("grp", None)
+        if call.star:
+            return  # COUNT(*) over unnested rows needs no extra columns.
+        for arg in call.args:
+            for component in self._components(state, arg):
+                cname = to_sql(component)
+                if state.has_fetch(cname):
+                    spec = state.fetch_specs[cname]
+                    if spec.kind != "grp":
+                        # Upgrade a scalar fetch to a grp fetch.
+                        state.upgrade_to_grp(cname)
+                    continue
+                rewritten = state.rewriter.rewrite_any(component)
+                if rewritten is None:
+                    raise UnsupportedQueryError(
+                        f"no fetchable representation for {cname!r}"
+                    )
+                remote, kind = rewritten
+                sql_type = infer_type(component, state.bindings.all_schemas())
+                grp_expr = ast.FuncCall("grp", (remote,))
+                spec = DecryptSpec("grp", cname, sql_type, elem_kind=kind)
+                state.add_fetch(cname, grp_expr, spec)
+
+    # -- EXPRS helper ------------------------------------------------------------------
+
+    def _collect_components(
+        self,
+        state: "_PlanState",
+        expr: ast.Expr,
+        skip_aggregates: bool = False,
+        inside_aggregates: bool = False,
+    ) -> None:
+        for component in self._components(
+            state, expr, skip_aggregates=skip_aggregates, through_aggregates=inside_aggregates
+        ):
+            cname = to_sql(component)
+            if state.has_fetch(cname):
+                continue
+            rewritten = state.rewriter.rewrite_any(component)
+            if rewritten is None:
+                raise UnsupportedQueryError(
+                    f"no fetchable representation for {cname!r}"
+                )
+            remote, kind = rewritten
+            sql_type = infer_type(component, state.bindings.all_schemas())
+            state.add_fetch(cname, remote, DecryptSpec(kind, cname, sql_type))
+
+    def _components(
+        self,
+        state: "_PlanState",
+        expr: ast.Expr,
+        skip_aggregates: bool = False,
+        through_aggregates: bool = False,
+    ) -> list[ast.Expr]:
+        """EXPRS(expr): minimal server-fetchable pieces that let the client
+        reconstruct ``expr``."""
+        out: list[ast.Expr] = []
+
+        def visit(node: ast.Expr) -> None:
+            if isinstance(node, (ast.Literal, ast.Param, ast.Interval)):
+                return
+            if isinstance(node, (ast.ScalarSubquery, ast.InSubquery, ast.Exists)):
+                raise UnsupportedQueryError(
+                    "nested subquery requires separate planning"
+                )
+            if ast.is_aggregate_call(node):
+                if skip_aggregates:
+                    return
+                if through_aggregates:
+                    for arg in node.args:
+                        visit(arg)
+                    return
+            if not isinstance(node, ast.FuncCall) or not ast.is_aggregate_call(node):
+                rewritten = state.rewriter.rewrite_any(node)
+                if rewritten is not None:
+                    out.append(node)
+                    return
+            if isinstance(node, ast.Column):
+                raise UnsupportedQueryError(
+                    f"column {node.qualified!r} has no server representation"
+                )
+            children = node.children()
+            if not children:
+                raise UnsupportedQueryError(f"cannot fetch components of {node!r}")
+            for child in children:
+                visit(child)
+
+        visit(expr)
+        return out
+
+    def _selectivity_hint(self, pushed_plain, bindings) -> float | None:
+        if self.plain_db is None or not pushed_plain:
+            return None
+        from repro.core.selest import SelectivityEstimator
+
+        estimator = SelectivityEstimator(self.plain_db, bindings)
+        selectivity = 1.0
+        for conjunct in pushed_plain:
+            selectivity *= estimator.conjunct(conjunct)
+        return max(selectivity, 1e-9)
+
+    def _binding_for_table(self, state: "_PlanState", expr: ast.Expr, table: str) -> str:
+        for column in ast.find_columns(expr):
+            resolved = state.bindings.resolve_column(column)
+            if resolved is not None and resolved[1] == table:
+                return resolved[0]
+        return table
+
+    # -- ORDER BY / LIMIT pushdown ------------------------------------------------------
+
+    def _push_order_limit(self, state: "_PlanState") -> None:
+        query = state.query
+        if query.limit is None or not query.order_by:
+            return
+        if state.local_filters or state.local_having is not None:
+            return
+        if not state.group_pushed or state.needs_unnest:
+            return
+        rewritten: list[ast.OrderItem] = []
+        for order in query.order_by:
+            expr = state.rewriter.rewrite_value(order.expr, "ope")
+            if expr is None:
+                expr = state.rewriter.rewrite_plainval(order.expr)
+            if expr is None:
+                return
+            rewritten.append(ast.OrderItem(expr, order.ascending))
+        state.server_order_by = tuple(rewritten)
+        state.server_limit = query.limit
+
+    # -- assembly (lines 38-44) ------------------------------------------------------
+
+    def _assemble(self, state: "_PlanState") -> SplitPlan:
+        remote = ast.Select(
+            items=tuple(
+                ast.SelectItem(expr, alias=f"c{i}")
+                for i, (expr, _) in enumerate(state.fetches)
+            ),
+            from_items=state.remote_from,
+            where=ast.conjoin(state.server_where),
+            group_by=state.server_group_by if state.group_pushed else (),
+            having=state.server_having,
+            order_by=state.server_order_by,
+            limit=state.server_limit,
+        )
+        specs = [spec for _, spec in state.fetches]
+        relation = RemoteRelation(
+            alias="__v",
+            query=remote,
+            specs=specs,
+            unnest=state.needs_unnest,
+            plain_selectivity=self._selectivity_hint(
+                state.pushed_plain, state.bindings
+            ),
+        )
+        residual = self._build_residual(state)
+        return SplitPlan(
+            relations=[relation], residual=residual, subplans=state.subplans
+        )
+
+    def _build_residual(self, state: "_PlanState") -> ast.Select:
+        query = state.query
+        subst = _Substituter(state)
+        items = tuple(
+            ast.SelectItem(subst.output(item.expr), item.alias)
+            for item in query.items
+        )
+        where = None
+        if state.local_filters:
+            where = subst.components_only(ast.conjoin(state.local_filters))
+        group_by: tuple[ast.Expr, ...] = ()
+        having = None
+        if state.group_pushed:
+            if state.needs_unnest:
+                group_by = tuple(subst.components_only(k) for k in query.group_by)
+            if state.local_having is not None:
+                having = subst.output(state.local_having)
+                if not state.needs_unnest and not group_by:
+                    # Per-group rows: HAVING becomes a plain filter.
+                    where = having if where is None else ast.BinOp("and", where, having)
+                    having = None
+        else:
+            group_by = tuple(subst.components_only(k) for k in query.group_by)
+            if state.local_having is not None:
+                having = subst.output(state.local_having)
+        order_by = tuple(
+            ast.OrderItem(subst.output(o.expr), o.ascending) for o in query.order_by
+        )
+        return ast.Select(
+            items=items,
+            from_items=(ast.TableName("__v"),),
+            where=where,
+            group_by=group_by,
+            having=having,
+            order_by=order_by,
+            limit=query.limit,
+            distinct=query.distinct,
+        )
+
+
+class _CompositionState:
+    def __init__(self, subplans: list[SubPlan]) -> None:
+        self.subplans = subplans
+
+
+class _PlanState:
+    def __init__(self, query: ast.Select, bindings: BindingContext, rewriter: ServerRewriter):
+        self.query = query
+        self.bindings = bindings
+        self.rewriter = rewriter
+        self.remote_from: tuple = ()
+        self.server_where: list[ast.Expr] = []
+        self.pushed_plain: list[ast.Expr] = []
+        self.local_filters: list[ast.Expr] = []
+        self.server_group_by: tuple = ()
+        self.group_pushed = True
+        self.server_having: ast.Expr | None = None
+        self.local_having: ast.Expr | None = None
+        self.server_order_by: tuple = ()
+        self.server_limit: int | None = None
+        self.subplans: list[SubPlan] = []
+        self.needs_unnest = False
+        # Fetch list: ordered (remote_expr, spec); names unique.
+        self.fetches: list[tuple[ast.Expr, DecryptSpec]] = []
+        self.fetch_specs: dict[str, DecryptSpec] = {}
+        self.hom_fetches: dict = {}
+        self.agg_plans: dict[str, tuple] = {}
+        self.agg_virtual_names: dict[str, str] = {}
+
+    def has_fetch(self, name: str) -> bool:
+        return name in self.fetch_specs
+
+    def add_fetch(self, name: str, remote: ast.Expr, spec: DecryptSpec) -> None:
+        if name in self.fetch_specs:
+            return
+        self.fetches.append((remote, spec))
+        self.fetch_specs[name] = spec
+
+    def upgrade_to_grp(self, name: str) -> None:
+        """A component fetched as a scalar is also needed per-row inside a
+        group: wrap its remote expression in grp() and its spec in a grp
+        spec."""
+        for i, (remote, spec) in enumerate(self.fetches):
+            if spec.output_name == name and spec.kind not in ("grp", "hom", "plain"):
+                new_spec = DecryptSpec(
+                    "grp", name, spec.sql_type, elem_kind=spec.kind
+                )
+                self.fetches[i] = (ast.FuncCall("grp", (remote,)), new_spec)
+                self.fetch_specs[name] = new_spec
+                return
+
+
+class _Substituter:
+    """Rewrites original plaintext expressions into residual-query
+    expressions over the virtual relation's columns."""
+
+    def __init__(self, state: _PlanState) -> None:
+        self.state = state
+
+    def output(self, expr: ast.Expr) -> ast.Expr:
+        """Substitute an output expression (aggregates handled per mode)."""
+        state = self.state
+        if ast.is_aggregate_call(expr):
+            name = to_sql(expr)
+            plan = state.agg_plans.get(name)
+            if plan is None:
+                if state.group_pushed:
+                    raise PlanningError(f"aggregate {name} was not planned")
+                return self._subst_through_aggregate(expr)
+            kind = plan[0]
+            if kind in ("plain", "ope"):
+                column = ast.Column(name)
+                return self._wrap_if_unnest(column)
+            if kind == "hom":
+                column = ast.Column(state.agg_virtual_names[name])
+                return self._wrap_if_unnest(column)
+            # grp: re-aggregate over unnested rows.
+            if expr.star:
+                return expr
+            new_args = tuple(self.components_only(a) for a in expr.args)
+            return ast.FuncCall(expr.name, new_args, expr.distinct, expr.star)
+        if isinstance(expr, (ast.Literal, ast.Param, ast.Interval)):
+            return expr
+        name = to_sql(expr)
+        if self.state.has_fetch(name):
+            return ast.Column(name)
+        rebuilt = ast._rebuild_children(expr, self.output)
+        return rebuilt
+
+    def components_only(self, expr: ast.Expr) -> ast.Expr:
+        """Substitute leaf components without aggregate handling."""
+        if isinstance(expr, (ast.Literal, ast.Param, ast.Interval)):
+            return expr
+        name = to_sql(expr)
+        if self.state.has_fetch(name):
+            return ast.Column(name)
+        return ast._rebuild_children(expr, self.components_only)
+
+    def _wrap_if_unnest(self, column: ast.Column) -> ast.Expr:
+        if self.state.needs_unnest:
+            # Per-group scalars replicate across unnested rows; MIN collapses
+            # them back to the single value.
+            return ast.FuncCall("min", (column,))
+        return column
+
+    def _subst_through_aggregate(self, expr: ast.FuncCall) -> ast.Expr:
+        new_args = tuple(self.components_only(a) for a in expr.args)
+        return ast.FuncCall(expr.name, new_args, expr.distinct, expr.star)
+
+
+def _flatten(refs) -> list[ast.TableRef]:
+    out: list[ast.TableRef] = []
+    for ref in refs:
+        if isinstance(ref, ast.Join):
+            out.extend(_flatten([ref.left, ref.right]))
+        else:
+            out.append(ref)
+    return out

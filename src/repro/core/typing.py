@@ -1,0 +1,137 @@
+"""SQL type inference for expressions over a plaintext schema.
+
+The rewriter needs result types to pick ciphers (FFX for ints, CMC for
+text, ...) and the loader needs them to build encrypted table schemas.
+"""
+
+from __future__ import annotations
+
+import datetime
+
+from repro.common.errors import PlanningError
+from repro.engine.schema import TableSchema
+from repro.sql import ast
+
+
+def infer_type(expr: ast.Expr, schemas: dict[str, TableSchema]) -> str:
+    """Infer the SQL type of ``expr`` ('int', 'float', 'text', 'date',
+    'bool') given plaintext table schemas keyed by binding name."""
+    if isinstance(expr, ast.Literal):
+        return _literal_type(expr.value)
+    if isinstance(expr, ast.Column):
+        return _column_type(expr, schemas)
+    if isinstance(expr, ast.Param):
+        raise PlanningError("cannot infer type of unbound parameter")
+    if isinstance(expr, ast.BinOp):
+        if expr.op in ("and", "or", "=", "<>", "<", "<=", ">", ">="):
+            return "bool"
+        if expr.op == "||":
+            return "text"
+        left = infer_type(expr.left, schemas)
+        right = infer_type(expr.right, schemas)
+        if expr.op in ("+", "-"):
+            if left == "date" and right in ("interval", "int"):
+                return "date"
+            if left == "date" and right == "date":
+                return "int"
+            if right == "date":
+                return "date"
+        if expr.op == "/":
+            return "float"
+        if "float" in (left, right):
+            return "float"
+        return "int"
+    if isinstance(expr, ast.UnaryOp):
+        if expr.op == "not":
+            return "bool"
+        return infer_type(expr.operand, schemas)
+    if isinstance(expr, ast.Interval):
+        return "interval"
+    if isinstance(expr, (ast.Like, ast.Between, ast.InList, ast.InSubquery, ast.Exists, ast.IsNull)):
+        return "bool"
+    if isinstance(expr, ast.Extract):
+        return "int"
+    if isinstance(expr, ast.Substring):
+        return "text"
+    if isinstance(expr, ast.CaseWhen):
+        for _, result in expr.whens:
+            result_type = infer_type(result, schemas)
+            if result_type != "unknown":
+                return result_type
+        if expr.else_ is not None:
+            return infer_type(expr.else_, schemas)
+        return "unknown"
+    if isinstance(expr, ast.FuncCall):
+        if expr.name == "count":
+            return "int"
+        if expr.name == "avg":
+            return "float"
+        if expr.name in ("sum", "min", "max"):
+            return infer_type(expr.args[0], schemas)
+        if expr.name in ("length", "round", "abs"):
+            return "int"
+        if expr.name in ("upper", "lower"):
+            return "text"
+        return "unknown"
+    if isinstance(expr, ast.ScalarSubquery):
+        item = expr.query.items[0]
+        inner = _subquery_schemas(expr.query, schemas)
+        return infer_type(item.expr, inner)
+    raise PlanningError(f"cannot infer type of {expr!r}")
+
+
+def _literal_type(value: object) -> str:
+    if isinstance(value, bool):
+        return "bool"
+    if isinstance(value, int):
+        return "int"
+    if isinstance(value, float):
+        return "float"
+    if isinstance(value, str):
+        return "text"
+    if isinstance(value, datetime.date):
+        return "date"
+    if value is None:
+        return "unknown"
+    return "unknown"
+
+
+def _column_type(column: ast.Column, schemas: dict[str, TableSchema]) -> str:
+    if column.table is not None:
+        schema = schemas.get(column.table)
+        if schema is not None and schema.has_column(column.name):
+            return schema.column(column.name).type
+    matches = [
+        s.column(column.name).type
+        for s in schemas.values()
+        if s.has_column(column.name)
+    ]
+    if len(set(matches)) == 1:
+        return matches[0]
+    if not matches:
+        raise PlanningError(f"unknown column {column.qualified!r} during typing")
+    raise PlanningError(f"ambiguous column {column.qualified!r} during typing")
+
+
+def _subquery_schemas(
+    query: ast.Select, outer: dict[str, TableSchema]
+) -> dict[str, TableSchema]:
+    """Binding -> schema map for a subquery's FROM items (plus outer, for
+    correlated references)."""
+    inner = dict(outer)
+    for ref in _flatten_refs(query.from_items):
+        if isinstance(ref, ast.TableName):
+            base = outer.get(ref.name)
+            if base is not None:
+                inner[ref.binding] = base
+    return inner
+
+
+def _flatten_refs(refs) -> list[ast.TableRef]:
+    out: list[ast.TableRef] = []
+    for ref in refs:
+        if isinstance(ref, ast.Join):
+            out.extend(_flatten_refs([ref.left, ref.right]))
+        else:
+            out.append(ref)
+    return out

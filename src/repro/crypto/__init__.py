@@ -1,0 +1,53 @@
+"""Cryptographic substrate: every scheme in the paper's Table 1.
+
+========== ============================= ==========================
+Scheme     Server operations enabled      Leakage at rest
+========== ============================= ==========================
+RND        none                           none
+DET        ``=``, ``IN``, GROUP BY, join  duplicates
+OPE        ``<``, MAX/MIN, ORDER BY       order (+ partial plaintext)
+HOM        ``+``, SUM (Paillier)          none
+SEARCH     ``LIKE`` (single pattern)      token counts; matches/query
+========== ============================= ==========================
+"""
+
+from repro.crypto.aes import AES128
+from repro.crypto.det import DetCipher
+from repro.crypto.feistel import FeistelPRP, IntegerPRP
+from repro.crypto.ffx import FFXInteger
+from repro.crypto.ope import OpeCipher
+from repro.crypto.packing import (
+    GroupedHomomorphicAggregator,
+    PackedLayout,
+    decrypt_column_sums,
+)
+from repro.crypto.paillier import (
+    PaillierPrivateKey,
+    PaillierPublicKey,
+    generate_keypair,
+)
+from repro.crypto.prf import PRFStream, derive_key, prf, prf_int
+from repro.crypto.rnd import RndCipher
+from repro.crypto.search import SearchCipher, parse_like_pattern
+
+__all__ = [
+    "AES128",
+    "DetCipher",
+    "FFXInteger",
+    "FeistelPRP",
+    "GroupedHomomorphicAggregator",
+    "IntegerPRP",
+    "OpeCipher",
+    "PRFStream",
+    "PackedLayout",
+    "PaillierPrivateKey",
+    "PaillierPublicKey",
+    "RndCipher",
+    "SearchCipher",
+    "decrypt_column_sums",
+    "derive_key",
+    "generate_keypair",
+    "parse_like_pattern",
+    "prf",
+    "prf_int",
+]

@@ -1,0 +1,183 @@
+"""Order-preserving encryption (OPE), Boldyreva et al. [6] style.
+
+OPE lets the untrusted server evaluate ``a > const``, ``MAX``/``MIN`` and
+``ORDER BY`` directly on ciphertexts.  It is MONOMI's weakest scheme: it
+reveals the order of plaintexts plus partial plaintext information [7]
+(Table 1), which is why the designer uses it sparingly (§8.7).
+
+Construction — the lazy-sampled order-preserving function of BCLO'09:
+a random order-preserving injection from plaintext domain ``[lo, hi]`` into
+a larger ciphertext range is defined implicitly by recursive binary
+descent.  At each step the ciphertext range is halved at pivot ``y`` and the
+number of plaintexts mapped at or below ``y`` is drawn from the
+hypergeometric distribution — with *deterministic* coins derived from a PRF
+keyed on the (domain, range) rectangle, so every encryption walks the same
+implicit function without shared state.
+
+The hypergeometric draw is exact (log-space inverse CDF) when the domain
+side is small and switches to the normal approximation for large instances;
+both are deterministic given the PRF stream.  The approximation preserves
+the scheme's interface and leakage profile exactly — only the distribution
+over the (already leaky) set of order-preserving functions differs
+microscopically, which no experiment in the paper depends on.
+"""
+
+from __future__ import annotations
+
+import math
+from statistics import NormalDist
+
+from repro.common.errors import CryptoError, DomainError
+from repro.crypto.prf import PRFStream, derive_key
+
+_EXACT_DOMAIN_LIMIT = 64
+_NORMAL = NormalDist()
+
+
+class OpeCipher:
+    """Stateless order-preserving encryption on integers in ``[lo, hi]``.
+
+    ``expansion_bits`` controls how much larger the ciphertext range is than
+    the plaintext domain; the paper's OPE maps 32-bit plaintexts into
+    64-bit ciphertexts, i.e. ~32 expansion bits.
+    """
+
+    def __init__(
+        self,
+        key: bytes,
+        lo: int,
+        hi: int,
+        expansion_bits: int = 24,
+        tweak: bytes = b"",
+    ) -> None:
+        if hi < lo:
+            raise CryptoError(f"empty OPE domain [{lo}, {hi}]")
+        if expansion_bits < 1:
+            raise CryptoError("OPE needs at least 1 expansion bit")
+        self.lo = lo
+        self.hi = hi
+        self._domain_size = hi - lo + 1
+        self._range_size = self._domain_size << expansion_bits
+        self._key = derive_key(key, "ope", tweak)
+
+    # -- public API ---------------------------------------------------------
+
+    def encrypt(self, value: int) -> int:
+        if not self.lo <= value <= self.hi:
+            raise DomainError(f"value {value} outside OPE domain [{self.lo}, {self.hi}]")
+        m = value - self.lo
+        d_lo, d_hi = 0, self._domain_size - 1
+        r_lo, r_hi = 0, self._range_size - 1
+        while d_lo < d_hi:
+            d_lo, d_hi, r_lo, r_hi = self._descend(m, d_lo, d_hi, r_lo, r_hi)
+        return self._leaf_cipher(d_lo, r_lo, r_hi)
+
+    def decrypt(self, ciphertext: int) -> int:
+        if not 0 <= ciphertext < self._range_size:
+            raise CryptoError(f"OPE ciphertext {ciphertext} out of range")
+        d_lo, d_hi = 0, self._domain_size - 1
+        r_lo, r_hi = 0, self._range_size - 1
+        while d_lo < d_hi:
+            x, y = self._pivot(d_lo, d_hi, r_lo, r_hi)
+            if ciphertext <= y:
+                d_hi, r_hi = d_lo + x - 1, y
+            else:
+                d_lo, r_lo = d_lo + x, y + 1
+            if d_hi < d_lo:
+                raise CryptoError("invalid OPE ciphertext (empty branch)")
+        if self._leaf_cipher(d_lo, r_lo, r_hi) != ciphertext:
+            raise CryptoError("invalid OPE ciphertext (leaf mismatch)")
+        return self.lo + d_lo
+
+    def ciphertext_bits(self) -> int:
+        return max(1, (self._range_size - 1).bit_length())
+
+    # -- recursion internals --------------------------------------------------
+
+    def _descend(
+        self, m: int, d_lo: int, d_hi: int, r_lo: int, r_hi: int
+    ) -> tuple[int, int, int, int]:
+        x, y = self._pivot(d_lo, d_hi, r_lo, r_hi)
+        if m <= d_lo + x - 1:
+            return d_lo, d_lo + x - 1, r_lo, y
+        return d_lo + x, d_hi, y + 1, r_hi
+
+    def _pivot(self, d_lo: int, d_hi: int, r_lo: int, r_hi: int) -> tuple[int, int]:
+        """Pivot for rectangle (domain x range): returns (x, y).
+
+        ``y`` splits the ciphertext range near its midpoint; ``x`` is the
+        hypergeometric draw — how many of the ``d`` plaintexts map to
+        ciphertexts at or below ``y``.
+        """
+        dsize = d_hi - d_lo + 1
+        rsize = r_hi - r_lo + 1
+        draws = (rsize + 1) // 2
+        y = r_lo + draws - 1
+        tweak = b"%d|%d|%d|%d" % (d_lo, d_hi, r_lo, r_hi)
+        stream = PRFStream(self._key, b"pivot|" + tweak)
+        x = _sample_hypergeometric(dsize, rsize, draws, stream)
+        return x, y
+
+    def _leaf_cipher(self, d: int, r_lo: int, r_hi: int) -> int:
+        stream = PRFStream(self._key, b"leaf|%d|%d|%d" % (d, r_lo, r_hi))
+        return r_lo + stream.next_below(r_hi - r_lo + 1)
+
+
+def _sample_hypergeometric(marked: int, total: int, draws: int, stream: PRFStream) -> int:
+    """Deterministic draw of X ~ Hypergeometric(total, marked, draws).
+
+    X is the number of marked items among ``draws`` draws without
+    replacement from ``total`` items of which ``marked`` are marked.
+    """
+    x_min = max(0, marked - (total - draws))
+    x_max = min(marked, draws)
+    if x_min == x_max:
+        return x_min
+    u = stream.next_unit()
+    if marked <= _EXACT_DOMAIN_LIMIT:
+        return _exact_inverse_cdf(marked, total, draws, x_min, x_max, u)
+    return _normal_inverse_cdf(marked, total, draws, x_min, x_max, u)
+
+
+def _exact_inverse_cdf(
+    marked: int, total: int, draws: int, x_min: int, x_max: int, u: float
+) -> int:
+    """Inverse-CDF sampling with log-space pmf recurrence (exact)."""
+    # pmf(x) = C(marked, x) * C(total - marked, draws - x) / C(total, draws)
+    log_pmf = (
+        _log_comb(marked, x_min)
+        + _log_comb(total - marked, draws - x_min)
+        - _log_comb(total, draws)
+    )
+    pmf = math.exp(log_pmf)
+    cdf = pmf
+    x = x_min
+    while cdf < u and x < x_max:
+        # pmf(x+1)/pmf(x) = (marked-x)(draws-x) / ((x+1)(total-marked-draws+x+1))
+        ratio = ((marked - x) * (draws - x)) / (
+            (x + 1) * (total - marked - draws + x + 1)
+        )
+        pmf *= ratio
+        cdf += pmf
+        x += 1
+    return x
+
+
+def _normal_inverse_cdf(
+    marked: int, total: int, draws: int, x_min: int, x_max: int, u: float
+) -> int:
+    """Normal approximation to the hypergeometric inverse CDF."""
+    p = marked / total
+    mean = draws * p
+    var = draws * p * (1.0 - p) * (total - draws) / max(1.0, total - 1.0)
+    std = math.sqrt(max(var, 1e-12))
+    # Clamp u away from 0/1 so inv_cdf stays finite.
+    u = min(max(u, 1e-12), 1.0 - 1e-12)
+    x = round(mean + _NORMAL.inv_cdf(u) * std)
+    return min(max(x, x_min), x_max)
+
+
+def _log_comb(n: int, k: int) -> float:
+    if k < 0 or k > n:
+        return float("-inf")
+    return math.lgamma(n + 1) - math.lgamma(k + 1) - math.lgamma(n - k + 1)

@@ -1,0 +1,129 @@
+"""Paillier homomorphic encryption [20].
+
+Paillier is MONOMI's additively homomorphic scheme (Table 1): the server can
+compute ``E(a + b) = E(a) * E(b) mod n^2`` without the decryption key, which
+is how ``SUM()``/``AVG()`` aggregates execute over encrypted data.  The
+paper uses 1,024-bit plaintexts and 2,048-bit ciphertexts; key size is a
+parameter here so tests stay fast, and the homomorphic identities hold at
+any size.
+
+Implementation notes
+--------------------
+* ``g = n + 1`` so encryption needs no modular exponentiation for the
+  message part: ``g^m = 1 + m*n (mod n^2)``.
+* Decryption uses the CRT-free textbook form with
+  ``lambda = lcm(p-1, q-1)`` and ``mu = L(g^lambda mod n^2)^-1 mod n``.
+* Keys can be generated deterministically from a seed (PRF stream) so that
+  benchmark databases are reproducible.
+"""
+
+from __future__ import annotations
+
+import math
+import secrets
+from dataclasses import dataclass
+
+from repro.common.errors import CryptoError, DomainError
+from repro.crypto.prf import PRFStream
+from repro.crypto.primes import generate_distinct_primes
+
+DEFAULT_MODULUS_BITS = 2048
+
+
+@dataclass(frozen=True)
+class PaillierPublicKey:
+    """Public half of a Paillier key pair: enough to encrypt and to add."""
+
+    n: int
+
+    @property
+    def n_squared(self) -> int:
+        return self.n * self.n
+
+    @property
+    def plaintext_bits(self) -> int:
+        """Usable plaintext payload width (the paper's 1,024 bits)."""
+        return self.n.bit_length() - 1
+
+    @property
+    def ciphertext_bytes(self) -> int:
+        return (self.n_squared.bit_length() + 7) // 8
+
+    def encrypt(self, message: int, r: int | None = None) -> int:
+        if not 0 <= message < self.n:
+            raise DomainError(f"Paillier plaintext out of range [0, n)")
+        n2 = self.n_squared
+        if r is None:
+            r = secrets.randbelow(self.n - 1) + 1
+        gm = (1 + message * self.n) % n2  # g^m with g = n+1
+        return (gm * pow(r, self.n, n2)) % n2
+
+    def add(self, c1: int, c2: int) -> int:
+        """Homomorphic addition: E(a) (*) E(b) = E(a + b mod n)."""
+        return (c1 * c2) % self.n_squared
+
+    def add_many(self, ciphertexts: list[int]) -> int:
+        """Product of many ciphertexts — one modular multiply per input.
+
+        This is the inner loop of grouped homomorphic addition (§5.3): one
+        modular multiplication per *row*, regardless of how many columns are
+        packed inside each ciphertext.
+        """
+        if not ciphertexts:
+            return self.encrypt_zero()
+        acc = ciphertexts[0]
+        n2 = self.n_squared
+        for c in ciphertexts[1:]:
+            acc = (acc * c) % n2
+        return acc
+
+    def mul_scalar(self, c: int, k: int) -> int:
+        """Homomorphic scalar multiply: E(a)^k = E(k * a mod n)."""
+        if k < 0:
+            raise CryptoError("scalar must be non-negative")
+        return pow(c, k, self.n_squared)
+
+    def encrypt_zero(self) -> int:
+        return self.encrypt(0)
+
+
+@dataclass(frozen=True)
+class PaillierPrivateKey:
+    """Private half: can decrypt."""
+
+    public: PaillierPublicKey
+    lam: int
+    mu: int
+
+    def decrypt(self, ciphertext: int) -> int:
+        n = self.public.n
+        n2 = self.public.n_squared
+        if not 0 <= ciphertext < n2:
+            raise CryptoError("Paillier ciphertext out of range")
+        u = pow(ciphertext, self.lam, n2)
+        return (_big_l(u, n) * self.mu) % n
+
+
+def generate_keypair(
+    modulus_bits: int = DEFAULT_MODULUS_BITS, seed: bytes | None = None
+) -> tuple[PaillierPublicKey, PaillierPrivateKey]:
+    """Generate a Paillier key pair with an approximately ``modulus_bits`` n.
+
+    With ``seed``, generation is deterministic (reproducible benchmarks).
+    """
+    if modulus_bits < 64:
+        raise CryptoError(f"modulus too small: {modulus_bits} bits")
+    stream = PRFStream(seed, b"paillier-keygen") if seed is not None else None
+    p, q = generate_distinct_primes(modulus_bits // 2, stream)
+    n = p * q
+    lam = math.lcm(p - 1, q - 1)
+    n2 = n * n
+    g_lam = pow(n + 1, lam, n2)
+    mu = pow(_big_l(g_lam, n), -1, n)
+    public = PaillierPublicKey(n=n)
+    return public, PaillierPrivateKey(public=public, lam=lam, mu=mu)
+
+
+def _big_l(u: int, n: int) -> int:
+    """Paillier's L function: L(u) = (u - 1) / n, exact by construction."""
+    return (u - 1) // n

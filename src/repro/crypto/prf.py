@@ -1,0 +1,102 @@
+"""Keyed pseudo-random functions and key derivation.
+
+All higher-level schemes (DET, OPE, FFX, SEARCH) consume randomness through
+the primitives in this module so that a single master key deterministically
+derives every per-column subkey — the same key-management structure the
+MONOMI client library uses.
+
+The PRF is HMAC-SHA256 (stdlib); a PRF-keyed deterministic stream
+(:class:`PRFStream`) supplies the "coins" for lazy-sampled OPE.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+
+from repro.common.errors import CryptoError
+
+KEY_BYTES = 16
+
+
+def prf(key: bytes, message: bytes) -> bytes:
+    """HMAC-SHA256 of ``message`` under ``key`` (32 output bytes)."""
+    return hmac.new(key, message, hashlib.sha256).digest()
+
+
+def prf_int(key: bytes, message: bytes, nbits: int) -> int:
+    """A deterministic ``nbits``-bit integer derived from the PRF.
+
+    For outputs longer than one digest, the PRF is iterated in counter mode.
+    """
+    if nbits <= 0:
+        raise CryptoError(f"nbits must be positive, got {nbits}")
+    nbytes = (nbits + 7) // 8
+    out = bytearray()
+    counter = 0
+    while len(out) < nbytes:
+        out.extend(prf(key, message + counter.to_bytes(4, "big")))
+        counter += 1
+    value = int.from_bytes(bytes(out[:nbytes]), "big")
+    return value >> (nbytes * 8 - nbits)
+
+
+def derive_key(master_key: bytes, *labels: str | bytes | int) -> bytes:
+    """Derive a subkey from ``master_key`` and a label path.
+
+    Labels identify the column and scheme, e.g.
+    ``derive_key(k, "lineitem", "l_quantity", "OPE")``.  Distinct label
+    paths produce independent subkeys.
+    """
+    if not master_key:
+        raise CryptoError("master key must be non-empty")
+    material = b"\x00".join(_label_bytes(label) for label in labels)
+    return prf(master_key, b"repro-kdf|" + material)[:KEY_BYTES]
+
+
+def _label_bytes(label: str | bytes | int) -> bytes:
+    if isinstance(label, bytes):
+        return label
+    if isinstance(label, int):
+        return str(label).encode()
+    return label.encode()
+
+
+class PRFStream:
+    """Deterministic random stream keyed by (key, tweak).
+
+    Used as the coin source for the OPE hypergeometric sampler: the same
+    (key, tweak) always yields the same stream, which is what makes the
+    lazy-sampled order-preserving function stateless and consistent across
+    invocations.
+    """
+
+    def __init__(self, key: bytes, tweak: bytes) -> None:
+        self._key = key
+        self._tweak = tweak
+        self._counter = 0
+        self._buffer = b""
+
+    def next_bytes(self, n: int) -> bytes:
+        while len(self._buffer) < n:
+            block = prf(self._key, self._tweak + self._counter.to_bytes(8, "big"))
+            self._buffer += block
+            self._counter += 1
+        out, self._buffer = self._buffer[:n], self._buffer[n:]
+        return out
+
+    def next_below(self, bound: int) -> int:
+        """Uniform integer in ``[0, bound)`` via rejection sampling."""
+        if bound <= 0:
+            raise CryptoError(f"bound must be positive, got {bound}")
+        nbits = bound.bit_length()
+        nbytes = (nbits + 7) // 8
+        shift = nbytes * 8 - nbits
+        while True:
+            candidate = int.from_bytes(self.next_bytes(nbytes), "big") >> shift
+            if candidate < bound:
+                return candidate
+
+    def next_unit(self) -> float:
+        """Uniform float in ``[0, 1)`` with 53 bits of precision."""
+        return (int.from_bytes(self.next_bytes(8), "big") >> 11) / float(1 << 53)

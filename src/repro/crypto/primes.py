@@ -1,0 +1,80 @@
+"""Prime generation for Paillier key setup.
+
+The paper uses NTL for bignum arithmetic; Python integers are arbitrary
+precision natively, so only primality testing and prime search are needed.
+Generation can be fully deterministic (seeded by a PRF stream) so tests and
+benchmarks are reproducible.
+"""
+
+from __future__ import annotations
+
+import secrets
+
+from repro.common.errors import CryptoError
+from repro.crypto.prf import PRFStream
+
+_SMALL_PRIMES = [
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67,
+    71, 73, 79, 83, 89, 97, 101, 103, 107, 109, 113, 127, 131, 137, 139, 149,
+    151, 157, 163, 167, 173, 179, 181, 191, 193, 197, 199, 211, 223, 227, 229,
+]
+
+
+def is_probable_prime(n: int, rounds: int = 40) -> bool:
+    """Miller–Rabin primality test with ``rounds`` random bases.
+
+    Error probability is at most 4**-rounds for composite ``n``.
+    """
+    if n < 2:
+        return False
+    for p in _SMALL_PRIMES:
+        if n == p:
+            return True
+        if n % p == 0:
+            return False
+    # Write n-1 as d * 2^r with d odd.
+    d = n - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    for _ in range(rounds):
+        a = secrets.randbelow(n - 3) + 2
+        x = pow(a, d, n)
+        if x in (1, n - 1):
+            continue
+        for _ in range(r - 1):
+            x = pow(x, 2, n)
+            if x == n - 1:
+                break
+        else:
+            return False
+    return True
+
+
+def generate_prime(bits: int, stream: PRFStream | None = None) -> int:
+    """Generate a ``bits``-bit prime.
+
+    If ``stream`` is given, candidates are drawn deterministically from it
+    (reproducible keys); otherwise from the OS CSPRNG.
+    """
+    if bits < 8:
+        raise CryptoError(f"prime size too small: {bits} bits")
+    while True:
+        if stream is None:
+            candidate = secrets.randbits(bits)
+        else:
+            candidate = int.from_bytes(stream.next_bytes((bits + 7) // 8), "big")
+            candidate &= (1 << bits) - 1
+        candidate |= (1 << (bits - 1)) | 1  # Correct size and odd.
+        if is_probable_prime(candidate):
+            return candidate
+
+
+def generate_distinct_primes(bits: int, stream: PRFStream | None = None) -> tuple[int, int]:
+    """Two distinct primes of the same bit length (for a Paillier modulus)."""
+    p = generate_prime(bits, stream)
+    while True:
+        q = generate_prime(bits, stream)
+        if q != p:
+            return p, q

@@ -1,0 +1,50 @@
+"""Randomized (RND) encryption: IND-CPA, leaks nothing (Table 1, row 1).
+
+The paper uses AES in CBC mode with a random IV; we use AES in CTR mode with
+a random nonce, which has the same leakage profile (none) and a simpler
+length story (no padding: ciphertext = nonce || plaintext-length keystream
+XOR).  Ciphertext expansion is exactly the nonce (16 bytes), matching the
+paper's note that randomized encryption costs one extra IV per value (§7).
+
+No computation can be pushed to the server on RND columns; they exist so the
+client can recover values it must process locally.
+"""
+
+from __future__ import annotations
+
+import secrets
+
+from repro.common.errors import CryptoError
+from repro.crypto.aes import AES128, BLOCK_BYTES
+
+NONCE_BYTES = BLOCK_BYTES
+
+
+class RndCipher:
+    """AES-CTR with a random per-value nonce."""
+
+    def __init__(self, key: bytes) -> None:
+        self._aes = AES128(key)
+
+    def encrypt(self, plaintext: bytes, nonce: bytes | None = None) -> bytes:
+        if nonce is None:
+            nonce = secrets.token_bytes(NONCE_BYTES)
+        elif len(nonce) != NONCE_BYTES:
+            raise CryptoError(f"nonce must be {NONCE_BYTES} bytes")
+        return nonce + self._keystream_xor(nonce, plaintext)
+
+    def decrypt(self, ciphertext: bytes) -> bytes:
+        if len(ciphertext) < NONCE_BYTES:
+            raise CryptoError("ciphertext shorter than nonce")
+        nonce, body = ciphertext[:NONCE_BYTES], ciphertext[NONCE_BYTES:]
+        return self._keystream_xor(nonce, body)
+
+    def _keystream_xor(self, nonce: bytes, data: bytes) -> bytes:
+        out = bytearray()
+        base = int.from_bytes(nonce, "big")
+        for block_index in range((len(data) + BLOCK_BYTES - 1) // BLOCK_BYTES):
+            counter_block = ((base + block_index) % (1 << 128)).to_bytes(16, "big")
+            keystream = self._aes.encrypt_block(counter_block)
+            chunk = data[block_index * BLOCK_BYTES : (block_index + 1) * BLOCK_BYTES]
+            out.extend(x ^ y for x, y in zip(chunk, keystream))
+        return bytes(out)

@@ -1,0 +1,126 @@
+"""Searchable encryption (SEARCH) for ``LIKE`` patterns, SWP [24] style.
+
+The server must evaluate ``column LIKE pattern`` without seeing plaintext.
+Following CryptDB/MONOMI, each text value is tokenized and each token is
+mapped to a deterministic PRF tag; the query side encrypts the pattern's
+token the same way and the server tests tag membership.  The scheme reveals
+nothing at rest beyond token counts; at query time it reveals which rows
+match (Table 1 and §3's leakage discussion).
+
+Supported pattern shapes — exactly the single-pattern forms the paper's
+prototype handles (§7 excludes multi-pattern ``LIKE`` such as
+``'%foo%bar%'``, which knocks out TPC-H queries 13 and 16):
+
+* ``'%word%'``  — word containment: tags for every whitespace-delimited word;
+* ``'prefix%'`` — field prefix: tags for every prefix of the field up to
+  ``max_affix_len`` characters;
+* ``'%suffix'`` — field suffix: tags for every suffix up to ``max_affix_len``;
+* ``'literal'`` — exact match (a prefix tag of the full padded field).
+
+Each tag is truncated to 8 bytes; false positives are possible with
+probability ~2**-64 per comparison, which mirrors SWP's probabilistic
+matching.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import CryptoError
+from repro.crypto.prf import derive_key, prf
+
+TAG_BYTES = 8
+# Longest prefix/suffix pattern the index answers.  TPC-H's single-pattern
+# affix queries ('PROMO%', 'forest%', '%BRASS') are all <= 6 characters;
+# 12 leaves headroom while keeping the index ~3x smaller than indexing
+# every affix of long fields.
+DEFAULT_MAX_AFFIX = 12
+
+
+@dataclass(frozen=True)
+class SearchPattern:
+    """A parsed single-pattern LIKE expression."""
+
+    kind: str  # "word" | "prefix" | "suffix" | "exact"
+    needle: str
+
+
+def parse_like_pattern(pattern: str) -> SearchPattern:
+    """Classify a LIKE pattern into a supported shape.
+
+    Raises :class:`CryptoError` for multi-pattern shapes (two or more
+    ``%``-separated fragments), mirroring the paper's limitation.
+    """
+    if "_" in pattern:
+        raise CryptoError("single-character wildcards (_) are not supported")
+    body = pattern
+    starts = body.startswith("%")
+    ends = body.endswith("%")
+    inner = body.strip("%")
+    if "%" in inner:
+        raise CryptoError(
+            f"multi-pattern LIKE {pattern!r} is not supported (paper §7)"
+        )
+    if not inner:
+        raise CryptoError("empty LIKE pattern")
+    if starts and ends:
+        return SearchPattern("word", inner)
+    if ends:
+        return SearchPattern("prefix", inner)
+    if starts:
+        return SearchPattern("suffix", inner)
+    return SearchPattern("exact", inner)
+
+
+class SearchCipher:
+    """Word/affix token index with PRF tags."""
+
+    def __init__(self, key: bytes, max_affix_len: int = DEFAULT_MAX_AFFIX) -> None:
+        self._word_key = derive_key(key, "search-word")
+        self._prefix_key = derive_key(key, "search-prefix")
+        self._suffix_key = derive_key(key, "search-suffix")
+        self._exact_key = derive_key(key, "search-exact")
+        self.max_affix_len = max_affix_len
+
+    # -- index (encrypt) side -------------------------------------------------
+
+    def encrypt(self, text: str) -> frozenset[bytes]:
+        """Tag set stored on the server for one field value."""
+        tags: set[bytes] = set()
+        for word in text.split():
+            tags.add(self._tag(self._word_key, word))
+        limit = min(len(text), self.max_affix_len)
+        for i in range(1, limit + 1):
+            tags.add(self._tag(self._prefix_key, text[:i]))
+            tags.add(self._tag(self._suffix_key, text[-i:]))
+        tags.add(self._tag(self._exact_key, text))
+        return frozenset(tags)
+
+    def ciphertext_bytes(self, text: str) -> int:
+        """Server-side size of the tag set for one value."""
+        return len(self.encrypt(text)) * TAG_BYTES
+
+    # -- query (trapdoor) side --------------------------------------------------
+
+    def trapdoor(self, pattern: str) -> bytes:
+        """Encrypted search token the client sends to the server."""
+        parsed = parse_like_pattern(pattern)
+        if parsed.kind == "word":
+            return self._tag(self._word_key, parsed.needle)
+        if parsed.kind in ("prefix", "suffix") and len(parsed.needle) > self.max_affix_len:
+            raise CryptoError(
+                f"affix longer than indexed maximum ({self.max_affix_len})"
+            )
+        if parsed.kind == "prefix":
+            return self._tag(self._prefix_key, parsed.needle)
+        if parsed.kind == "suffix":
+            return self._tag(self._suffix_key, parsed.needle)
+        return self._tag(self._exact_key, parsed.needle)
+
+    @staticmethod
+    def matches(tags: frozenset[bytes], trapdoor: bytes) -> bool:
+        """Server-side test: does the row's tag set contain the trapdoor?"""
+        return trapdoor in tags
+
+    def _tag(self, key: bytes, token: str) -> bytes:
+        return prf(key, token.encode("utf-8"))[:TAG_BYTES]

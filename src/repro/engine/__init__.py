@@ -1,0 +1,23 @@
+"""In-memory relational engine: the untrusted server's unmodified DBMS."""
+
+from repro.engine.aggregates import HomAggResult
+from repro.engine.catalog import Database
+from repro.engine.cost import CostEstimator, PlanEstimate
+from repro.engine.executor import ExecStats, Executor, ResultSet
+from repro.engine.schema import ColumnDef, TableSchema, schema
+from repro.engine.table import ColumnStats, Table
+
+__all__ = [
+    "ColumnDef",
+    "ColumnStats",
+    "CostEstimator",
+    "Database",
+    "ExecStats",
+    "Executor",
+    "HomAggResult",
+    "PlanEstimate",
+    "ResultSet",
+    "Table",
+    "TableSchema",
+    "schema",
+]

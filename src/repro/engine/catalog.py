@@ -1,0 +1,42 @@
+"""Database catalog: named tables plus the server's ciphertext store."""
+
+from __future__ import annotations
+
+from repro.common.errors import CatalogError
+from repro.engine.schema import TableSchema
+from repro.engine.table import Table
+from repro.storage.ciphertext_store import CiphertextStore
+
+
+class Database:
+    """The untrusted server's state: tables and packed-ciphertext files."""
+
+    def __init__(self, name: str = "db") -> None:
+        self.name = name
+        self.tables: dict[str, Table] = {}
+        self.ciphertext_store = CiphertextStore()
+
+    def create_table(self, schema: TableSchema) -> Table:
+        if schema.name in self.tables:
+            raise CatalogError(f"table {schema.name!r} already exists")
+        table = Table(schema)
+        self.tables[schema.name] = table
+        return table
+
+    def drop_table(self, name: str) -> None:
+        self.tables.pop(name, None)
+
+    def table(self, name: str) -> Table:
+        try:
+            return self.tables[name]
+        except KeyError:
+            raise CatalogError(f"unknown table {name!r}") from None
+
+    def has_table(self, name: str) -> bool:
+        return name in self.tables
+
+    @property
+    def total_bytes(self) -> int:
+        """Total server-side footprint: table heaps + ciphertext files."""
+        tables = sum(t.total_bytes for t in self.tables.values())
+        return tables + self.ciphertext_store.total_bytes

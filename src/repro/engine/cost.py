@@ -1,0 +1,391 @@
+"""Server-side cost estimation, in the style of the Postgres optimizer.
+
+The paper's planner "estimates the execution time on the server by asking
+the Postgres query optimizer for cost estimates" (§6.4) and separately asks
+for result cardinality and row width to price network transfer and client
+decryption.  This module is that oracle for our engine: abstract cost units
+from page/tuple constants, System-R style selectivity estimation, and
+result-size estimates, computed from table statistics without running the
+query.
+
+It prices MONOMI's UDFs specially, because the planner's whole job is to
+weigh them:
+
+* ``hom_agg``   — charges one modular multiplication per input row (orders
+  of magnitude above ``cpu_operator_cost``) and returns ciphertext-sized
+  result rows;
+* ``grp``       — cheap to compute but returns the *entire group's values*,
+  so its result width scales with rows/groups.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.engine.catalog import Database
+from repro.sql import ast
+
+# Postgres-flavoured cost constants (seq_page_cost = 1.0 baseline).
+SEQ_PAGE_COST = 1.0
+CPU_TUPLE_COST = 0.01
+CPU_OPERATOR_COST = 0.0025
+# One Paillier modular multiplication in page-cost units.  A page fetch is
+# ~27 us at 300 MB/s; a 2048-bit modular multiply is a few microseconds, so
+# the default sits well below one page.  MonomiCostModel recalibrates this
+# from a measured profile at client startup (§6.4's profiler).
+MODMUL_COST = 0.15
+PAGE_BYTES = 8192
+
+_DEFAULT_NDV = 200
+_DEFAULT_WIDTH = 8.0
+
+
+@dataclass
+class PlanEstimate:
+    """What the optimizer tells the MONOMI planner about one server query."""
+
+    cost_units: float  # Abstract execution cost (page-fetch units).
+    rows: float  # Estimated result cardinality.
+    row_bytes: float  # Estimated result row width in bytes.
+    input_rows: float = 0.0  # Rows feeding grouping (for group-size costs).
+    selectivity: float = 1.0  # WHERE selectivity (for hom partial estimates).
+
+    @property
+    def result_bytes(self) -> float:
+        return self.rows * self.row_bytes
+
+    @property
+    def group_size(self) -> float:
+        return max(1.0, self.input_rows / max(self.rows, 1.0))
+
+
+@dataclass(frozen=True)
+class HomFileInfo:
+    """Layout facts for a (possibly not yet materialized) ciphertext file."""
+
+    rows_per_ciphertext: int
+    ciphertext_bytes: int
+
+
+class CostEstimator:
+    """Estimates server cost without executing.
+
+    ``table_bytes_override`` substitutes table sizes (the MONOMI designer
+    estimates costs of *candidate* encrypted layouts against the plaintext
+    database's statistics, scaling scan costs to the projected encrypted
+    sizes).  ``hom_info_override`` supplies packing facts for candidate
+    homomorphic files that do not exist yet.
+    """
+
+    def __init__(
+        self,
+        db: Database,
+        table_bytes_override: dict[str, float] | None = None,
+        hom_info_override: dict[str, HomFileInfo] | None = None,
+        modmul_cost: float = MODMUL_COST,
+    ) -> None:
+        self.db = db
+        self.table_bytes_override = table_bytes_override or {}
+        self.hom_info_override = hom_info_override or {}
+        self.modmul_cost = modmul_cost
+
+    # -- public -----------------------------------------------------------------
+
+    def estimate(
+        self, query: ast.Select, selectivity_override: float | None = None
+    ) -> PlanEstimate:
+        scan_cost = 0.0
+        input_rows = 1.0
+        tables: list[str] = []
+        for ref in query.from_items:
+            cost, rows, names = self._from_cost(ref)
+            scan_cost += cost
+            input_rows *= max(rows, 1.0)
+            tables.extend(names)
+        if selectivity_override is not None:
+            # Trusted-side hint, but join predicates must still be priced
+            # here: scale the structural estimate by the hint's ratio to
+            # the non-join filter estimate... in practice the hint already
+            # includes join conjuncts, so use it directly.
+            selectivity = selectivity_override
+        else:
+            selectivity = self._selectivity(query.where, tables)
+        rows = max(input_rows * selectivity, 1.0)
+        cpu_cost = rows * CPU_TUPLE_COST
+        udf_cost = self._udf_cost(query, rows)
+        out_rows = rows
+        if query.group_by or self._has_aggregates(query):
+            groups = self._estimate_groups(query, tables, rows)
+            out_rows = groups
+            cpu_cost += rows * CPU_OPERATOR_COST * max(1, len(query.group_by))
+        if query.having is not None:
+            out_rows = max(out_rows * 0.5, 1.0)
+        if query.order_by and out_rows > 1:
+            import math
+
+            cpu_cost += out_rows * math.log2(out_rows) * CPU_OPERATOR_COST
+        if query.limit is not None:
+            out_rows = min(out_rows, float(query.limit))
+        row_bytes = self._row_width(query, tables, rows, out_rows, selectivity)
+        subquery_cost = self._subquery_costs(query)
+        total = scan_cost + cpu_cost + udf_cost + subquery_cost
+        return PlanEstimate(
+            cost_units=total,
+            rows=out_rows,
+            row_bytes=row_bytes,
+            input_rows=rows,
+            selectivity=selectivity,
+        )
+
+    # -- FROM -------------------------------------------------------------------
+
+    def _from_cost(self, ref: ast.TableRef) -> tuple[float, float, list[str]]:
+        if isinstance(ref, ast.TableName):
+            table = self.db.table(ref.name)
+            total_bytes = self.table_bytes_override.get(ref.name, table.total_bytes)
+            pages = max(1.0, total_bytes / PAGE_BYTES)
+            cost = pages * SEQ_PAGE_COST + table.num_rows * CPU_TUPLE_COST
+            return cost, float(table.num_rows), [ref.name]
+        if isinstance(ref, ast.SubqueryRef):
+            inner = self.estimate(ref.query)
+            return inner.cost_units, inner.rows, []
+        if isinstance(ref, ast.Join):
+            left_cost, left_rows, left_names = self._from_cost(ref.left)
+            right_cost, right_rows, right_names = self._from_cost(ref.right)
+            names = left_names + right_names
+            sel = self._selectivity(ref.condition, names)
+            rows = max(left_rows * right_rows * sel, 1.0)
+            return left_cost + right_cost + rows * CPU_TUPLE_COST, rows, names
+        return 0.0, 1.0, []
+
+    # -- selectivity -----------------------------------------------------------
+
+    def _selectivity(self, expr: ast.Expr | None, tables: list[str]) -> float:
+        if expr is None:
+            return 1.0
+        if isinstance(expr, ast.BinOp):
+            if expr.op == "and":
+                return self._selectivity(expr.left, tables) * self._selectivity(
+                    expr.right, tables
+                )
+            if expr.op == "or":
+                a = self._selectivity(expr.left, tables)
+                b = self._selectivity(expr.right, tables)
+                return min(1.0, a + b - a * b)
+            if expr.op == "=":
+                return self._equality_selectivity(expr, tables)
+            if expr.op in ("<", "<=", ">", ">="):
+                return 0.33
+            if expr.op == "<>":
+                return 1.0 - self._equality_selectivity(expr, tables)
+        if isinstance(expr, ast.UnaryOp) and expr.op == "not":
+            return max(0.0, 1.0 - self._selectivity(expr.operand, tables))
+        if isinstance(expr, ast.Between):
+            return 0.05 if not expr.negated else 0.95
+        if isinstance(expr, ast.Like):
+            return 0.05 if not expr.negated else 0.95
+        if isinstance(expr, ast.InList):
+            column = self._single_column(expr.needle)
+            ndv = self._column_ndv(column, tables)
+            sel = min(1.0, len(expr.items) / ndv)
+            return 1.0 - sel if expr.negated else sel
+        if isinstance(expr, (ast.InSubquery, ast.Exists)):
+            return 0.5
+        if isinstance(expr, ast.IsNull):
+            return 0.02 if not expr.negated else 0.98
+        return 0.5
+
+    def _equality_selectivity(self, expr: ast.BinOp, tables: list[str]) -> float:
+        left_col = self._single_column(expr.left)
+        right_col = self._single_column(expr.right)
+        if left_col is not None and right_col is not None:
+            # Join predicate: 1 / max(ndv of either side).
+            ndv = max(
+                self._column_ndv(left_col, tables),
+                self._column_ndv(right_col, tables),
+            )
+            return 1.0 / ndv
+        column = left_col or right_col
+        return 1.0 / self._column_ndv(column, tables)
+
+    @staticmethod
+    def _single_column(expr: ast.Expr) -> ast.Column | None:
+        columns = ast.find_columns(expr)
+        return columns[0] if len(columns) == 1 else None
+
+    def _column_ndv(self, column: ast.Column | None, tables: list[str]) -> float:
+        stats = self._column_stats(column, tables)
+        if stats is None or stats.num_distinct == 0:
+            return float(_DEFAULT_NDV)
+        return float(stats.num_distinct)
+
+    def _column_stats(self, column: ast.Column | None, tables: list[str]):
+        if column is None:
+            return None
+        for name in tables:
+            if not self.db.has_table(name):
+                continue
+            table = self.db.table(name)
+            target = _strip_suffix(column.name)
+            for candidate in (column.name, target):
+                if table.schema.has_column(candidate):
+                    return table.analyze()[candidate]
+        return None
+
+    # -- output size ------------------------------------------------------------
+
+    def _estimate_groups(self, query: ast.Select, tables: list[str], rows: float) -> float:
+        if not query.group_by:
+            return 1.0
+        ndv = 1.0
+        for key in query.group_by:
+            column = self._single_column(key)
+            ndv *= self._column_ndv(column, tables)
+        return max(1.0, min(ndv, rows / 2.0 if rows > 2 else rows))
+
+    def _row_width(
+        self,
+        query: ast.Select,
+        tables: list[str],
+        in_rows: float,
+        out_rows: float,
+        selectivity: float = 1.0,
+    ) -> float:
+        group_size = max(1.0, in_rows / max(out_rows, 1.0))
+        width = 8.0  # Row header share.
+        for item in query.items:
+            width += self._expr_width(item.expr, tables, group_size, out_rows, selectivity)
+        return width
+
+    def _expr_width(
+        self,
+        expr: ast.Expr,
+        tables: list[str],
+        group_size: float,
+        group_count: float = 1.0,
+        selectivity: float = 1.0,
+    ) -> float:
+        if isinstance(expr, ast.Column):
+            stats = self._column_stats(expr, tables)
+            return stats.avg_width if stats and stats.avg_width else _DEFAULT_WIDTH
+        if isinstance(expr, ast.FuncCall):
+            if expr.name == "grp":
+                inner = sum(
+                    self._expr_width(a, tables, group_size) for a in expr.args
+                ) or _DEFAULT_WIDTH
+                return inner * group_size
+            if expr.name in ("hom_agg", "paillier_sum"):
+                return self._hom_width(expr, group_size, group_count, selectivity)
+            if expr.name == "count":
+                return 8.0
+            if expr.args:
+                return max(self._expr_width(a, tables, group_size) for a in expr.args)
+            return _DEFAULT_WIDTH
+        if isinstance(expr, ast.Literal):
+            if isinstance(expr.value, str):
+                return float(len(expr.value) + 1)
+            if isinstance(expr.value, bytes):
+                return float(len(expr.value) + 1)
+            return _DEFAULT_WIDTH
+        children = expr.children()
+        if children:
+            return max(self._expr_width(c, tables, group_size) for c in children)
+        return _DEFAULT_WIDTH
+
+    def _hom_width(
+        self, expr: ast.FuncCall, group_size: float, group_count: float, selectivity: float
+    ) -> float:
+        file = self._hom_file(expr)
+        if file is None:
+            return 256.0
+        return float(file.ciphertext_bytes) * estimate_hom_ciphertexts(
+            file.rows_per_ciphertext, group_size, group_count, selectivity
+        )
+
+    def _hom_file(self, expr: ast.FuncCall) -> HomFileInfo | None:
+        if expr.args and isinstance(expr.args[0], ast.Literal):
+            name = expr.args[0].value
+            if isinstance(name, str):
+                if name in self.hom_info_override:
+                    return self.hom_info_override[name]
+                try:
+                    file = self.db.ciphertext_store.get(name)
+                except Exception:
+                    return None
+                return HomFileInfo(file.rows_per_ciphertext, file.ciphertext_bytes)
+        return None
+
+    # -- misc -------------------------------------------------------------------
+
+    def _udf_cost(self, query: ast.Select, rows: float) -> float:
+        cost = 0.0
+        for expr in self._all_exprs(query):
+            for call in ast.find_aggregates(expr):
+                if call.name in ("hom_agg", "paillier_sum"):
+                    cost += rows * self.modmul_cost
+        return cost
+
+    def _subquery_costs(self, query: ast.Select) -> float:
+        cost = 0.0
+        for expr in self._all_exprs(query):
+            for sub in ast.find_subqueries(expr):
+                cost += self.estimate(sub).cost_units
+        return cost
+
+    def _all_exprs(self, query: ast.Select) -> list[ast.Expr]:
+        exprs = [item.expr for item in query.items]
+        if query.where is not None:
+            exprs.append(query.where)
+        if query.having is not None:
+            exprs.append(query.having)
+        exprs.extend(o.expr for o in query.order_by)
+        exprs.extend(query.group_by)
+        return exprs
+
+    @staticmethod
+    def _has_aggregates(query: ast.Select) -> bool:
+        exprs = [item.expr for item in query.items]
+        if query.having is not None:
+            exprs.append(query.having)
+        return any(ast.contains_aggregate(e) for e in exprs)
+
+
+def estimate_hom_ciphertexts(
+    rows_per_ct: int, group_size: float, group_count: float, selectivity: float = 1.0
+) -> float:
+    """Expected ciphertexts shipped per group for one hom_agg result.
+
+    Per-row packing (k = 1): the whole group folds into one running
+    product — a single ciphertext regardless of group size.
+
+    Columnar packing (k > 1): a packed ciphertext folds into the product
+    only if *all* of its rows belong to this group and pass the filter;
+    every other touched ciphertext is partial and ships individually.
+    Modeling rows as scattered (tables cluster by key, not by group key),
+    a ciphertext's rows land in this group independently with probability
+    ``s_g = selectivity / group_count``:
+
+    * ciphertexts touched per group ≈ m / max(1, k * s_g) capped at m;
+    * a touched ciphertext is fully covered with probability s_g^(k-1).
+
+    High-selectivity single-group scans keep near-full coverage (the §5.2
+    win: fewer, mostly-foldable ciphertexts read from a k-times smaller
+    file); grouped or selective queries degrade to ~one ciphertext per
+    matching row, which is why the planner pairs them with per-row packing.
+    """
+    if rows_per_ct <= 1:
+        return 1.0
+    group_size = max(1.0, group_size)
+    s_g = min(1.0, max(1e-6, selectivity / max(1.0, group_count)))
+    touched = min(group_size, group_size / max(1.0, rows_per_ct * s_g))
+    partial = touched * (1.0 - s_g ** (rows_per_ct - 1))
+    return 1.0 + partial
+
+
+def _strip_suffix(name: str) -> str:
+    """Map an encrypted column name back to its base column for stats
+    (``l_quantity_det`` -> ``l_quantity``)."""
+    for suffix in ("_det", "_ope", "_rnd", "_search", "_ffx"):
+        if name.endswith(suffix):
+            return name[: -len(suffix)]
+    return name

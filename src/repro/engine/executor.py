@@ -1,0 +1,677 @@
+"""Query executor: the "unmodified DBMS" the untrusted server runs.
+
+An iterator-free, materializing executor with a small planner:
+
+* single-relation WHERE conjuncts are pushed down before joins;
+* equi-join conjuncts drive hash joins (greedy join ordering: smallest
+  joinable relation next); remaining relations fall back to nested loops;
+* explicit JOIN ... ON (incl. LEFT OUTER) handled structurally;
+* GROUP BY with arbitrary key expressions and aggregate expressions in
+  SELECT / HAVING / ORDER BY, DISTINCT, ORDER BY with alias references, and
+  LIMIT;
+* correlated subqueries re-execute per outer row (uncorrelated ones are
+  cached by the evaluator).
+
+Execution returns a :class:`ResultSet` plus scan statistics (bytes touched)
+so the caller can charge simulated disk time — analytical queries are
+I/O bound (§5.2), and our cost ledger mirrors that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.errors import ExecutionError
+from repro.engine.aggregates import make_aggregate
+from repro.engine.catalog import Database
+from repro.engine.eval import Env, EvalContext, Scope, evaluate
+from repro.engine.functions import default_functions
+from repro.sql import ast
+from repro.storage.rowcodec import value_bytes
+
+
+@dataclass
+class ResultSet:
+    columns: list[str]
+    rows: list[tuple]
+
+    def byte_size(self) -> int:
+        header = sum(len(c) + 4 for c in self.columns)
+        return header + sum(4 + sum(value_bytes(v) for v in row) for row in self.rows)
+
+
+@dataclass
+class ExecStats:
+    bytes_scanned: int = 0
+    rows_output: int = 0
+
+
+@dataclass
+class _Relation:
+    """An intermediate table: scope + materialized rows."""
+
+    scope: Scope
+    rows: list[tuple]
+
+    @property
+    def bindings(self) -> set[str]:
+        return {b for b, _ in self.scope.columns if b is not None}
+
+
+class Executor:
+    """Executes SELECT statements against a :class:`Database`."""
+
+    def __init__(self, db: Database) -> None:
+        self.db = db
+        self.functions = default_functions()
+        self.last_stats = ExecStats()
+
+    # -- public API ---------------------------------------------------------
+
+    def execute(self, query: ast.Select, params: dict[str, object] | None = None) -> ResultSet:
+        self.last_stats = ExecStats()
+        ciphertext_read_start = self.db.ciphertext_store.bytes_read
+        semijoins = _SemiJoinCache(self)
+        ctx = EvalContext(
+            params=params or {},
+            functions=self.functions,
+            subquery_executor=lambda sub, outer: self._execute(sub, ctx, outer),
+            exists_tester=lambda sub, env: semijoins.test(sub, env, ctx),
+        )
+        result = self._execute(query, ctx, None)
+        self.last_stats.rows_output = len(result.rows)
+        self.last_stats.bytes_scanned += (
+            self.db.ciphertext_store.bytes_read - ciphertext_read_start
+        )
+        return result
+
+    # -- internals ------------------------------------------------------------
+
+    def _execute(self, query: ast.Select, ctx: EvalContext, outer: Env | None) -> ResultSet:
+        relation = self._build_from(query, ctx, outer)
+        relation = self._apply_where(relation, query.where, ctx, outer)
+        if query.group_by or self._has_aggregates(query):
+            rows_with_alias = self._group_and_project(query, relation, ctx, outer)
+        else:
+            rows_with_alias = self._project(query, relation, ctx, outer)
+        rows = self._order_limit_distinct(query, rows_with_alias, ctx)
+        columns = [item.output_name(i) for i, item in enumerate(query.items)]
+        return ResultSet(columns, rows)
+
+    # FROM clause -------------------------------------------------------------
+
+    def _build_from(self, query: ast.Select, ctx: EvalContext, outer: Env | None) -> _Relation:
+        if not query.from_items:
+            return _Relation(Scope([]), [()])
+        relations = [self._resolve_ref(ref, ctx, outer) for ref in query.from_items]
+        conjuncts = ast.conjuncts(query.where)
+        # Factor predicates common to every OR branch (classic OR-expansion:
+        # TPC-H Q19 repeats its join equality in each branch).  Implied
+        # conjuncts are freely pushable; the original OR still applies.
+        conjuncts = conjuncts + _implied_conjuncts(conjuncts)
+        pushed: set[int] = set()
+        relations = [
+            self._pushdown(rel, conjuncts, pushed, ctx, outer) for rel in relations
+        ]
+        joined = self._join_all(relations, conjuncts, pushed, ctx, outer)
+        remaining = [c for i, c in enumerate(conjuncts) if i not in pushed]
+        self._consumed_where = (conjuncts, pushed, remaining)
+        return joined
+
+    def _resolve_ref(self, ref: ast.TableRef, ctx: EvalContext, outer: Env | None) -> _Relation:
+        if isinstance(ref, ast.TableName):
+            table = self.db.table(ref.name)
+            self.last_stats.bytes_scanned += table.total_bytes
+            binding = ref.binding
+            scope = Scope([(binding, c) for c in table.schema.column_names])
+            return _Relation(scope, table.rows)
+        if isinstance(ref, ast.SubqueryRef):
+            result = self._execute(ref.query, ctx, None)
+            scope = Scope([(ref.alias, c) for c in result.columns])
+            return _Relation(scope, result.rows)
+        if isinstance(ref, ast.Join):
+            left = self._resolve_ref(ref.left, ctx, outer)
+            right = self._resolve_ref(ref.right, ctx, outer)
+            return self._join_pair(left, right, ref.condition, ref.kind, ctx, outer)
+        raise ExecutionError(f"unknown FROM item {ref!r}")
+
+    def _pushdown(
+        self,
+        rel: _Relation,
+        conjuncts: list[ast.Expr],
+        pushed: set[int],
+        ctx: EvalContext,
+        outer: Env | None,
+    ) -> _Relation:
+        """Apply single-relation, subquery-free conjuncts before joining."""
+        local: list[ast.Expr] = []
+        for i, conj in enumerate(conjuncts):
+            if i in pushed or ast.find_subqueries(conj):
+                continue
+            refs = self._binding_refs(conj, rel)
+            if refs == "local":
+                local.append(conj)
+                pushed.add(i)
+        if not local:
+            return rel
+        predicate = ast.conjoin(local)
+        rows = [
+            row
+            for row in rel.rows
+            if evaluate(predicate, Env(rel.scope, row, outer), ctx) is True
+        ]
+        return _Relation(rel.scope, rows)
+
+    def _binding_refs(self, expr: ast.Expr, rel: _Relation) -> str:
+        """"local" if every column in expr resolves inside rel, else "other"."""
+        for col in ast.find_columns(expr):
+            if col.name == "*":
+                continue
+            try:
+                if rel.scope.find(col.table, col.name) is None:
+                    return "other"
+            except ExecutionError:
+                return "other"
+        return "local"
+
+    def _join_all(
+        self,
+        relations: list[_Relation],
+        conjuncts: list[ast.Expr],
+        pushed: set[int],
+        ctx: EvalContext,
+        outer: Env | None,
+    ) -> _Relation:
+        if len(relations) == 1:
+            return relations[0]
+        remaining = list(relations)
+        # Start with the smallest relation that has at least one join edge.
+        current = remaining.pop(self._pick_start(remaining, conjuncts, pushed))
+        while remaining:
+            choice = self._pick_next(current, remaining, conjuncts, pushed)
+            if choice is None:
+                # No join predicate connects: cross product with smallest.
+                index = min(range(len(remaining)), key=lambda i: len(remaining[i].rows))
+                nxt = remaining.pop(index)
+                current = self._cross(current, nxt)
+                continue
+            index, conj_index, left_key, right_key = choice
+            nxt = remaining.pop(index)
+            pushed.add(conj_index)
+            current = self._hash_join(current, nxt, left_key, right_key, ctx, outer)
+        return current
+
+    def _pick_start(
+        self, relations: list[_Relation], conjuncts: list[ast.Expr], pushed: set[int]
+    ) -> int:
+        return min(range(len(relations)), key=lambda i: len(relations[i].rows))
+
+    def _pick_next(
+        self,
+        current: _Relation,
+        remaining: list[_Relation],
+        conjuncts: list[ast.Expr],
+        pushed: set[int],
+    ):
+        """Find (relation idx, conjunct idx, current key expr, next key expr)
+        for the smallest relation reachable via an equi-join conjunct."""
+        best = None
+        for conj_index, conj in enumerate(conjuncts):
+            if conj_index in pushed:
+                continue
+            if not (isinstance(conj, ast.BinOp) and conj.op == "="):
+                continue
+            if ast.find_subqueries(conj):
+                # Correlated subqueries need the full join env; never use
+                # them as join keys.
+                continue
+            for rel_index, rel in enumerate(remaining):
+                sides = self._split_equi(conj, current, rel)
+                if sides is None:
+                    continue
+                size = len(rel.rows)
+                if best is None or size < best[4]:
+                    best = (rel_index, conj_index, sides[0], sides[1], size)
+        if best is None:
+            return None
+        return best[:4]
+
+    def _split_equi(self, conj: ast.BinOp, left: _Relation, right: _Relation):
+        """If ``conj`` equates a left-side expr with a right-side expr,
+        return (left_expr, right_expr)."""
+        if self._binding_refs(conj.left, left) == "local" and self._binding_refs(
+            conj.right, right
+        ) == "local":
+            return conj.left, conj.right
+        if self._binding_refs(conj.left, right) == "local" and self._binding_refs(
+            conj.right, left
+        ) == "local":
+            return conj.right, conj.left
+        return None
+
+    def _hash_join(
+        self,
+        left: _Relation,
+        right: _Relation,
+        left_key: ast.Expr,
+        right_key: ast.Expr,
+        ctx: EvalContext,
+        outer: Env | None,
+    ) -> _Relation:
+        buckets: dict[object, list[tuple]] = {}
+        for row in right.rows:
+            key = evaluate(right_key, Env(right.scope, row, outer), ctx)
+            if key is None:
+                continue
+            buckets.setdefault(key, []).append(row)
+        joined: list[tuple] = []
+        for row in left.rows:
+            key = evaluate(left_key, Env(left.scope, row, outer), ctx)
+            if key is None:
+                continue
+            for other in buckets.get(key, ()):
+                joined.append(row + other)
+        return _Relation(left.scope.merged_with(right.scope), joined)
+
+    def _cross(self, left: _Relation, right: _Relation) -> _Relation:
+        rows = [l + r for l in left.rows for r in right.rows]
+        return _Relation(left.scope.merged_with(right.scope), rows)
+
+    def _join_pair(
+        self,
+        left: _Relation,
+        right: _Relation,
+        condition: ast.Expr | None,
+        kind: str,
+        ctx: EvalContext,
+        outer: Env | None,
+    ) -> _Relation:
+        scope = left.scope.merged_with(right.scope)
+        rows: list[tuple] = []
+        null_row = (None,) * len(right.scope.columns)
+        # Try hash join for simple equality conditions.
+        equi = None
+        if condition is not None and isinstance(condition, ast.BinOp) and condition.op == "=":
+            equi = self._split_equi(condition, left, right)
+        if equi is not None:
+            left_key, right_key = equi
+            buckets: dict[object, list[tuple]] = {}
+            for row in right.rows:
+                key = evaluate(right_key, Env(right.scope, row, outer), ctx)
+                if key is not None:
+                    buckets.setdefault(key, []).append(row)
+            for row in left.rows:
+                key = evaluate(left_key, Env(left.scope, row, outer), ctx)
+                matches = buckets.get(key, []) if key is not None else []
+                if matches:
+                    rows.extend(row + other for other in matches)
+                elif kind == "left":
+                    rows.append(row + null_row)
+            return _Relation(scope, rows)
+        for row in left.rows:
+            matched = False
+            for other in right.rows:
+                combined = row + other
+                if condition is None or evaluate(
+                    condition, Env(scope, combined, outer), ctx
+                ) is True:
+                    rows.append(combined)
+                    matched = True
+            if not matched and kind == "left":
+                rows.append(row + null_row)
+        return _Relation(scope, rows)
+
+    # WHERE ---------------------------------------------------------------------
+
+    def _apply_where(
+        self, relation: _Relation, where: ast.Expr | None, ctx: EvalContext, outer: Env | None
+    ) -> _Relation:
+        if where is None:
+            return relation
+        state = getattr(self, "_consumed_where", None)
+        remaining = state[2] if state is not None else ast.conjuncts(where)
+        self._consumed_where = None
+        if not remaining:
+            return relation
+        predicate = ast.conjoin(remaining)
+        rows = [
+            row
+            for row in relation.rows
+            if evaluate(predicate, Env(relation.scope, row, outer), ctx) is True
+        ]
+        return _Relation(relation.scope, rows)
+
+    # Projection / grouping -------------------------------------------------------
+
+    @staticmethod
+    def _has_aggregates(query: ast.Select) -> bool:
+        exprs = [item.expr for item in query.items]
+        if query.having is not None:
+            exprs.append(query.having)
+        exprs.extend(o.expr for o in query.order_by)
+        return any(ast.contains_aggregate(e) for e in exprs)
+
+    def _output_exprs(self, query: ast.Select) -> list[ast.Expr]:
+        exprs = [item.expr for item in query.items]
+        if query.having is not None:
+            exprs.append(query.having)
+        exprs.extend(o.expr for o in query.order_by)
+        return exprs
+
+    def _group_and_project(
+        self, query: ast.Select, relation: _Relation, ctx: EvalContext, outer: Env | None
+    ) -> list[tuple[tuple, dict]]:
+        agg_calls: list[ast.FuncCall] = []
+        seen: set = set()
+        for expr in self._output_exprs(query):
+            for call in ast.find_aggregates(expr):
+                if call not in seen:
+                    seen.add(call)
+                    agg_calls.append(call)
+        groups: dict[tuple, tuple[tuple, list]] = {}
+        for row in relation.rows:
+            env = Env(relation.scope, row, outer)
+            key = tuple(evaluate(k, env, ctx) for k in query.group_by)
+            entry = groups.get(key)
+            if entry is None:
+                aggs = [
+                    make_aggregate(c.name, c.distinct, self.db.ciphertext_store)
+                    for c in agg_calls
+                ]
+                groups[key] = (row, aggs)
+                entry = groups[key]
+            _, aggs = entry
+            for call, agg in zip(agg_calls, aggs):
+                if call.star:
+                    agg.update([1])
+                else:
+                    agg.update([evaluate(a, env, ctx) for a in call.args])
+        if not groups and not query.group_by:
+            # Aggregate over empty input: one row of aggregate identities.
+            aggs = [
+                make_aggregate(c.name, c.distinct, self.db.ciphertext_store)
+                for c in agg_calls
+            ]
+            groups[()] = (None, aggs)
+        output: list[tuple[tuple, dict]] = []
+        for key, (rep_row, aggs) in groups.items():
+            agg_values = {call: agg.finalize() for call, agg in zip(agg_calls, aggs)}
+            group_ctx = EvalContext(
+                params=ctx.params,
+                functions=ctx.functions,
+                subquery_executor=ctx.subquery_executor,
+                aggregate_values=agg_values,
+                _subquery_cache=ctx._subquery_cache,
+            )
+            env = Env(relation.scope, rep_row, outer) if rep_row is not None else None
+            values = tuple(evaluate(item.expr, env, group_ctx) for item in query.items)
+            aliases = {
+                item.alias: value
+                for item, value in zip(query.items, values)
+                if item.alias
+            }
+            group_ctx.alias_values = aliases
+            if query.having is not None:
+                if evaluate(query.having, env, group_ctx) is not True:
+                    continue
+            order_keys = self._order_keys(query, env, group_ctx, values)
+            output.append((values, order_keys))
+        return output
+
+    def _project(
+        self, query: ast.Select, relation: _Relation, ctx: EvalContext, outer: Env | None
+    ) -> list[tuple[tuple, dict]]:
+        output = []
+        for row in relation.rows:
+            env = Env(relation.scope, row, outer)
+            values = self._project_row(query, env, ctx, relation)
+            aliases = {
+                item.alias: value
+                for item, value in zip(query.items, values)
+                if item.alias is not None
+            }
+            row_ctx = EvalContext(
+                params=ctx.params,
+                functions=ctx.functions,
+                subquery_executor=ctx.subquery_executor,
+                alias_values=aliases,
+                _subquery_cache=ctx._subquery_cache,
+            )
+            order_keys = self._order_keys(query, env, row_ctx, values)
+            output.append((values, order_keys))
+        return output
+
+    def _project_row(
+        self, query: ast.Select, env: Env, ctx: EvalContext, relation: _Relation
+    ) -> tuple:
+        values: list = []
+        for item in query.items:
+            if isinstance(item.expr, ast.Column) and item.expr.name == "*":
+                values.extend(env.row)
+            else:
+                values.append(evaluate(item.expr, env, ctx))
+        return tuple(values)
+
+    def _order_keys(
+        self, query: ast.Select, env: Env | None, ctx: EvalContext, values: tuple
+    ) -> list:
+        keys = []
+        for item in query.order_by:
+            keys.append(evaluate(item.expr, env, ctx))
+        return keys
+
+    # ORDER BY / DISTINCT / LIMIT ---------------------------------------------------
+
+    def _order_limit_distinct(
+        self, query: ast.Select, rows_with_keys: list[tuple[tuple, list]], ctx: EvalContext
+    ) -> list[tuple]:
+        rows = rows_with_keys
+        if query.distinct:
+            unique: dict = {}
+            for values, keys in rows:
+                marker = tuple(
+                    tuple(v) if isinstance(v, list) else v for v in values
+                )
+                if marker not in unique:
+                    unique[marker] = (values, keys)
+            rows = list(unique.values())
+        if query.order_by:
+            for index in range(len(query.order_by) - 1, -1, -1):
+                ascending = query.order_by[index].ascending
+                rows.sort(
+                    key=lambda pair: _SortKey(pair[1][index]),
+                    reverse=not ascending,
+                )
+        result = [values for values, _ in rows]
+        if query.limit is not None:
+            result = result[: query.limit]
+        return result
+
+
+class _SemiJoinCache:
+    """Materialized semi-join fast path for correlated EXISTS.
+
+    A correlated EXISTS whose outer references appear only in top-level
+    comparison conjuncts (``inner_expr OP outer_expr``) executes the
+    subquery ONCE with those conjuncts removed, materializing the inner
+    comparison values; each outer row then probes the materialization
+    (hash on the first equality, linear within the bucket).  This is the
+    classic magic-set/semi-join decorrelation — TPC-H Q4, Q21, and Q22 are
+    unusable without it on a naive executor.
+    """
+
+    _EQ_OPS = ("=", "<>", "<", "<=", ">", ">=")
+    _FLIP = {"=": "=", "<>": "<>", "<": ">", "<=": ">=", ">": "<", ">=": "<="}
+
+    def __init__(self, executor: "Executor") -> None:
+        self.executor = executor
+        self._entries: dict[int, object] = {}
+
+    def test(self, query: ast.Select, env: Env | None, ctx: EvalContext):
+        key = id(query)
+        entry = self._entries.get(key)
+        if entry is None:
+            entry = self._build(query, ctx)
+            self._entries[key] = entry
+        if entry is False:
+            return None  # Not decomposable: caller falls back.
+        probes, index, rows = entry
+        outer_values = []
+        for op, _inner_index, outer_expr in probes:
+            outer_values.append(evaluate(outer_expr, env, ctx))
+        # Probe: hash bucket on the first equality if one exists.
+        candidates = rows
+        start = 0
+        if index is not None:
+            eq_pos, buckets = index
+            value = outer_values[eq_pos]
+            if value is None:
+                return False
+            candidates = buckets.get(value, ())
+        for row in candidates:
+            ok = True
+            for j, (op, inner_index, _outer) in enumerate(probes):
+                if not _compare(op, row[inner_index], outer_values[j]):
+                    ok = False
+                    break
+            if ok:
+                return True
+        return False
+
+    def _build(self, query: ast.Select, ctx: EvalContext):
+        if query.group_by or query.having is not None or query.limit is not None:
+            return False
+        tables: list[tuple[str, str]] = []
+        for ref in query.from_items:
+            if not isinstance(ref, ast.TableName):
+                return False
+            if not self.executor.db.has_table(ref.name):
+                return False
+            tables.append((ref.binding, ref.name))
+        inner_scope = Scope(
+            [
+                (binding, column)
+                for binding, name in tables
+                for column in self.executor.db.table(name).schema.column_names
+            ]
+        )
+        local: list[ast.Expr] = []
+        probes: list[tuple[str, ast.Expr, ast.Expr]] = []  # (op, inner, outer)
+        for conjunct in ast.conjuncts(query.where):
+            if ast.find_subqueries(conjunct):
+                return False
+            side = self._classify(conjunct, inner_scope)
+            if side == "inner":
+                local.append(conjunct)
+                continue
+            if not (isinstance(conjunct, ast.BinOp) and conjunct.op in self._EQ_OPS):
+                return False
+            left_side = self._classify(conjunct.left, inner_scope)
+            right_side = self._classify(conjunct.right, inner_scope)
+            if left_side == "inner" and right_side == "outer":
+                probes.append((conjunct.op, conjunct.left, conjunct.right))
+            elif left_side == "outer" and right_side == "inner":
+                probes.append((self._FLIP[conjunct.op], conjunct.right, conjunct.left))
+            else:
+                return False
+        if not probes:
+            return False
+        inner_select = ast.Select(
+            items=tuple(ast.SelectItem(inner) for _, inner, _ in probes),
+            from_items=query.from_items,
+            where=ast.conjoin(local),
+        )
+        result = self.executor._execute(inner_select, ctx, None)
+        probe_specs = [
+            (op, i, outer) for i, (op, _inner, outer) in enumerate(probes)
+        ]
+        index = None
+        for i, (op, _inner, _outer) in enumerate(probes):
+            if op == "=":
+                buckets: dict[object, list[tuple]] = {}
+                for row in result.rows:
+                    if row[i] is not None:
+                        try:
+                            buckets.setdefault(row[i], []).append(row)
+                        except TypeError:
+                            return False
+                index = (i, buckets)
+                break
+        return (probe_specs, index, result.rows)
+
+    def _classify(self, expr: ast.Expr, inner_scope: Scope) -> str:
+        """"inner" if every column resolves in the subquery scope, "outer"
+        if none do, "mixed" otherwise."""
+        saw_inner = saw_outer = False
+        for column in ast.find_columns(expr):
+            if column.name == "*":
+                saw_inner = True
+                continue
+            try:
+                found = inner_scope.find(column.table, column.name) is not None
+            except ExecutionError:
+                found = True  # Ambiguous within inner: treat as inner.
+            if found:
+                saw_inner = True
+            else:
+                saw_outer = True
+        if saw_outer and saw_inner:
+            return "mixed"
+        return "outer" if saw_outer else "inner"
+
+
+def _compare(op: str, left: object, right: object) -> bool:
+    if left is None or right is None:
+        return False
+    if op == "=":
+        return left == right
+    if op == "<>":
+        return left != right
+    if op == "<":
+        return left < right
+    if op == "<=":
+        return left <= right
+    if op == ">":
+        return left > right
+    return left >= right
+
+
+def _implied_conjuncts(conjuncts: list[ast.Expr]) -> list[ast.Expr]:
+    implied: list[ast.Expr] = []
+    for conjunct in conjuncts:
+        if not (isinstance(conjunct, ast.BinOp) and conjunct.op == "or"):
+            continue
+        branches = _or_branches(conjunct)
+        if len(branches) < 2:
+            continue
+        common = set(ast.conjuncts(branches[0]))
+        for branch in branches[1:]:
+            common &= set(ast.conjuncts(branch))
+        implied.extend(sorted(common, key=repr))
+    return implied
+
+
+def _or_branches(expr: ast.Expr) -> list[ast.Expr]:
+    if isinstance(expr, ast.BinOp) and expr.op == "or":
+        return _or_branches(expr.left) + _or_branches(expr.right)
+    return [expr]
+
+
+class _SortKey:
+    """Sort wrapper: NULLs last (ascending), type-stable comparisons."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: object) -> None:
+        self.value = value
+
+    def __lt__(self, other: "_SortKey") -> bool:
+        a, b = self.value, other.value
+        if a is None:
+            return False
+        if b is None:
+            return True
+        return a < b
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _SortKey) and self.value == other.value

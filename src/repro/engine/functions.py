@@ -1,0 +1,66 @@
+"""Scalar function registry for the engine.
+
+The registry is deliberately small — the SQL dialect expresses most
+computation with dedicated AST nodes (EXTRACT, SUBSTRING, CASE) that the
+evaluator handles directly.  MONOMI's server-side UDF for searchable
+encryption needs no entry here either: the evaluator recognises a tag-set
+column LIKE a trapdoor-bytes literal natively.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.common.errors import ExecutionError
+
+
+def _abs(value):
+    return None if value is None else abs(value)
+
+
+def _coalesce(*values):
+    for value in values:
+        if value is not None:
+            return value
+    return None
+
+
+def _length(value):
+    return None if value is None else len(value)
+
+
+def _upper(value):
+    return None if value is None else str(value).upper()
+
+
+def _lower(value):
+    return None if value is None else str(value).lower()
+
+
+def _round(value, digits=0):
+    if value is None:
+        return None
+    result = round(value, int(digits))
+    return result
+
+
+def _in_set(value, members):
+    """Set membership against a bound parameter (used by MONOMI's
+    multi-round-trip subquery materialization)."""
+    if value is None:
+        return None
+    if members is None:
+        raise ExecutionError("in_set called with an unbound set")
+    return value in members
+
+
+def default_functions() -> dict[str, Callable]:
+    return {
+        "abs": _abs,
+        "coalesce": _coalesce,
+        "in_set": _in_set,
+        "length": _length,
+        "upper": _upper,
+        "lower": _lower,
+        "round": _round,
+    }

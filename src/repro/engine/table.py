@@ -1,0 +1,82 @@
+"""In-memory tables with byte-accurate size accounting and statistics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import CatalogError
+from repro.engine.schema import TableSchema
+from repro.storage.rowcodec import row_bytes, value_bytes
+
+
+@dataclass
+class ColumnStats:
+    """Per-column statistics used by the cost estimator (ANALYZE output)."""
+
+    num_distinct: int = 0
+    num_nulls: int = 0
+    min_value: object = None
+    max_value: object = None
+    avg_width: float = 0.0
+
+
+class Table:
+    """A heap of rows plus maintained size statistics."""
+
+    def __init__(self, schema: TableSchema) -> None:
+        self.schema = schema
+        self.rows: list[tuple] = []
+        self.total_bytes = 0
+        self._stats: dict[str, ColumnStats] | None = None
+
+    @property
+    def name(self) -> str:
+        return self.schema.name
+
+    @property
+    def num_rows(self) -> int:
+        return len(self.rows)
+
+    def insert(self, row: tuple) -> None:
+        if len(row) != len(self.schema.columns):
+            raise CatalogError(
+                f"row has {len(row)} values, table {self.name!r} has "
+                f"{len(self.schema.columns)} columns"
+            )
+        for value, col in zip(row, self.schema.columns):
+            if not col.accepts(value):
+                raise CatalogError(
+                    f"value {value!r} not valid for column "
+                    f"{self.name}.{col.name} ({col.type})"
+                )
+        self.rows.append(row)
+        self.total_bytes += row_bytes(row)
+        self._stats = None
+
+    def insert_many(self, rows) -> None:
+        for row in rows:
+            self.insert(row)
+
+    def analyze(self) -> dict[str, ColumnStats]:
+        """Compute (and cache) per-column statistics."""
+        if self._stats is not None:
+            return self._stats
+        stats: dict[str, ColumnStats] = {}
+        for i, col in enumerate(self.schema.columns):
+            values = [row[i] for row in self.rows]
+            non_null = [v for v in values if v is not None]
+            cs = ColumnStats(num_nulls=len(values) - len(non_null))
+            if non_null:
+                try:
+                    cs.num_distinct = len(set(non_null))
+                except TypeError:
+                    cs.num_distinct = len(non_null)
+                try:
+                    cs.min_value = min(non_null)
+                    cs.max_value = max(non_null)
+                except TypeError:
+                    pass  # Mixed/unorderable (e.g. tag sets): no min/max.
+                cs.avg_width = sum(value_bytes(v) for v in non_null) / len(non_null)
+            stats[col.name] = cs
+        self._stats = stats
+        return stats

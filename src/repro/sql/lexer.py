@@ -1,0 +1,151 @@
+"""SQL lexer.
+
+Produces a flat token stream for the recursive-descent parser.  Keywords are
+case-insensitive; identifiers are lower-cased (our catalog is lower-case,
+like Postgres' default folding).  The dialect adds two lexemes standard SQL
+text does not need but encrypted queries do:
+
+* hex blob literals ``X'ab12...'`` — deterministic/OPE ciphertext constants
+  embedded in server-side queries;
+* named parameters ``:1`` / ``:name`` — the paper writes TPC-H parameters
+  as ``:1``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import LexError
+
+KEYWORDS = frozenset(
+    """
+    select from where group by having order asc desc limit distinct as and or
+    not in like between is null exists case when then else end inner left
+    outer join on interval year month day date extract substring for true
+    false cast integer bigint text union all
+    """.split()
+)
+
+SYMBOLS = (
+    "<=", ">=", "<>", "!=", "||",
+    "=", "<", ">", "+", "-", "*", "/", "(", ")", ",", ".", ";",
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # keyword | ident | number | string | blob | param | symbol | eof
+    text: str
+    value: object = None
+    position: int = 0
+
+    def is_keyword(self, word: str) -> bool:
+        return self.kind == "keyword" and self.text == word
+
+    def is_symbol(self, sym: str) -> bool:
+        return self.kind == "symbol" and self.text == sym
+
+
+def tokenize(sql: str) -> list[Token]:
+    tokens: list[Token] = []
+    i = 0
+    n = len(sql)
+    while i < n:
+        ch = sql[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if sql.startswith("--", i):  # Line comment.
+            end = sql.find("\n", i)
+            i = n if end < 0 else end + 1
+            continue
+        if ch == "'":
+            text, i = _read_string(sql, i)
+            tokens.append(Token("string", text, value=text, position=i))
+            continue
+        if ch in ("x", "X") and i + 1 < n and sql[i + 1] == "'":
+            hex_text, i = _read_string(sql, i + 1)
+            try:
+                blob = bytes.fromhex(hex_text)
+            except ValueError:
+                raise LexError(f"bad hex blob literal {hex_text!r}", i)
+            tokens.append(Token("blob", hex_text, value=blob, position=i))
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < n and sql[i + 1].isdigit()):
+            token, i = _read_number(sql, i)
+            tokens.append(token)
+            continue
+        if ch.isalpha() or ch == "_":
+            start = i
+            while i < n and (sql[i].isalnum() or sql[i] == "_"):
+                i += 1
+            word = sql[start:i].lower()
+            kind = "keyword" if word in KEYWORDS else "ident"
+            tokens.append(Token(kind, word, position=start))
+            continue
+        if ch == ":":
+            start = i
+            i += 1
+            while i < n and (sql[i].isalnum() or sql[i] == "_"):
+                i += 1
+            if i == start + 1:
+                raise LexError("bare ':' is not a parameter", start)
+            tokens.append(Token("param", sql[start + 1 : i], position=start))
+            continue
+        matched = False
+        for sym in SYMBOLS:
+            if sql.startswith(sym, i):
+                tokens.append(Token("symbol", "<>" if sym == "!=" else sym, position=i))
+                i += len(sym)
+                matched = True
+                break
+        if not matched:
+            raise LexError(f"unexpected character {ch!r}", i)
+    tokens.append(Token("eof", "", position=n))
+    return tokens
+
+
+def _read_string(sql: str, i: int) -> tuple[str, int]:
+    """Read a single-quoted string starting at ``i`` (which is the quote).
+
+    Doubled quotes escape a quote, per SQL.
+    """
+    assert sql[i] == "'"
+    i += 1
+    parts: list[str] = []
+    while i < len(sql):
+        ch = sql[i]
+        if ch == "'":
+            if i + 1 < len(sql) and sql[i + 1] == "'":
+                parts.append("'")
+                i += 2
+                continue
+            return "".join(parts), i + 1
+        parts.append(ch)
+        i += 1
+    raise LexError("unterminated string literal", i)
+
+
+def _read_number(sql: str, i: int) -> tuple[Token, int]:
+    start = i
+    n = len(sql)
+    while i < n and sql[i].isdigit():
+        i += 1
+    is_float = False
+    if i < n and sql[i] == "." and (i + 1 < n and sql[i + 1].isdigit() or True):
+        is_float = True
+        i += 1
+        while i < n and sql[i].isdigit():
+            i += 1
+    if i < n and sql[i] in "eE":
+        j = i + 1
+        if j < n and sql[j] in "+-":
+            j += 1
+        if j < n and sql[j].isdigit():
+            is_float = True
+            i = j
+            while i < n and sql[i].isdigit():
+                i += 1
+    text = sql[start:i]
+    value: object = float(text) if is_float else int(text)
+    return Token("number", text, value=value, position=start), i

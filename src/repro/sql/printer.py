@@ -1,0 +1,159 @@
+"""Render AST nodes back to SQL text.
+
+Used for plan display (`RemoteSQL` nodes show the exact query shipped to the
+untrusted server, ciphertext constants as hex blobs) and for round-trip
+testing of the parser.
+"""
+
+from __future__ import annotations
+
+import datetime
+
+from repro.sql import ast
+
+_PRECEDENCE = {
+    "or": 1,
+    "and": 2,
+    "=": 4, "<>": 4, "<": 4, "<=": 4, ">": 4, ">=": 4,
+    "+": 5, "-": 5, "||": 5,
+    "*": 6, "/": 6,
+}
+
+
+def to_sql(node: ast.Select | ast.Expr) -> str:
+    if isinstance(node, ast.Select):
+        return _select_sql(node)
+    return _expr_sql(node, 0)
+
+
+def _select_sql(q: ast.Select) -> str:
+    parts = ["SELECT"]
+    if q.distinct:
+        parts.append("DISTINCT")
+    parts.append(", ".join(_item_sql(i) for i in q.items))
+    if q.from_items:
+        parts.append("FROM " + ", ".join(_tableref_sql(t) for t in q.from_items))
+    if q.where is not None:
+        parts.append("WHERE " + _expr_sql(q.where, 0))
+    if q.group_by:
+        parts.append("GROUP BY " + ", ".join(_expr_sql(g, 0) for g in q.group_by))
+    if q.having is not None:
+        parts.append("HAVING " + _expr_sql(q.having, 0))
+    if q.order_by:
+        rendered = ", ".join(
+            _expr_sql(o.expr, 0) + ("" if o.ascending else " DESC") for o in q.order_by
+        )
+        parts.append("ORDER BY " + rendered)
+    if q.limit is not None:
+        parts.append(f"LIMIT {q.limit}")
+    return " ".join(parts)
+
+
+def _item_sql(item: ast.SelectItem) -> str:
+    rendered = _expr_sql(item.expr, 0)
+    if item.alias:
+        return f"{rendered} AS {item.alias}"
+    return rendered
+
+
+def _tableref_sql(ref: ast.TableRef) -> str:
+    if isinstance(ref, ast.TableName):
+        return f"{ref.name} AS {ref.alias}" if ref.alias else ref.name
+    if isinstance(ref, ast.SubqueryRef):
+        return f"({_select_sql(ref.query)}) AS {ref.alias}"
+    if isinstance(ref, ast.Join):
+        keyword = "LEFT JOIN" if ref.kind == "left" else "JOIN"
+        text = f"{_tableref_sql(ref.left)} {keyword} {_tableref_sql(ref.right)}"
+        if ref.condition is not None:
+            text += " ON " + _expr_sql(ref.condition, 0)
+        return text
+    raise TypeError(f"unknown table ref {ref!r}")
+
+
+def _expr_sql(e: ast.Expr, parent_prec: int) -> str:
+    if isinstance(e, ast.Literal):
+        return _literal_sql(e.value)
+    if isinstance(e, ast.Interval):
+        return f"INTERVAL '{e.amount}' {e.unit.upper()}"
+    if isinstance(e, ast.Column):
+        return e.qualified
+    if isinstance(e, ast.Param):
+        return f":{e.name}"
+    if isinstance(e, ast.BinOp):
+        prec = _PRECEDENCE.get(e.op, 4)
+        op = e.op.upper() if e.op in ("and", "or") else e.op
+        # Comparisons are non-associative: parenthesize comparison operands.
+        left_prec = prec + 1 if prec == 4 else prec
+        text = f"{_expr_sql(e.left, left_prec)} {op} {_expr_sql(e.right, prec + 1)}"
+        return f"({text})" if prec < parent_prec else text
+    if isinstance(e, ast.UnaryOp):
+        if e.op == "not":
+            inner = _expr_sql(e.operand, 3)
+            return f"NOT {inner}"
+        return f"-{_expr_sql(e.operand, 7)}"
+    if isinstance(e, ast.FuncCall):
+        if e.star:
+            return f"{e.name}(*)"
+        inner = ", ".join(_expr_sql(a, 0) for a in e.args)
+        if e.distinct:
+            inner = "DISTINCT " + inner
+        return f"{e.name}({inner})"
+    if isinstance(e, ast.CaseWhen):
+        parts = ["CASE"]
+        for cond, result in e.whens:
+            parts.append(f"WHEN {_expr_sql(cond, 0)} THEN {_expr_sql(result, 0)}")
+        if e.else_ is not None:
+            parts.append(f"ELSE {_expr_sql(e.else_, 0)}")
+        parts.append("END")
+        return " ".join(parts)
+    if isinstance(e, ast.InList):
+        items = ", ".join(_expr_sql(i, 0) for i in e.items)
+        maybe_not = "NOT " if e.negated else ""
+        return f"{_expr_sql(e.needle, 5)} {maybe_not}IN ({items})"
+    if isinstance(e, ast.InSubquery):
+        maybe_not = "NOT " if e.negated else ""
+        return f"{_expr_sql(e.needle, 5)} {maybe_not}IN ({_select_sql(e.query)})"
+    if isinstance(e, ast.Like):
+        maybe_not = "NOT " if e.negated else ""
+        return f"{_expr_sql(e.needle, 5)} {maybe_not}LIKE {_expr_sql(e.pattern, 5)}"
+    if isinstance(e, ast.Between):
+        maybe_not = "NOT " if e.negated else ""
+        return (
+            f"{_expr_sql(e.needle, 5)} {maybe_not}BETWEEN "
+            f"{_expr_sql(e.low, 5)} AND {_expr_sql(e.high, 5)}"
+        )
+    if isinstance(e, ast.IsNull):
+        maybe_not = "NOT " if e.negated else ""
+        return f"{_expr_sql(e.operand, 5)} IS {maybe_not}NULL"
+    if isinstance(e, ast.Extract):
+        return f"EXTRACT({e.field_name.upper()} FROM {_expr_sql(e.operand, 0)})"
+    if isinstance(e, ast.Substring):
+        text = f"SUBSTRING({_expr_sql(e.operand, 0)} FROM {_expr_sql(e.start, 0)}"
+        if e.length is not None:
+            text += f" FOR {_expr_sql(e.length, 0)}"
+        return text + ")"
+    if isinstance(e, ast.ScalarSubquery):
+        return f"({_select_sql(e.query)})"
+    if isinstance(e, ast.Exists):
+        maybe_not = "NOT " if e.negated else ""
+        return f"{maybe_not}EXISTS ({_select_sql(e.query)})"
+    raise TypeError(f"unknown expression {e!r}")
+
+
+def _literal_sql(value: object) -> str:
+    if value is None:
+        return "NULL"
+    if isinstance(value, bool):
+        return "TRUE" if value else "FALSE"
+    if isinstance(value, (int, float)):
+        return repr(value)
+    if isinstance(value, bytes):
+        return "X'" + value.hex() + "'"
+    if isinstance(value, datetime.date):
+        return f"DATE '{value.isoformat()}'"
+    if isinstance(value, str):
+        return "'" + value.replace("'", "''") + "'"
+    if isinstance(value, frozenset):
+        # SEARCH tag sets never appear in printable queries; placeholder only.
+        return "X'" + b"".join(sorted(value)).hex() + "'"
+    raise TypeError(f"unprintable literal {value!r}")

@@ -1,0 +1,13 @@
+"""Star Schema Benchmark substrate (the paper's second workload, §3).
+
+The prototype "can handle queries from the standard TPC-H and SSB [19]
+benchmarks"; this package provides the SSB star schema, a deterministic
+generator, and the 13 queries (4 query flights) in the scaled-integer
+dialect.
+"""
+
+from repro.ssb.dbgen import generate
+from repro.ssb.queries import ssb_queries
+from repro.ssb.schema import ALL_TABLES
+
+__all__ = ["ALL_TABLES", "generate", "ssb_queries"]

@@ -1,0 +1,190 @@
+"""Deterministic SSB data generator.
+
+Cardinalities follow O'Neil et al.'s spec ratios (lineorder ~6M x SF) with
+small-scale floors; the value grammars give each query flight its intended
+selectivity (year/brand/region/segment filters).
+"""
+
+from __future__ import annotations
+
+import datetime
+import random
+
+from repro.engine.catalog import Database
+from repro.ssb import schema as ssb_schema
+
+REGIONS = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"]
+NATIONS_BY_REGION = {
+    "AFRICA": ["ALGERIA", "ETHIOPIA", "KENYA", "MOROCCO", "MOZAMBIQUE"],
+    "AMERICA": ["ARGENTINA", "BRAZIL", "CANADA", "PERU", "UNITED STATES"],
+    "ASIA": ["INDIA", "INDONESIA", "JAPAN", "CHINA", "VIETNAM"],
+    "EUROPE": ["FRANCE", "GERMANY", "ROMANIA", "RUSSIA", "UNITED KINGDOM"],
+    "MIDDLE EAST": ["EGYPT", "IRAN", "IRAQ", "JORDAN", "SAUDI ARABIA"],
+}
+SEGMENTS = ["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"]
+PRIORITIES = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECI", "5-LOW"]
+SHIP_MODES = ["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"]
+MONTHS = [
+    "January", "February", "March", "April", "May", "June",
+    "July", "August", "September", "October", "November", "December",
+]
+DAYS = ["Monday", "Tuesday", "Wednesday", "Thursday", "Friday", "Saturday", "Sunday"]
+COLORS = ["red", "green", "blue", "ivory", "peach", "steel", "ghost", "olive"]
+CONTAINERS = ["SM CASE", "MED BOX", "LG DRUM", "JUMBO PKG", "WRAP BAG"]
+
+START = datetime.date(1992, 1, 1)
+END = datetime.date(1998, 8, 2)
+
+
+def _datekey(day: datetime.date) -> int:
+    return day.year * 10_000 + day.month * 100 + day.day
+
+
+def generate(scale: float = 0.001, seed: int = 19940101) -> Database:
+    rng = random.Random(seed)
+    db = Database(name=f"ssb_sf{scale}")
+    for table_schema in ssb_schema.ALL_TABLES:
+        db.create_table(table_schema)
+
+    _gen_dates(db)
+    num_customer = max(30, round(30_000 * scale))
+    num_supplier = max(10, round(2_000 * scale))
+    num_part = max(40, round(200_000 * scale))
+    num_lineorder = max(200, round(6_000_000 * scale))
+    _gen_customer(db, rng, num_customer)
+    _gen_supplier(db, rng, num_supplier)
+    _gen_part(db, rng, num_part)
+    _gen_lineorder(db, rng, num_lineorder, num_customer, num_supplier, num_part)
+    return db
+
+
+def _gen_dates(db: Database) -> None:
+    table = db.table("ddate")
+    day = START
+    while day <= END:
+        table.insert(
+            (
+                _datekey(day),
+                day,
+                DAYS[day.weekday()],
+                MONTHS[day.month - 1],
+                day.year,
+                day.year * 100 + day.month,
+                f"{MONTHS[day.month - 1][:3]}{day.year}",
+                int(day.strftime("%W")),
+            )
+        )
+        day += datetime.timedelta(days=1)
+
+
+def _location(rng: random.Random) -> tuple[str, str, str]:
+    region = rng.choice(REGIONS)
+    nation = rng.choice(NATIONS_BY_REGION[region])
+    city = f"{nation[:9]}{rng.randint(0, 9)}"
+    return city, nation, region
+
+
+def _gen_customer(db: Database, rng: random.Random, count: int) -> None:
+    table = db.table("customer")
+    for i in range(1, count + 1):
+        city, nation, region = _location(rng)
+        table.insert(
+            (
+                i,
+                f"Customer#{i:09d}",
+                city,
+                nation,
+                region,
+                f"{rng.randint(10, 34)}-{rng.randint(100, 999)}-{rng.randint(1000, 9999)}",
+                rng.choice(SEGMENTS),
+            )
+        )
+
+
+def _gen_supplier(db: Database, rng: random.Random, count: int) -> None:
+    table = db.table("supplier")
+    for i in range(1, count + 1):
+        city, nation, region = _location(rng)
+        table.insert(
+            (
+                i,
+                f"Supplier#{i:09d}",
+                city,
+                nation,
+                region,
+                f"{rng.randint(10, 34)}-{rng.randint(100, 999)}-{rng.randint(1000, 9999)}",
+            )
+        )
+
+
+def _gen_part(db: Database, rng: random.Random, count: int) -> None:
+    table = db.table("part")
+    for i in range(1, count + 1):
+        mfgr_num = rng.randint(1, 5)
+        category_num = rng.randint(1, 5)
+        category = f"MFGR#{mfgr_num}{category_num}"
+        brand = f"{category}{rng.randint(1, 40)}"
+        table.insert(
+            (
+                i,
+                " ".join(rng.sample(COLORS, 2)),
+                f"MFGR#{mfgr_num}",
+                category,
+                brand,
+                rng.choice(COLORS),
+                f"TYPE{rng.randint(1, 25)}",
+                rng.randint(1, 50),
+                rng.choice(CONTAINERS),
+            )
+        )
+
+
+def _gen_lineorder(
+    db: Database,
+    rng: random.Random,
+    count: int,
+    num_customer: int,
+    num_supplier: int,
+    num_part: int,
+) -> None:
+    table = db.table("lineorder")
+    span = (END - START).days
+    orderkey = 0
+    produced = 0
+    while produced < count:
+        orderkey += 1
+        custkey = rng.randint(1, num_customer)
+        orderdate = START + datetime.timedelta(days=rng.randint(0, span))
+        priority = rng.choice(PRIORITIES)
+        lines = rng.randint(1, 7)
+        prices = [rng.randint(90_000, 200_000) for _ in range(lines)]
+        total = sum(prices)
+        for line_no in range(1, lines + 1):
+            quantity = rng.randint(1, 50)
+            extended = prices[line_no - 1] * quantity // 10
+            discount = rng.randint(0, 10)
+            revenue = extended * (100 - discount) // 100
+            commit = orderdate + datetime.timedelta(days=rng.randint(30, 90))
+            table.insert(
+                (
+                    orderkey,
+                    line_no,
+                    custkey,
+                    rng.randint(1, num_part),
+                    rng.randint(1, num_supplier),
+                    _datekey(orderdate),
+                    priority,
+                    quantity,
+                    extended,
+                    total,
+                    discount,
+                    revenue,
+                    extended * 6 // 10,
+                    rng.randint(0, 8),
+                    _datekey(commit),
+                    rng.choice(SHIP_MODES),
+                )
+            )
+            produced += 1
+            if produced >= count:
+                break

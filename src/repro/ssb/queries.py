@@ -1,0 +1,129 @@
+"""The 13 SSB queries (4 flights), scaled-integer dialect.
+
+Flight 1 measures revenue deltas under discount/quantity windows, flight 2
+revenue by brand over time, flight 3 revenue by customer/supplier geography,
+flight 4 profit drill-downs.  All are star joins against ``lineorder`` —
+exactly the shape MONOMI's server-side DET joins handle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SsbQuery:
+    flight: int
+    number: str
+    sql: str
+
+
+def ssb_queries() -> dict[str, SsbQuery]:
+    q: dict[str, SsbQuery] = {}
+
+    q["1.1"] = SsbQuery(1, "1.1", """
+SELECT SUM(lo_extendedprice * lo_discount) AS revenue
+FROM lineorder, ddate
+WHERE lo_orderdate = d_datekey AND d_year = 1993
+  AND lo_discount BETWEEN 1 AND 3 AND lo_quantity < 25
+""")
+    q["1.2"] = SsbQuery(1, "1.2", """
+SELECT SUM(lo_extendedprice * lo_discount) AS revenue
+FROM lineorder, ddate
+WHERE lo_orderdate = d_datekey AND d_yearmonthnum = 199401
+  AND lo_discount BETWEEN 4 AND 6 AND lo_quantity BETWEEN 26 AND 35
+""")
+    q["1.3"] = SsbQuery(1, "1.3", """
+SELECT SUM(lo_extendedprice * lo_discount) AS revenue
+FROM lineorder, ddate
+WHERE lo_orderdate = d_datekey AND d_weeknuminyear = 6 AND d_year = 1994
+  AND lo_discount BETWEEN 5 AND 7 AND lo_quantity BETWEEN 26 AND 35
+""")
+
+    q["2.1"] = SsbQuery(2, "2.1", """
+SELECT SUM(lo_revenue) AS revenue, d_year, p_brand1
+FROM lineorder, ddate, part, supplier
+WHERE lo_orderdate = d_datekey AND lo_partkey = p_partkey
+  AND lo_suppkey = s_suppkey AND p_category = 'MFGR#12' AND s_region = 'AMERICA'
+GROUP BY d_year, p_brand1 ORDER BY d_year, p_brand1
+""")
+    q["2.2"] = SsbQuery(2, "2.2", """
+SELECT SUM(lo_revenue) AS revenue, d_year, p_brand1
+FROM lineorder, ddate, part, supplier
+WHERE lo_orderdate = d_datekey AND lo_partkey = p_partkey
+  AND lo_suppkey = s_suppkey AND p_brand1 IN ('MFGR#2221', 'MFGR#2228')
+  AND s_region = 'ASIA'
+GROUP BY d_year, p_brand1 ORDER BY d_year, p_brand1
+""")
+    q["2.3"] = SsbQuery(2, "2.3", """
+SELECT SUM(lo_revenue) AS revenue, d_year, p_brand1
+FROM lineorder, ddate, part, supplier
+WHERE lo_orderdate = d_datekey AND lo_partkey = p_partkey
+  AND lo_suppkey = s_suppkey AND p_brand1 = 'MFGR#2221' AND s_region = 'EUROPE'
+GROUP BY d_year, p_brand1 ORDER BY d_year, p_brand1
+""")
+
+    q["3.1"] = SsbQuery(3, "3.1", """
+SELECT c_nation, s_nation, d_year, SUM(lo_revenue) AS revenue
+FROM customer, lineorder, supplier, ddate
+WHERE lo_custkey = c_custkey AND lo_suppkey = s_suppkey
+  AND lo_orderdate = d_datekey AND c_region = 'ASIA' AND s_region = 'ASIA'
+  AND d_year >= 1992 AND d_year <= 1997
+GROUP BY c_nation, s_nation, d_year ORDER BY d_year, revenue DESC
+""")
+    q["3.2"] = SsbQuery(3, "3.2", """
+SELECT c_city, s_city, d_year, SUM(lo_revenue) AS revenue
+FROM customer, lineorder, supplier, ddate
+WHERE lo_custkey = c_custkey AND lo_suppkey = s_suppkey
+  AND lo_orderdate = d_datekey AND c_nation = 'UNITED STATES'
+  AND s_nation = 'UNITED STATES' AND d_year >= 1992 AND d_year <= 1997
+GROUP BY c_city, s_city, d_year ORDER BY d_year, revenue DESC
+""")
+    q["3.3"] = SsbQuery(3, "3.3", """
+SELECT c_city, s_city, d_year, SUM(lo_revenue) AS revenue
+FROM customer, lineorder, supplier, ddate
+WHERE lo_custkey = c_custkey AND lo_suppkey = s_suppkey
+  AND lo_orderdate = d_datekey
+  AND c_city IN ('UNITED KI1', 'UNITED KI5')
+  AND s_city IN ('UNITED KI1', 'UNITED KI5')
+  AND d_year >= 1992 AND d_year <= 1997
+GROUP BY c_city, s_city, d_year ORDER BY d_year, revenue DESC
+""")
+    q["3.4"] = SsbQuery(3, "3.4", """
+SELECT c_city, s_city, d_year, SUM(lo_revenue) AS revenue
+FROM customer, lineorder, supplier, ddate
+WHERE lo_custkey = c_custkey AND lo_suppkey = s_suppkey
+  AND lo_orderdate = d_datekey
+  AND c_city IN ('UNITED KI1', 'UNITED KI5')
+  AND s_city IN ('UNITED KI1', 'UNITED KI5') AND d_yearmonth = 'Dec1997'
+GROUP BY c_city, s_city, d_year ORDER BY d_year, revenue DESC
+""")
+
+    q["4.1"] = SsbQuery(4, "4.1", """
+SELECT d_year, c_nation, SUM(lo_revenue - lo_supplycost) AS profit
+FROM ddate, customer, supplier, part, lineorder
+WHERE lo_custkey = c_custkey AND lo_suppkey = s_suppkey
+  AND lo_partkey = p_partkey AND lo_orderdate = d_datekey
+  AND c_region = 'AMERICA' AND s_region = 'AMERICA'
+  AND p_mfgr IN ('MFGR#1', 'MFGR#2')
+GROUP BY d_year, c_nation ORDER BY d_year, c_nation
+""")
+    q["4.2"] = SsbQuery(4, "4.2", """
+SELECT d_year, s_nation, p_category, SUM(lo_revenue - lo_supplycost) AS profit
+FROM ddate, customer, supplier, part, lineorder
+WHERE lo_custkey = c_custkey AND lo_suppkey = s_suppkey
+  AND lo_partkey = p_partkey AND lo_orderdate = d_datekey
+  AND c_region = 'AMERICA' AND s_region = 'AMERICA'
+  AND d_year IN (1997, 1998) AND p_mfgr IN ('MFGR#1', 'MFGR#2')
+GROUP BY d_year, s_nation, p_category ORDER BY d_year, s_nation, p_category
+""")
+    q["4.3"] = SsbQuery(4, "4.3", """
+SELECT d_year, s_city, p_brand1, SUM(lo_revenue - lo_supplycost) AS profit
+FROM ddate, customer, supplier, part, lineorder
+WHERE lo_custkey = c_custkey AND lo_suppkey = s_suppkey
+  AND lo_partkey = p_partkey AND lo_orderdate = d_datekey
+  AND s_nation = 'UNITED STATES' AND d_year IN (1997, 1998)
+  AND p_category = 'MFGR#14'
+GROUP BY d_year, s_city, p_brand1 ORDER BY d_year, s_city, p_brand1
+""")
+    return q

@@ -1,0 +1,83 @@
+"""SSB star schema: one fact table (lineorder) and four dimensions.
+
+Monetary values are integer cents (matching the TPC-H treatment, §8.1).
+The ``ddate`` dimension denormalizes calendar attributes, which is what
+makes SSB queries pure star joins.
+"""
+
+from __future__ import annotations
+
+from repro.engine.schema import TableSchema, schema
+
+DDATE = schema(
+    "ddate",
+    ("d_datekey", "int"),  # yyyymmdd
+    ("d_date", "date"),
+    ("d_dayofweek", "text"),
+    ("d_month", "text"),
+    ("d_year", "int"),
+    ("d_yearmonthnum", "int"),
+    ("d_yearmonth", "text"),
+    ("d_weeknuminyear", "int"),
+    primary_key=("d_datekey",),
+)
+
+CUSTOMER = schema(
+    "customer",
+    ("c_custkey", "int"),
+    ("c_name", "text"),
+    ("c_city", "text"),
+    ("c_nation", "text"),
+    ("c_region", "text"),
+    ("c_phone", "text"),
+    ("c_mktsegment", "text"),
+    primary_key=("c_custkey",),
+)
+
+SUPPLIER = schema(
+    "supplier",
+    ("s_suppkey", "int"),
+    ("s_name", "text"),
+    ("s_city", "text"),
+    ("s_nation", "text"),
+    ("s_region", "text"),
+    ("s_phone", "text"),
+    primary_key=("s_suppkey",),
+)
+
+PART = schema(
+    "part",
+    ("p_partkey", "int"),
+    ("p_name", "text"),
+    ("p_mfgr", "text"),
+    ("p_category", "text"),
+    ("p_brand1", "text"),
+    ("p_color", "text"),
+    ("p_type", "text"),
+    ("p_size", "int"),
+    ("p_container", "text"),
+    primary_key=("p_partkey",),
+)
+
+LINEORDER = schema(
+    "lineorder",
+    ("lo_orderkey", "int"),
+    ("lo_linenumber", "int"),
+    ("lo_custkey", "int"),
+    ("lo_partkey", "int"),
+    ("lo_suppkey", "int"),
+    ("lo_orderdate", "int"),  # datekey into ddate
+    ("lo_orderpriority", "text"),
+    ("lo_quantity", "int"),
+    ("lo_extendedprice", "int"),
+    ("lo_ordtotalprice", "int"),
+    ("lo_discount", "int"),  # percent points
+    ("lo_revenue", "int"),
+    ("lo_supplycost", "int"),
+    ("lo_tax", "int"),
+    ("lo_commitdate", "int"),
+    ("lo_shipmode", "text"),
+    primary_key=("lo_orderkey", "lo_linenumber"),
+)
+
+ALL_TABLES: tuple[TableSchema, ...] = (DDATE, CUSTOMER, SUPPLIER, PART, LINEORDER)

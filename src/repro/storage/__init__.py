@@ -1,0 +1,22 @@
+"""Storage substrate: byte-accurate sizing, serialization, ciphertext files."""
+
+from repro.storage.ciphertext_store import CiphertextFile, CiphertextStore
+from repro.storage.rowcodec import (
+    decode_row,
+    decode_value,
+    encode_row,
+    encode_value,
+    row_bytes,
+    value_bytes,
+)
+
+__all__ = [
+    "CiphertextFile",
+    "CiphertextStore",
+    "decode_row",
+    "decode_value",
+    "encode_row",
+    "encode_value",
+    "row_bytes",
+    "value_bytes",
+]

@@ -1,0 +1,100 @@
+"""Server-side store for packed Paillier ciphertexts (§7).
+
+The paper keeps packed Paillier ciphertexts in *separate files* on the
+server's local filesystem rather than in table rows, because one ciphertext
+covers several rows.  Each table row carries a plain ``row_id``; the
+homomorphic-aggregate UDF maps a row_id to (ciphertext index, slot offset)
+and reads the ciphertext from the file.
+
+:class:`CiphertextFile` models one such file: a sequence of ciphertexts with
+a fixed :class:`~repro.crypto.packing.PackedLayout`.  Byte accounting is
+exact (ciphertexts are fixed-width = Paillier modulus squared), and reads
+are tracked so the disk model can charge scan time for them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.errors import EngineError
+from repro.crypto.packing import PackedLayout
+from repro.crypto.paillier import PaillierPublicKey
+
+
+@dataclass
+class CiphertextFile:
+    """One packed-Paillier file: ciphertexts[g] covers rows
+    [g * rows_per_ct, (g+1) * rows_per_ct)."""
+
+    name: str
+    public_key: PaillierPublicKey
+    layout: PackedLayout
+    column_names: tuple[str, ...]  # Plaintext expressions packed, in order.
+    ciphertexts: list[int] = field(default_factory=list)
+    num_rows: int = 0
+    bytes_read: int = 0  # Cumulative read accounting.
+
+    @property
+    def rows_per_ciphertext(self) -> int:
+        return self.layout.rows_per_ciphertext
+
+    @property
+    def ciphertext_bytes(self) -> int:
+        return self.public_key.ciphertext_bytes
+
+    @property
+    def total_bytes(self) -> int:
+        return len(self.ciphertexts) * self.ciphertext_bytes
+
+    def locate(self, row_id: int) -> tuple[int, int]:
+        """(ciphertext index, row slot within the ciphertext) for a row."""
+        if not 0 <= row_id < self.num_rows:
+            raise EngineError(f"row_id {row_id} outside file {self.name!r}")
+        return divmod(row_id, self.rows_per_ciphertext)
+
+    def read(self, group_index: int) -> int:
+        """Read one ciphertext (charges its bytes to the scan ledger)."""
+        if not 0 <= group_index < len(self.ciphertexts):
+            raise EngineError(f"ciphertext {group_index} outside file {self.name!r}")
+        self.bytes_read += self.ciphertext_bytes
+        return self.ciphertexts[group_index]
+
+    def rows_in_group(self, group_index: int) -> range:
+        start = group_index * self.rows_per_ciphertext
+        return range(start, min(start + self.rows_per_ciphertext, self.num_rows))
+
+
+class CiphertextStore:
+    """All ciphertext files on the untrusted server, by name."""
+
+    def __init__(self) -> None:
+        self._files: dict[str, CiphertextFile] = {}
+
+    def add(self, file: CiphertextFile) -> None:
+        if file.name in self._files:
+            raise EngineError(f"duplicate ciphertext file {file.name!r}")
+        self._files[file.name] = file
+
+    def get(self, name: str) -> CiphertextFile:
+        try:
+            return self._files[name]
+        except KeyError:
+            raise EngineError(f"unknown ciphertext file {name!r}") from None
+
+    def drop(self, name: str) -> None:
+        self._files.pop(name, None)
+
+    def names(self) -> list[str]:
+        return sorted(self._files)
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(f.total_bytes for f in self._files.values())
+
+    def reset_read_accounting(self) -> None:
+        for file in self._files.values():
+            file.bytes_read = 0
+
+    @property
+    def bytes_read(self) -> int:
+        return sum(f.bytes_read for f in self._files.values())

@@ -1,0 +1,7 @@
+"""TPC-H workload substrate: schema, generator, and the 22 queries."""
+
+from repro.tpch.dbgen import generate
+from repro.tpch.queries import TpchQuery, supported_numbers, tpch_queries
+from repro.tpch.schema import ALL_TABLES
+
+__all__ = ["ALL_TABLES", "TpchQuery", "generate", "supported_numbers", "tpch_queries"]

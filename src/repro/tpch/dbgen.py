@@ -1,0 +1,267 @@
+"""Deterministic TPC-H data generator (our ``dbgen``).
+
+Generates all eight tables at a configurable scale factor with the value
+distributions the benchmark queries are selective on: real nation/region
+names, the part type/brand/container grammars, order/line date chains
+(ship < receipt, commit windows), priorities, segments, and comment text
+drawn from a vocabulary (so ``p_name LIKE '%green%'`` has the spec's hit
+rate).  Monetary values are integer cents and percentages integer points
+(see :mod:`repro.tpch.schema`).
+
+The generator is seeded: the same (scale, seed) always produces the same
+database, which keeps benchmarks reproducible.  Cardinalities follow the
+spec's SF ratios (lineitem ~6M x SF etc.) with small-scale floors so tiny
+scale factors still exercise every query.
+"""
+
+from __future__ import annotations
+
+import datetime
+import random
+
+from repro.engine.catalog import Database
+from repro.tpch import schema as tpch_schema
+
+REGIONS = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"]
+
+NATIONS = [
+    ("ALGERIA", 0), ("ARGENTINA", 1), ("BRAZIL", 1), ("CANADA", 1),
+    ("EGYPT", 4), ("ETHIOPIA", 0), ("FRANCE", 3), ("GERMANY", 3),
+    ("INDIA", 2), ("INDONESIA", 2), ("IRAN", 4), ("IRAQ", 4),
+    ("JAPAN", 2), ("JORDAN", 4), ("KENYA", 0), ("MOROCCO", 0),
+    ("MOZAMBIQUE", 0), ("PERU", 1), ("CHINA", 2), ("ROMANIA", 3),
+    ("SAUDI ARABIA", 4), ("VIETNAM", 2), ("RUSSIA", 3),
+    ("UNITED KINGDOM", 3), ("UNITED STATES", 1),
+]
+
+TYPE_SYLLABLE_1 = ["STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"]
+TYPE_SYLLABLE_2 = ["ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED"]
+TYPE_SYLLABLE_3 = ["TIN", "NICKEL", "BRASS", "STEEL", "COPPER"]
+
+CONTAINERS_1 = ["SM", "MED", "LG", "JUMBO", "WRAP"]
+CONTAINERS_2 = ["CASE", "BOX", "BAG", "JAR", "PKG", "PACK", "CAN", "DRUM"]
+
+SEGMENTS = ["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"]
+PRIORITIES = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"]
+SHIP_MODES = ["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"]
+SHIP_INSTRUCT = ["DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN"]
+
+COLORS = [
+    "almond", "antique", "aquamarine", "azure", "beige", "bisque", "black",
+    "blanched", "blue", "blush", "brown", "burlywood", "burnished", "chartreuse",
+    "chiffon", "chocolate", "coral", "cornflower", "cornsilk", "cream", "cyan",
+    "dark", "deep", "dim", "dodger", "drab", "firebrick", "floral", "forest",
+    "frosted", "gainsboro", "ghost", "goldenrod", "green", "grey", "honeydew",
+    "hot", "hotpink", "indian", "ivory", "khaki", "lace", "lavender", "lawn",
+    "lemon", "light", "lime", "linen", "magenta", "maroon", "medium", "metallic",
+    "midnight", "mint", "misty", "moccasin", "navajo", "navy", "olive", "orange",
+]
+
+WORDS = [
+    "carefully", "quickly", "slyly", "furiously", "blithely", "ironic",
+    "regular", "express", "special", "pending", "final", "bold", "even",
+    "silent", "daring", "instructions", "packages", "requests", "accounts",
+    "deposits", "foxes", "ideas", "theodolites", "pinto", "beans", "asymptotes",
+    "dependencies", "platelets", "excuses", "sleep", "wake", "nag", "haggle",
+]
+
+START_DATE = datetime.date(1992, 1, 1)
+END_DATE = datetime.date(1998, 8, 2)
+_DATE_RANGE = (END_DATE - START_DATE).days
+
+
+def generate(scale: float = 0.01, seed: int = 20130826) -> Database:
+    """Build a TPC-H database at the given scale factor."""
+    rng = random.Random(seed)
+    db = Database(name=f"tpch_sf{scale}")
+    for table_schema in tpch_schema.ALL_TABLES:
+        db.create_table(table_schema)
+
+    _gen_region(db, rng)
+    _gen_nation(db, rng)
+    num_supplier = max(10, round(10_000 * scale))
+    num_customer = max(30, round(150_000 * scale))
+    num_part = max(40, round(200_000 * scale))
+    num_orders = max(150, round(1_500_000 * scale))
+    _gen_supplier(db, rng, num_supplier)
+    _gen_customer(db, rng, num_customer)
+    _gen_part(db, rng, num_part)
+    _gen_partsupp(db, rng, num_part, num_supplier)
+    _gen_orders_lineitem(db, rng, num_orders, num_customer, num_part, num_supplier)
+    return db
+
+
+def _comment(rng: random.Random, min_words: int = 3, max_words: int = 8) -> str:
+    """Filler text; word ranges are tuned per table to the spec's average
+    column widths (ps_comment is the longest at 49-198 chars, l_comment the
+    shortest at 10-43)."""
+    n = rng.randint(min_words, max_words)
+    return " ".join(rng.choice(WORDS) for _ in range(n))
+
+
+def _date_between(rng: random.Random, lo_offset: int = 0, hi_offset: int | None = None) -> datetime.date:
+    hi = hi_offset if hi_offset is not None else _DATE_RANGE
+    return START_DATE + datetime.timedelta(days=rng.randint(lo_offset, hi))
+
+
+def _phone(rng: random.Random, nationkey: int) -> str:
+    return (
+        f"{nationkey + 10}-{rng.randint(100, 999)}-"
+        f"{rng.randint(100, 999)}-{rng.randint(1000, 9999)}"
+    )
+
+
+def _gen_region(db: Database, rng: random.Random) -> None:
+    table = db.table("region")
+    for i, name in enumerate(REGIONS):
+        table.insert((i, name, _comment(rng)))
+
+
+def _gen_nation(db: Database, rng: random.Random) -> None:
+    table = db.table("nation")
+    for i, (name, regionkey) in enumerate(NATIONS):
+        table.insert((i, name, regionkey, _comment(rng)))
+
+
+def _gen_supplier(db: Database, rng: random.Random, count: int) -> None:
+    table = db.table("supplier")
+    for i in range(1, count + 1):
+        nationkey = rng.randrange(len(NATIONS))
+        # ~5 per 10,000 suppliers mention "Customer Complaints" (Q16 filter).
+        if rng.random() < 0.0005:
+            comment = "wake Customer slowly Complaints " + _comment(rng, 2, 8)
+        else:
+            comment = _comment(rng, 4, 14)
+        table.insert(
+            (
+                i,
+                f"Supplier#{i:09d}",
+                _comment(rng, 2, 5),
+                nationkey,
+                _phone(rng, nationkey),
+                rng.randint(0, 999_999),  # cents, non-negative (see DESIGN.md)
+                comment,
+            )
+        )
+
+
+def _gen_customer(db: Database, rng: random.Random, count: int) -> None:
+    table = db.table("customer")
+    for i in range(1, count + 1):
+        nationkey = rng.randrange(len(NATIONS))
+        table.insert(
+            (
+                i,
+                f"Customer#{i:09d}",
+                _comment(rng, 2, 5),
+                nationkey,
+                _phone(rng, nationkey),
+                rng.randint(0, 999_999),
+                rng.choice(SEGMENTS),
+                _comment(rng, 5, 16),
+            )
+        )
+
+
+def _gen_part(db: Database, rng: random.Random, count: int) -> None:
+    table = db.table("part")
+    for i in range(1, count + 1):
+        name = " ".join(rng.sample(COLORS, 5))
+        mfgr = f"Manufacturer#{rng.randint(1, 5)}"
+        brand = f"Brand#{rng.randint(1, 5)}{rng.randint(1, 5)}"
+        part_type = (
+            f"{rng.choice(TYPE_SYLLABLE_1)} {rng.choice(TYPE_SYLLABLE_2)} "
+            f"{rng.choice(TYPE_SYLLABLE_3)}"
+        )
+        container = f"{rng.choice(CONTAINERS_1)} {rng.choice(CONTAINERS_2)}"
+        retail = (90_000 + (i * 10) % 20_001) + rng.randint(0, 99)
+        table.insert(
+            (i, name, mfgr, brand, part_type, rng.randint(1, 50), container, retail, _comment(rng, 1, 3))
+        )
+
+
+def _gen_partsupp(db: Database, rng: random.Random, num_part: int, num_supplier: int) -> None:
+    table = db.table("partsupp")
+    for part in range(1, num_part + 1):
+        for j in range(4):
+            supp = ((part + j * (num_supplier // 4 + 1)) % num_supplier) + 1
+            table.insert(
+                (
+                    part,
+                    supp,
+                    rng.randint(1, 9_999),
+                    rng.randint(100, 100_000),  # cents
+                    _comment(rng, 8, 28),
+                )
+            )
+
+
+def _gen_orders_lineitem(
+    db: Database,
+    rng: random.Random,
+    num_orders: int,
+    num_customer: int,
+    num_part: int,
+    num_supplier: int,
+) -> None:
+    orders = db.table("orders")
+    lineitem = db.table("lineitem")
+    for key in range(1, num_orders + 1):
+        custkey = rng.randint(1, num_customer)
+        orderdate = _date_between(rng, 0, _DATE_RANGE - 151)
+        num_lines = rng.randint(1, 7)
+        total = 0
+        lines = []
+        for line_no in range(1, num_lines + 1):
+            partkey = rng.randint(1, num_part)
+            suppkey = rng.randint(1, num_supplier)
+            quantity = rng.randint(1, 50)
+            retail = 90_000 + (partkey * 10) % 20_001
+            extended = quantity * retail // 10
+            discount = rng.randint(0, 10)
+            tax = rng.randint(0, 8)
+            shipdate = orderdate + datetime.timedelta(days=rng.randint(1, 121))
+            commitdate = orderdate + datetime.timedelta(days=rng.randint(30, 90))
+            receiptdate = shipdate + datetime.timedelta(days=rng.randint(1, 30))
+            if receiptdate > shipdate and rng.random() < 0.5:
+                returnflag = rng.choice(["R", "A"])
+            else:
+                returnflag = "N"
+            linestatus = "O" if shipdate > datetime.date(1995, 6, 17) else "F"
+            lines.append(
+                (
+                    key,
+                    partkey,
+                    suppkey,
+                    line_no,
+                    quantity,
+                    extended,
+                    discount,
+                    tax,
+                    returnflag,
+                    linestatus,
+                    shipdate,
+                    commitdate,
+                    receiptdate,
+                    rng.choice(SHIP_INSTRUCT),
+                    rng.choice(SHIP_MODES),
+                    _comment(rng, 2, 6),
+                )
+            )
+            total += extended * (100 - discount) * (100 + tax) // 10_000
+        all_filled = all(line[10] <= datetime.date(1995, 6, 17) for line in lines)
+        status = "F" if all_filled else ("O" if all(line[10] > datetime.date(1995, 6, 17) for line in lines) else "P")
+        orders.insert(
+            (
+                key,
+                custkey,
+                status,
+                total,
+                orderdate,
+                rng.choice(PRIORITIES),
+                f"Clerk#{rng.randint(1, max(1, num_orders // 1000)):09d}",
+                0,
+                _comment(rng, 3, 11),
+            )
+        )
+        lineitem.insert_many(lines)

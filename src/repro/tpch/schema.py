@@ -1,0 +1,123 @@
+"""TPC-H schema, with DECIMALs scaled to integers.
+
+The paper replaces all DECIMAL types with integers for both the plaintext
+baseline and the encrypted database (§8.1): monetary values are stored in
+cents, and percentages (discount, tax) as whole points.  The query texts in
+:mod:`repro.tpch.queries` are written against this scaled schema.
+"""
+
+from __future__ import annotations
+
+from repro.engine.schema import TableSchema, schema
+
+REGION = schema(
+    "region",
+    ("r_regionkey", "int"),
+    ("r_name", "text"),
+    ("r_comment", "text"),
+    primary_key=("r_regionkey",),
+)
+
+NATION = schema(
+    "nation",
+    ("n_nationkey", "int"),
+    ("n_name", "text"),
+    ("n_regionkey", "int"),
+    ("n_comment", "text"),
+    primary_key=("n_nationkey",),
+)
+
+SUPPLIER = schema(
+    "supplier",
+    ("s_suppkey", "int"),
+    ("s_name", "text"),
+    ("s_address", "text"),
+    ("s_nationkey", "int"),
+    ("s_phone", "text"),
+    ("s_acctbal", "int"),  # cents
+    ("s_comment", "text"),
+    primary_key=("s_suppkey",),
+)
+
+CUSTOMER = schema(
+    "customer",
+    ("c_custkey", "int"),
+    ("c_name", "text"),
+    ("c_address", "text"),
+    ("c_nationkey", "int"),
+    ("c_phone", "text"),
+    ("c_acctbal", "int"),  # cents
+    ("c_mktsegment", "text"),
+    ("c_comment", "text"),
+    primary_key=("c_custkey",),
+)
+
+PART = schema(
+    "part",
+    ("p_partkey", "int"),
+    ("p_name", "text"),
+    ("p_mfgr", "text"),
+    ("p_brand", "text"),
+    ("p_type", "text"),
+    ("p_size", "int"),
+    ("p_container", "text"),
+    ("p_retailprice", "int"),  # cents
+    ("p_comment", "text"),
+    primary_key=("p_partkey",),
+)
+
+PARTSUPP = schema(
+    "partsupp",
+    ("ps_partkey", "int"),
+    ("ps_suppkey", "int"),
+    ("ps_availqty", "int"),
+    ("ps_supplycost", "int"),  # cents
+    ("ps_comment", "text"),
+    primary_key=("ps_partkey", "ps_suppkey"),
+)
+
+ORDERS = schema(
+    "orders",
+    ("o_orderkey", "int"),
+    ("o_custkey", "int"),
+    ("o_orderstatus", "text"),
+    ("o_totalprice", "int"),  # cents
+    ("o_orderdate", "date"),
+    ("o_orderpriority", "text"),
+    ("o_clerk", "text"),
+    ("o_shippriority", "int"),
+    ("o_comment", "text"),
+    primary_key=("o_orderkey",),
+)
+
+LINEITEM = schema(
+    "lineitem",
+    ("l_orderkey", "int"),
+    ("l_partkey", "int"),
+    ("l_suppkey", "int"),
+    ("l_linenumber", "int"),
+    ("l_quantity", "int"),
+    ("l_extendedprice", "int"),  # cents
+    ("l_discount", "int"),  # percent points 0..10
+    ("l_tax", "int"),  # percent points 0..8
+    ("l_returnflag", "text"),
+    ("l_linestatus", "text"),
+    ("l_shipdate", "date"),
+    ("l_commitdate", "date"),
+    ("l_receiptdate", "date"),
+    ("l_shipinstruct", "text"),
+    ("l_shipmode", "text"),
+    ("l_comment", "text"),
+    primary_key=("l_orderkey", "l_linenumber"),
+)
+
+ALL_TABLES: tuple[TableSchema, ...] = (
+    REGION,
+    NATION,
+    SUPPLIER,
+    CUSTOMER,
+    PART,
+    PARTSUPP,
+    ORDERS,
+    LINEITEM,
+)

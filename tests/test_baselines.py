@@ -1,0 +1,76 @@
+"""Baseline systems: correctness and the relationships §8 relies on."""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import MASTER_KEY, SALES_WORKLOAD, build_sales_db, canonical
+from repro.baselines import (
+    client_only_setup,
+    cryptdb_client_setup,
+    execution_greedy_setup,
+)
+from repro.core import MonomiClient, Scheme, normalize_query
+from repro.engine import Executor
+from repro.sql import parse
+
+QUERIES = SALES_WORKLOAD[:4]
+
+
+@pytest.fixture(scope="module")
+def db():
+    return build_sales_db(num_orders=120, seed=17)
+
+
+@pytest.fixture(scope="module")
+def systems(db):
+    return {
+        "cryptdb": cryptdb_client_setup(db, QUERIES, master_key=MASTER_KEY, paillier_bits=384),
+        "greedy": execution_greedy_setup(db, QUERIES, master_key=MASTER_KEY, paillier_bits=384),
+        "monomi": MonomiClient.setup(
+            db, QUERIES, master_key=MASTER_KEY, paillier_bits=384, space_budget=2.5
+        ),
+    }
+
+
+@pytest.mark.parametrize("label", ["cryptdb", "greedy", "monomi"])
+@pytest.mark.parametrize("sql", QUERIES)
+def test_all_systems_agree_with_plaintext(db, systems, label, sql):
+    query = normalize_query(parse(sql))
+    outcome = systems[label].execute(query)
+    expected = Executor(db).execute(query)
+    assert canonical(outcome.rows) == canonical(expected.rows)
+
+
+def test_cryptdb_design_is_onion_shaped(systems):
+    design = systems["cryptdb"].design
+    schemes = {}
+    for entry in design.entries:
+        schemes.setdefault((entry.table, entry.expr_sql), set()).add(entry.scheme)
+    # Every integer/text column carries both RND and DET copies.
+    assert all(
+        Scheme.RND in s for s in schemes.values()
+    )
+    # No precomputed expressions anywhere (CryptDB has none).
+    assert not any(e.is_precomputed for e in design.entries)
+    # Paillier files are one value per ciphertext.
+    assert all(g.rows_per_ciphertext == 1 and len(g.expr_sqls) == 1 for g in design.hom_groups)
+
+
+def test_cryptdb_uses_more_space_than_monomi(systems):
+    assert systems["cryptdb"].server_bytes() > systems["monomi"].server_bytes()
+
+
+def test_greedy_planner_tries_single_candidate(systems):
+    planned = systems["greedy"].planner.plan(normalize_query(parse(QUERIES[0])))
+    assert planned.candidates_tried == 1
+
+
+def test_client_only_ships_everything(db):
+    client = client_only_setup(db, QUERIES[:1], master_key=MASTER_KEY, paillier_bits=384)
+    query = normalize_query(parse("SELECT COUNT(*) FROM orders WHERE o_price > 500"))
+    outcome = client.execute(query)
+    expected = Executor(db).execute(query)
+    assert canonical(outcome.rows) == canonical(expected.rows)
+    # Every row crossed the wire: transfer exceeds one value per order row.
+    assert outcome.ledger.transfer_bytes > 120 * 8

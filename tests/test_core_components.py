@@ -1,0 +1,355 @@
+"""Core component tests: design, provider, rewriter, sizer, ILP, schemes."""
+
+from __future__ import annotations
+
+import datetime
+
+import pytest
+
+from repro.common.errors import DomainError, InfeasibleDesignError
+from repro.core import (
+    CryptoProvider,
+    EncEntry,
+    HomGroup,
+    PhysicalDesign,
+    Scheme,
+    normalize_expr,
+    weakest,
+)
+from repro.core.design import enc_column_name
+from repro.core.encset import EncSetExtractor, Pair
+from repro.core.ilp import IlpCandidate, IlpProblem, solve, solve_exhaustive
+from repro.core.normalize import has_multi_pattern_like, normalize_query
+from repro.core.rewrite import BindingContext, ServerRewriter
+from repro.core.typing import infer_type
+from repro.engine import schema
+from repro.sql import ast, parse, parse_expression, to_sql
+
+
+class TestSchemes:
+    def test_weakest_ordering(self):
+        assert weakest({Scheme.RND, Scheme.DET}) is Scheme.DET
+        assert weakest({Scheme.DET, Scheme.OPE}) is Scheme.OPE
+        assert weakest({Scheme.HOM}) is Scheme.HOM
+        assert weakest(set()) is None
+
+
+class TestDesign:
+    def test_normalize_is_canonical(self):
+        assert normalize_expr("a*b") == normalize_expr("a * b")
+        assert normalize_expr("SUM(x)") == normalize_expr("sum( x )")
+
+    def test_column_naming(self):
+        assert enc_column_name("l_quantity", Scheme.DET) == "l_quantity_det"
+        precomp = enc_column_name("a * b", Scheme.OPE)
+        assert precomp.startswith("pc_") and precomp.endswith("_ope")
+
+    def test_entry_precomputed_flag(self):
+        assert not EncEntry("t", "a", Scheme.DET).is_precomputed
+        assert EncEntry("t", "a + b", Scheme.DET).is_precomputed
+
+    def test_hom_group_lookup(self):
+        design = PhysicalDesign()
+        design.add_hom_group(HomGroup("t", ("a", "a * b"), 4))
+        assert design.hom_group_for("t", "a * b") is not None
+        assert design.hom_group_for("t", "c") is None
+        assert design.has("t", "a", Scheme.HOM)
+
+    def test_without_entry_drops_group(self):
+        design = PhysicalDesign()
+        design.add_hom_group(HomGroup("t", ("a",), 1))
+        entry = next(iter(design.entries))
+        pruned = design.without_entry(entry)
+        assert not pruned.hom_groups and not pruned.entries
+
+    def test_union(self):
+        a = PhysicalDesign()
+        a.add("t", "x", Scheme.DET)
+        b = PhysicalDesign()
+        b.add("t", "x", Scheme.OPE)
+        merged = a.union(b)
+        assert merged.schemes_for("t", "x") == {Scheme.DET, Scheme.OPE}
+
+
+class TestCryptoProvider:
+    @pytest.fixture(scope="class")
+    def provider(self):
+        return CryptoProvider(b"prov-key-0123456789abcdef", paillier_bits=256)
+
+    def test_det_roundtrip_types(self, provider):
+        for value, sql_type in [
+            (42, "int"),
+            (-7, "int"),
+            ("BUILDING", "text"),
+            ("R", "text"),
+            ("a much longer text value exceeding twelve", "text"),
+            (datetime.date(1995, 5, 5), "date"),
+            (True, "bool"),
+        ]:
+            ct = provider.det_encrypt(value)
+            assert provider.det_decrypt(ct, sql_type) == value
+
+    def test_short_text_det_is_compact_int(self, provider):
+        ct = provider.det_encrypt("R")
+        assert isinstance(ct, int) and ct < 256 * 257
+
+    def test_det_equality_across_lengths_distinct(self, provider):
+        assert provider.det_encrypt("a") != provider.det_encrypt("ab")
+
+    def test_det_rejects_float(self, provider):
+        with pytest.raises(DomainError):
+            provider.det_encrypt(1.5)
+
+    def test_ope_order_types(self, provider):
+        assert provider.ope_encrypt(5) < provider.ope_encrypt(6)
+        assert provider.ope_encrypt(datetime.date(1995, 1, 1)) < provider.ope_encrypt(
+            datetime.date(1996, 1, 1)
+        )
+        assert provider.ope_encrypt("APPLE") < provider.ope_encrypt("BANANA")
+
+    def test_ope_roundtrip(self, provider):
+        assert provider.ope_decrypt(provider.ope_encrypt(123), "int") == 123
+        day = datetime.date(1997, 7, 7)
+        assert provider.ope_decrypt(provider.ope_encrypt(day), "date") == day
+
+    def test_rnd_roundtrip(self, provider):
+        for value in (42, "text", datetime.date(2000, 1, 1), None):
+            assert provider.rnd_decrypt(provider.rnd_encrypt(value)) == value
+
+    def test_null_passthrough(self, provider):
+        assert provider.det_encrypt(None) is None
+        assert provider.ope_encrypt(None) is None
+
+    def test_search(self, provider):
+        tags = provider.search_encrypt("forest green paint")
+        assert provider.search_trapdoor("%green%") in tags
+        assert provider.search_trapdoor("forest%") in tags
+
+
+SCHEMAS = {
+    "t": schema("t", ("a", "int"), ("b", "int"), ("s", "text"), ("d", "date")),
+    "u": schema("u", ("k", "int"), ("t_ref", "int")),
+}
+
+
+def make_rewriter(design: PhysicalDesign) -> ServerRewriter:
+    provider = CryptoProvider(b"rw-key-0123456789abcdef", paillier_bits=256)
+    bindings = BindingContext(
+        {"t": "t", "u": "u"}, SCHEMAS, registry=SCHEMAS
+    )
+    return ServerRewriter(design, provider, bindings)
+
+
+class TestRewriter:
+    def test_equality_via_det(self):
+        design = PhysicalDesign()
+        design.add("t", "a", Scheme.DET)
+        rewriter = make_rewriter(design)
+        out = rewriter.rewrite_predicate(parse_expression("a = 5"))
+        assert out is not None
+        assert "a_det" in to_sql(out)
+        # The literal must be encrypted, not plaintext 5.
+        assert out.right != ast.Literal(5)
+
+    def test_equality_fails_without_det(self):
+        rewriter = make_rewriter(PhysicalDesign())
+        assert rewriter.rewrite_predicate(parse_expression("a = 5")) is None
+
+    def test_range_via_ope(self):
+        design = PhysicalDesign()
+        design.add("t", "d", Scheme.OPE)
+        rewriter = make_rewriter(design)
+        out = rewriter.rewrite_predicate(
+            parse_expression("d >= DATE '1995-01-01'")
+        )
+        assert out is not None and "d_ope" in to_sql(out)
+
+    def test_precomputed_expression(self):
+        design = PhysicalDesign()
+        design.add("t", "a * b", Scheme.DET)
+        rewriter = make_rewriter(design)
+        out = rewriter.rewrite_value(parse_expression("a * b"), "det")
+        assert out is not None and to_sql(out).startswith("pc_")
+
+    def test_cross_table_precomputation_rejected(self):
+        design = PhysicalDesign()
+        design.add("t", "a * k", Scheme.DET)  # Bogus entry spanning tables.
+        rewriter = make_rewriter(design)
+        assert rewriter.rewrite_value(parse_expression("a * k"), "det") is None
+
+    def test_count_is_plainval(self):
+        rewriter = make_rewriter(PhysicalDesign())
+        out = rewriter.rewrite_predicate(parse_expression("COUNT(*) > 3"))
+        assert out is not None and "count(*)" in to_sql(out)
+
+    def test_min_via_ope(self):
+        design = PhysicalDesign()
+        design.add("t", "b", Scheme.OPE)
+        rewriter = make_rewriter(design)
+        out = rewriter.rewrite_value(parse_expression("MIN(b)"), "ope")
+        assert out is not None and "min(b_ope)" in to_sql(out)
+
+    def test_like_needs_search(self):
+        rewriter = make_rewriter(PhysicalDesign())
+        assert rewriter.rewrite_predicate(parse_expression("s LIKE '%x%'")) is None
+        design = PhysicalDesign()
+        design.add("t", "s", Scheme.SEARCH)
+        rewriter = make_rewriter(design)
+        out = rewriter.rewrite_predicate(parse_expression("s LIKE '%x%'"))
+        assert out is not None and "s_search" in to_sql(out)
+
+    def test_multi_pattern_like_never_rewrites(self):
+        design = PhysicalDesign()
+        design.add("t", "s", Scheme.SEARCH)
+        rewriter = make_rewriter(design)
+        assert (
+            rewriter.rewrite_predicate(parse_expression("s LIKE '%a%b%'")) is None
+        )
+
+    def test_exists_subquery_rewrites(self):
+        design = PhysicalDesign()
+        design.add("t", "a", Scheme.DET)
+        design.add("u", "k", Scheme.DET)
+        rewriter = make_rewriter(design)
+        query = parse("SELECT a FROM t WHERE EXISTS (SELECT * FROM u WHERE k = a)")
+        out = rewriter.rewrite_predicate(query.where)
+        assert out is not None and "k_det" in to_sql(out)
+
+
+class TestNormalize:
+    def test_avg_expansion(self):
+        q = normalize_query(parse("SELECT AVG(a) FROM t"))
+        text = to_sql(q)
+        assert "sum(a)" in text and "count(a)" in text
+
+    def test_param_binding(self):
+        q = normalize_query(parse("SELECT a FROM t WHERE a > :1"), {"1": 7})
+        assert "7" in to_sql(q)
+
+    def test_date_folding(self):
+        q = normalize_query(
+            parse("SELECT a FROM t WHERE d < DATE '1998-12-01' - INTERVAL '90' DAY")
+        )
+        assert "1998-09-02" in to_sql(q)
+
+    def test_multi_pattern_detection(self):
+        assert has_multi_pattern_like(parse("SELECT a FROM t WHERE s LIKE '%a%b%'"))
+        assert not has_multi_pattern_like(parse("SELECT a FROM t WHERE s LIKE '%a%'"))
+
+
+class TestTyping:
+    @pytest.mark.parametrize(
+        "expr,expected",
+        [
+            ("a", "int"),
+            ("s", "text"),
+            ("d", "date"),
+            ("a * b", "int"),
+            ("a / b", "float"),
+            ("EXTRACT(YEAR FROM d)", "int"),
+            ("SUBSTRING(s FROM 1 FOR 2)", "text"),
+            ("d + INTERVAL '1' MONTH", "date"),
+            ("CASE WHEN a = 1 THEN b ELSE 0 END", "int"),
+            ("COUNT(*)", "int"),
+            ("SUM(a * b)", "int"),
+        ],
+    )
+    def test_infer(self, expr, expected):
+        assert infer_type(parse_expression(expr), SCHEMAS) == expected
+
+
+class TestEncSetExtraction:
+    def test_where_units(self):
+        extractor = EncSetExtractor(SCHEMAS)
+        units = extractor.extract(
+            parse("SELECT a FROM t WHERE a = 1 AND b > 2 AND s LIKE '%x%'")
+        )
+        labels = {u.label.split("[")[0] for u in units}
+        assert "where" in labels
+        pair_schemes = {p.scheme for u in units for p in u.pairs}
+        assert {Scheme.DET, Scheme.OPE, Scheme.SEARCH} <= pair_schemes
+
+    def test_sum_generates_hom_variants(self):
+        extractor = EncSetExtractor(SCHEMAS)
+        units = extractor.extract(parse("SELECT SUM(a * b) FROM t"))
+        labels = {u.label for u in units}
+        assert any(l.startswith("hom:") for l in labels)
+        assert any(l.startswith("homcol:") for l in labels)
+        assert any(l.startswith("precomp:") for l in labels)
+
+    def test_precomputation_flag_off(self):
+        from repro.core import TechniqueFlags
+
+        extractor = EncSetExtractor(
+            SCHEMAS, TechniqueFlags(True, False, True, True, True)
+        )
+        units = extractor.extract(parse("SELECT SUM(a * b) FROM t"))
+        assert not any(u.label.startswith("precomp:") for u in units)
+
+    def test_group_by_unit(self):
+        extractor = EncSetExtractor(SCHEMAS)
+        units = extractor.extract(parse("SELECT s, COUNT(*) FROM t GROUP BY s"))
+        group_units = [u for u in units if u.label == "group_by"]
+        assert len(group_units) == 1
+        assert Pair("t", "s", Scheme.DET) in group_units[0].pairs
+
+    def test_prefilter_unit(self):
+        extractor = EncSetExtractor(SCHEMAS)
+        units = extractor.extract(
+            parse("SELECT s FROM t GROUP BY s HAVING SUM(b) > 100")
+        )
+        assert any(u.label.startswith("prefilter") for u in units)
+
+    def test_order_limit_unit(self):
+        extractor = EncSetExtractor(SCHEMAS)
+        units = extractor.extract(parse("SELECT a FROM t ORDER BY d LIMIT 5"))
+        assert any(u.label == "order_by" for u in units)
+
+
+class TestIlp:
+    def _problem(self):
+        # Two queries; query 0 can buy a fast plan with item "x" (10 bytes)
+        # or a slow free plan; query 1 similarly with item "y" (100 bytes).
+        candidates = [
+            IlpCandidate(0, 1.0, frozenset({"x"})),
+            IlpCandidate(0, 10.0, frozenset()),
+            IlpCandidate(1, 2.0, frozenset({"y"})),
+            IlpCandidate(1, 5.0, frozenset()),
+        ]
+        sizes = {"x": 10.0, "y": 100.0}
+        return candidates, sizes
+
+    def test_unconstrained_takes_everything(self):
+        candidates, sizes = self._problem()
+        solution = solve(IlpProblem(candidates, sizes, 1000.0))
+        assert solution.objective == pytest.approx(3.0)
+        assert solution.items == {"x", "y"}
+
+    def test_budget_forces_tradeoff(self):
+        candidates, sizes = self._problem()
+        solution = solve(IlpProblem(candidates, sizes, 50.0))
+        assert solution.items == {"x"}
+        assert solution.objective == pytest.approx(6.0)
+
+    def test_zero_budget(self):
+        candidates, sizes = self._problem()
+        solution = solve(IlpProblem(candidates, sizes, 0.0))
+        assert solution.objective == pytest.approx(15.0)
+
+    def test_scipy_matches_exhaustive(self):
+        candidates, sizes = self._problem()
+        for budget in (0.0, 50.0, 120.0):
+            a = solve(IlpProblem(candidates, sizes, budget), use_scipy=True)
+            b = solve_exhaustive(IlpProblem(candidates, sizes, budget))
+            assert a.objective == pytest.approx(b.objective)
+
+    def test_shared_item_counted_once(self):
+        candidates = [
+            IlpCandidate(0, 1.0, frozenset({"shared"})),
+            IlpCandidate(0, 50.0, frozenset()),
+            IlpCandidate(1, 1.0, frozenset({"shared"})),
+            IlpCandidate(1, 50.0, frozenset()),
+        ]
+        solution = solve(IlpProblem(candidates, {"shared": 80.0}, 100.0))
+        assert solution.objective == pytest.approx(2.0)
+        assert solution.used_bytes == pytest.approx(80.0)

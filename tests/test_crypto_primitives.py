@@ -1,0 +1,158 @@
+"""Unit + property tests for PRF, primes, AES, and Feistel PRPs."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import CryptoError
+from repro.crypto.aes import AES128
+from repro.crypto.feistel import FeistelPRP, IntegerPRP
+from repro.crypto.prf import PRFStream, derive_key, prf, prf_int
+from repro.crypto.primes import generate_prime, is_probable_prime
+
+KEY = b"0123456789abcdef"
+
+
+class TestPrf:
+    def test_deterministic(self):
+        assert prf(KEY, b"msg") == prf(KEY, b"msg")
+
+    def test_key_separation(self):
+        assert prf(KEY, b"msg") != prf(b"fedcba9876543210", b"msg")
+
+    def test_message_separation(self):
+        assert prf(KEY, b"a") != prf(KEY, b"b")
+
+    def test_prf_int_width(self):
+        for nbits in (1, 7, 8, 9, 63, 64, 65, 257):
+            value = prf_int(KEY, b"m", nbits)
+            assert 0 <= value < (1 << nbits)
+
+    def test_prf_int_rejects_nonpositive(self):
+        with pytest.raises(CryptoError):
+            prf_int(KEY, b"m", 0)
+
+    def test_derive_key_path_sensitivity(self):
+        assert derive_key(KEY, "a", "b") != derive_key(KEY, "ab")
+        assert derive_key(KEY, "t", "col", "det") != derive_key(KEY, "t", "col", "ope")
+
+    def test_derive_key_rejects_empty_master(self):
+        with pytest.raises(CryptoError):
+            derive_key(b"", "x")
+
+
+class TestPrfStream:
+    def test_reproducible(self):
+        a = PRFStream(KEY, b"tweak")
+        b = PRFStream(KEY, b"tweak")
+        assert a.next_bytes(100) == b.next_bytes(100)
+
+    def test_tweak_separation(self):
+        a = PRFStream(KEY, b"t1")
+        b = PRFStream(KEY, b"t2")
+        assert a.next_bytes(32) != b.next_bytes(32)
+
+    @given(st.integers(min_value=1, max_value=10**9))
+    def test_next_below_in_range(self, bound):
+        stream = PRFStream(KEY, b"nb")
+        for _ in range(5):
+            assert 0 <= stream.next_below(bound) < bound
+
+    def test_next_unit_in_range(self):
+        stream = PRFStream(KEY, b"u")
+        for _ in range(100):
+            u = stream.next_unit()
+            assert 0.0 <= u < 1.0
+
+
+class TestPrimes:
+    def test_small_primes(self):
+        assert is_probable_prime(2)
+        assert is_probable_prime(97)
+        assert not is_probable_prime(1)
+        assert not is_probable_prime(100)
+
+    def test_carmichael_rejected(self):
+        assert not is_probable_prime(561)
+        assert not is_probable_prime(41041)
+
+    def test_generate_prime_size(self):
+        p = generate_prime(96)
+        assert p.bit_length() == 96
+        assert is_probable_prime(p)
+
+    def test_generate_deterministic_with_stream(self):
+        a = generate_prime(64, PRFStream(KEY, b"p"))
+        b = generate_prime(64, PRFStream(KEY, b"p"))
+        assert a == b
+
+
+class TestAES:
+    def test_fips_197_vector(self):
+        cipher = AES128(bytes(range(16)))
+        ct = cipher.encrypt_block(bytes.fromhex("00112233445566778899aabbccddeeff"))
+        assert ct.hex() == "69c4e0d86a7b0430d8cdb78070b4c55a"
+
+    def test_appendix_b_vector(self):
+        cipher = AES128(bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c"))
+        ct = cipher.encrypt_block(bytes.fromhex("3243f6a8885a308d313198a2e0370734"))
+        assert ct.hex() == "3925841d02dc09fbdc118597196a0b32"
+
+    @given(st.binary(min_size=16, max_size=16))
+    @settings(max_examples=25)
+    def test_roundtrip(self, block):
+        cipher = AES128(KEY)
+        assert cipher.decrypt_block(cipher.encrypt_block(block)) == block
+
+    def test_rejects_bad_key_and_block(self):
+        with pytest.raises(CryptoError):
+            AES128(b"short")
+        with pytest.raises(CryptoError):
+            AES128(KEY).encrypt_block(b"short")
+
+
+class TestFeistelPRP:
+    @given(st.binary(min_size=2, max_size=64))
+    @settings(max_examples=50)
+    def test_roundtrip(self, data):
+        prp = FeistelPRP(KEY)
+        assert prp.decrypt(prp.encrypt(data)) == data
+
+    def test_length_preserving(self):
+        prp = FeistelPRP(KEY)
+        for n in (2, 3, 17, 31):
+            assert len(prp.encrypt(b"x" * n)) == n
+
+    def test_tweak_changes_permutation(self):
+        a = FeistelPRP(KEY, tweak=b"1").encrypt(b"hello world!")
+        b = FeistelPRP(KEY, tweak=b"2").encrypt(b"hello world!")
+        assert a != b
+
+    def test_rejects_tiny_input(self):
+        with pytest.raises(CryptoError):
+            FeistelPRP(KEY).encrypt(b"x")
+
+
+class TestIntegerPRP:
+    @pytest.mark.parametrize("nbits", [2, 3, 5, 8, 13, 31, 64, 127])
+    def test_roundtrip(self, nbits):
+        prp = IntegerPRP(KEY, nbits)
+        for value in (0, 1, (1 << nbits) - 1, (1 << nbits) // 3):
+            ct = prp.encrypt(value)
+            assert 0 <= ct < (1 << nbits)
+            assert prp.decrypt(ct) == value
+
+    @pytest.mark.parametrize("nbits", [2, 4, 6, 8])
+    def test_is_permutation(self, nbits):
+        prp = IntegerPRP(KEY, nbits)
+        images = sorted(prp.encrypt(v) for v in range(1 << nbits))
+        assert images == list(range(1 << nbits))
+
+    def test_domain_check(self):
+        prp = IntegerPRP(KEY, 8)
+        with pytest.raises(CryptoError):
+            prp.encrypt(256)
+        with pytest.raises(CryptoError):
+            prp.encrypt(-1)

@@ -1,0 +1,198 @@
+"""Tests for the five encryption schemes: RND, DET, FFX, OPE, SEARCH."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import CryptoError, DomainError
+from repro.crypto.det import DetCipher
+from repro.crypto.ffx import FFXInteger
+from repro.crypto.ope import OpeCipher, _sample_hypergeometric
+from repro.crypto.prf import PRFStream
+from repro.crypto.rnd import RndCipher
+from repro.crypto.search import SearchCipher, parse_like_pattern
+
+KEY = b"0123456789abcdef"
+
+
+class TestRnd:
+    @given(st.binary(max_size=100))
+    @settings(max_examples=40)
+    def test_roundtrip(self, data):
+        cipher = RndCipher(KEY)
+        assert cipher.decrypt(cipher.encrypt(data)) == data
+
+    def test_randomized(self):
+        cipher = RndCipher(KEY)
+        assert cipher.encrypt(b"same") != cipher.encrypt(b"same")
+
+    def test_expansion_is_nonce_only(self):
+        cipher = RndCipher(KEY)
+        assert len(cipher.encrypt(b"x" * 40)) == 40 + 16
+
+    def test_rejects_short_ciphertext(self):
+        with pytest.raises(CryptoError):
+            RndCipher(KEY).decrypt(b"short")
+
+
+class TestDet:
+    @given(st.binary(max_size=300))
+    @settings(max_examples=60)
+    def test_roundtrip(self, data):
+        cipher = DetCipher(KEY)
+        ct = cipher.encrypt(data)
+        assert cipher.decrypt(ct) == data
+        assert len(ct) == cipher.ciphertext_len(len(data))
+
+    def test_deterministic(self):
+        cipher = DetCipher(KEY)
+        assert cipher.encrypt(b"v") == cipher.encrypt(b"v")
+
+    def test_equality_preserving_distinctness(self):
+        cipher = DetCipher(KEY)
+        values = [b"a", b"b", b"ab", b"ba", b"x" * 20, b"y" * 20]
+        cts = [cipher.encrypt(v) for v in values]
+        assert len(set(cts)) == len(values)
+
+    def test_long_values_near_length_preserving(self):
+        cipher = DetCipher(KEY)
+        assert len(cipher.encrypt(b"z" * 100)) == 101
+        assert len(cipher.encrypt(b"z" * 300)) == 305
+
+    def test_corrupt_ciphertext_detected(self):
+        cipher = DetCipher(KEY)
+        ct = bytearray(cipher.encrypt(b"payload-here-is-long"))
+        ct[0] ^= 0xFF
+        with pytest.raises(CryptoError):
+            cipher.decrypt(bytes(ct))
+
+
+class TestFfx:
+    @given(st.integers(min_value=-1000, max_value=5000))
+    @settings(max_examples=60)
+    def test_roundtrip(self, value):
+        cipher = FFXInteger(KEY, -1000, 5000)
+        ct = cipher.encrypt(value)
+        assert -1000 <= ct <= 5000
+        assert cipher.decrypt(ct) == value
+
+    def test_bijection_small_domain(self):
+        cipher = FFXInteger(KEY, 10, 40)
+        images = sorted(cipher.encrypt(v) for v in range(10, 41))
+        assert images == list(range(10, 41))
+
+    def test_power_of_two_domain(self):
+        cipher = FFXInteger(KEY, 0, 255)
+        images = {cipher.encrypt(v) for v in range(256)}
+        assert len(images) == 256
+
+    def test_domain_errors(self):
+        cipher = FFXInteger(KEY, 0, 99)
+        with pytest.raises(DomainError):
+            cipher.encrypt(100)
+        with pytest.raises(CryptoError):
+            FFXInteger(KEY, 5, 4)
+
+
+class TestOpe:
+    @pytest.fixture(scope="class")
+    def cipher(self):
+        return OpeCipher(KEY, 0, 100_000, expansion_bits=12)
+
+    def test_order_preserved(self, cipher):
+        values = [0, 1, 7, 500, 4321, 99_999, 100_000]
+        cts = [cipher.encrypt(v) for v in values]
+        assert cts == sorted(cts)
+        assert len(set(cts)) == len(cts)
+
+    def test_deterministic_and_stateless(self, cipher):
+        other = OpeCipher(KEY, 0, 100_000, expansion_bits=12)
+        assert cipher.encrypt(777) == other.encrypt(777)
+
+    @given(st.integers(min_value=0, max_value=100_000))
+    @settings(max_examples=30, deadline=None)
+    def test_roundtrip(self, cipher, value):
+        assert cipher.decrypt(cipher.encrypt(value)) == value
+
+    def test_invalid_ciphertext_rejected(self, cipher):
+        ct = cipher.encrypt(500)
+        with pytest.raises(CryptoError):
+            cipher.decrypt(ct + 1 if cipher.encrypt(501) != ct + 1 else ct + 2)
+
+    def test_domain_check(self, cipher):
+        with pytest.raises(DomainError):
+            cipher.encrypt(100_001)
+
+    def test_negative_domain(self):
+        cipher = OpeCipher(KEY, -500, 500, expansion_bits=10)
+        assert cipher.encrypt(-400) < cipher.encrypt(0) < cipher.encrypt(400)
+
+
+class TestHypergeometricSampler:
+    @given(
+        st.integers(min_value=1, max_value=60),
+        st.integers(min_value=2, max_value=10_000),
+    )
+    @settings(max_examples=60)
+    def test_support(self, marked, total):
+        marked = min(marked, total)
+        draws = total // 2
+        stream = PRFStream(KEY, b"hg")
+        x = _sample_hypergeometric(marked, total, draws, stream)
+        assert max(0, marked - (total - draws)) <= x <= min(marked, draws)
+
+    def test_large_instance_uses_normal_path(self):
+        stream = PRFStream(KEY, b"hg2")
+        x = _sample_hypergeometric(10_000, 1_000_000, 500_000, stream)
+        # Mean is 5000; the draw should land within a plausible window.
+        assert 4000 <= x <= 6000
+
+    def test_deterministic(self):
+        a = _sample_hypergeometric(50, 1000, 500, PRFStream(KEY, b"d"))
+        b = _sample_hypergeometric(50, 1000, 500, PRFStream(KEY, b"d"))
+        assert a == b
+
+
+class TestSearch:
+    @pytest.fixture(scope="class")
+    def cipher(self):
+        return SearchCipher(KEY)
+
+    def test_word_match(self, cipher):
+        tags = cipher.encrypt("the quick brown fox")
+        assert cipher.matches(tags, cipher.trapdoor("%quick%"))
+        assert not cipher.matches(tags, cipher.trapdoor("%slow%"))
+
+    def test_prefix_suffix(self, cipher):
+        tags = cipher.encrypt("PROMO BURNISHED COPPER")
+        assert cipher.matches(tags, cipher.trapdoor("PROMO%"))
+        assert cipher.matches(tags, cipher.trapdoor("%COPPER"))
+        assert not cipher.matches(tags, cipher.trapdoor("STANDARD%"))
+
+    def test_exact(self, cipher):
+        tags = cipher.encrypt("MAIL")
+        assert cipher.matches(tags, cipher.trapdoor("MAIL"))
+
+    def test_multi_pattern_rejected(self, cipher):
+        with pytest.raises(CryptoError):
+            cipher.trapdoor("%special%requests%")
+
+    def test_underscore_rejected(self, cipher):
+        with pytest.raises(CryptoError):
+            cipher.trapdoor("a_c")
+
+    def test_pattern_classification(self):
+        assert parse_like_pattern("%x%").kind == "word"
+        assert parse_like_pattern("x%").kind == "prefix"
+        assert parse_like_pattern("%x").kind == "suffix"
+        assert parse_like_pattern("x").kind == "exact"
+
+    @given(st.lists(st.sampled_from(["alpha", "beta", "gamma", "delta"]), min_size=1, max_size=6))
+    @settings(max_examples=30)
+    def test_all_words_indexed(self, cipher, words):
+        text = " ".join(words)
+        tags = cipher.encrypt(text)
+        for word in words:
+            assert cipher.matches(tags, cipher.trapdoor(f"%{word}%"))

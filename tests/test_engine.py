@@ -1,0 +1,228 @@
+"""Engine tests: schema/catalog/table, evaluation, executor features."""
+
+from __future__ import annotations
+
+import datetime
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import CatalogError, ExecutionError
+from repro.engine import Database, Executor, schema
+from repro.engine.eval import Env, EvalContext, Scope, evaluate, like_matches
+from repro.sql import ast, parse, parse_expression
+
+
+@pytest.fixture()
+def db():
+    database = Database()
+    t = database.create_table(
+        schema("t", ("a", "int"), ("b", "int"), ("s", "text"), ("d", "date"))
+    )
+    t.insert_many(
+        [
+            (1, 10, "alpha", datetime.date(1995, 1, 1)),
+            (2, 20, "beta", datetime.date(1995, 6, 1)),
+            (3, None, "gamma", datetime.date(1996, 1, 1)),
+            (4, 40, None, datetime.date(1996, 6, 1)),
+        ]
+    )
+    u = database.create_table(schema("u", ("k", "int"), ("v", "text")))
+    u.insert_many([(1, "one"), (2, "two"), (5, "five")])
+    return database
+
+
+def run(db, sql, params=None):
+    return Executor(db).execute(parse(sql), params=params).rows
+
+
+class TestSchemaAndCatalog:
+    def test_duplicate_column_rejected(self):
+        with pytest.raises(CatalogError):
+            schema("x", ("a", "int"), ("a", "int"))
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(CatalogError):
+            schema("x", ("a", "decimal"))
+
+    def test_type_enforcement(self, db):
+        with pytest.raises(CatalogError):
+            db.table("t").insert(("not-int", 1, "x", datetime.date(2000, 1, 1)))
+
+    def test_row_arity_enforcement(self, db):
+        with pytest.raises(CatalogError):
+            db.table("t").insert((1, 2))
+
+    def test_duplicate_table_rejected(self, db):
+        with pytest.raises(CatalogError):
+            db.create_table(schema("t", ("x", "int")))
+
+    def test_analyze_stats(self, db):
+        stats = db.table("t").analyze()
+        assert stats["a"].num_distinct == 4
+        assert stats["b"].num_nulls == 1
+        assert stats["a"].min_value == 1 and stats["a"].max_value == 4
+
+
+class TestNullSemantics:
+    def test_null_comparison_filters_out(self, db):
+        assert run(db, "SELECT a FROM t WHERE b > 15") == [(2,), (4,)]
+
+    def test_is_null(self, db):
+        assert run(db, "SELECT a FROM t WHERE b IS NULL") == [(3,)]
+        assert len(run(db, "SELECT a FROM t WHERE b IS NOT NULL")) == 3
+
+    def test_aggregates_skip_nulls(self, db):
+        assert run(db, "SELECT COUNT(b), COUNT(*), SUM(b) FROM t") == [(3, 4, 70)]
+
+    def test_three_valued_or(self, db):
+        # b IS NULL for a=3: (b > 100 OR a = 3) must still keep the row.
+        rows = run(db, "SELECT a FROM t WHERE b > 100 OR a = 3")
+        assert rows == [(3,)]
+
+    def test_in_list_with_null_needle(self, db):
+        rows = run(db, "SELECT a FROM t WHERE b IN (10, 40)")
+        assert rows == [(1,), (4,)]
+
+
+class TestExecutorFeatures:
+    def test_hash_join(self, db):
+        rows = run(db, "SELECT a, v FROM t, u WHERE a = k ORDER BY a")
+        assert rows == [(1, "one"), (2, "two")]
+
+    def test_left_join_null_extension(self, db):
+        rows = run(db, "SELECT k, s FROM u LEFT JOIN t ON k = a ORDER BY k")
+        assert rows == [(1, "alpha"), (2, "beta"), (5, None)]
+
+    def test_cross_product_when_no_predicate(self, db):
+        assert len(run(db, "SELECT a, k FROM t, u")) == 12
+
+    def test_group_by_expression(self, db):
+        rows = run(
+            db,
+            "SELECT EXTRACT(YEAR FROM d) AS y, COUNT(*) FROM t "
+            "GROUP BY EXTRACT(YEAR FROM d) ORDER BY y",
+        )
+        assert rows == [(1995, 2), (1996, 2)]
+
+    def test_having_and_alias(self, db):
+        rows = run(
+            db,
+            "SELECT EXTRACT(YEAR FROM d) AS y, SUM(a) AS asum FROM t "
+            "GROUP BY EXTRACT(YEAR FROM d) HAVING asum > 3 ORDER BY y",
+        )
+        assert rows == [(1996, 7)]
+
+    def test_order_by_desc_nulls_last(self, db):
+        rows = run(db, "SELECT b FROM t ORDER BY b")
+        assert rows == [(10,), (20,), (40,), (None,)]
+
+    def test_limit_and_distinct(self, db):
+        assert run(db, "SELECT a FROM t ORDER BY a LIMIT 2") == [(1,), (2,)]
+        assert len(run(db, "SELECT DISTINCT EXTRACT(YEAR FROM d) FROM t")) == 2
+
+    def test_correlated_scalar_subquery(self, db):
+        rows = run(
+            db,
+            "SELECT a FROM t WHERE b = (SELECT MAX(b) FROM t t2 "
+            "WHERE EXTRACT(YEAR FROM t2.d) = EXTRACT(YEAR FROM t.d)) ORDER BY a",
+        )
+        assert rows == [(2,), (4,)]
+
+    def test_exists_semijoin(self, db):
+        rows = run(db, "SELECT a FROM t WHERE EXISTS (SELECT * FROM u WHERE k = a) ORDER BY a")
+        assert rows == [(1,), (2,)]
+
+    def test_not_exists(self, db):
+        rows = run(db, "SELECT a FROM t WHERE NOT EXISTS (SELECT * FROM u WHERE k = a) ORDER BY a")
+        assert rows == [(3,), (4,)]
+
+    def test_in_subquery(self, db):
+        rows = run(db, "SELECT v FROM u WHERE k IN (SELECT a FROM t WHERE b >= 20) ORDER BY v")
+        assert rows == [("two",)]
+
+    def test_scalar_subquery_multi_row_error(self, db):
+        with pytest.raises(ExecutionError):
+            run(db, "SELECT a FROM t WHERE a = (SELECT k FROM u)")
+
+    def test_from_subquery(self, db):
+        rows = run(
+            db,
+            "SELECT y, total FROM (SELECT EXTRACT(YEAR FROM d) AS y, SUM(a) AS total "
+            "FROM t GROUP BY EXTRACT(YEAR FROM d)) AS agg ORDER BY y",
+        )
+        assert rows == [(1995, 3), (1996, 7)]
+
+    def test_case_when(self, db):
+        rows = run(db, "SELECT SUM(CASE WHEN a > 2 THEN 1 ELSE 0 END) FROM t")
+        assert rows == [(2,)]
+
+    def test_params(self, db):
+        rows = run(db, "SELECT a FROM t WHERE b > :1", params={"1": 15})
+        assert rows == [(2,), (4,)]
+
+    def test_or_factoring_correctness(self, db):
+        rows = run(
+            db,
+            "SELECT a, k FROM t, u WHERE (a = k AND b < 15) OR (a = k AND b > 30) "
+            "ORDER BY a",
+        )
+        assert rows == [(1, 1)]
+
+    def test_aggregate_outside_group_rejected(self, db):
+        with pytest.raises(ExecutionError):
+            run(db, "SELECT a FROM t WHERE SUM(b) > 1")
+
+    def test_count_distinct(self, db):
+        rows = run(db, "SELECT COUNT(DISTINCT EXTRACT(YEAR FROM d)) FROM t")
+        assert rows == [(2,)]
+
+    def test_empty_aggregate_identity(self, db):
+        rows = run(db, "SELECT COUNT(*), SUM(a) FROM t WHERE a > 100")
+        assert rows == [(0, None)]
+
+
+class TestLikeMatching:
+    @pytest.mark.parametrize(
+        "text,pattern,expected",
+        [
+            ("hello world", "%world", True),
+            ("hello world", "hello%", True),
+            ("hello world", "%lo wo%", True),
+            ("hello world", "h_llo world", True),
+            ("hello world", "%xyz%", False),
+            ("special requests", "%special%requests%", True),
+        ],
+    )
+    def test_patterns(self, text, pattern, expected):
+        assert like_matches(text, pattern) is expected
+
+
+class TestEvaluator:
+    def test_date_interval_arithmetic(self):
+        ctx = EvalContext()
+        expr = parse_expression("DATE '1994-01-31' + INTERVAL '1' MONTH")
+        assert evaluate(expr, None, ctx) == datetime.date(1994, 2, 28)
+        expr = parse_expression("DATE '1994-03-31' - INTERVAL '1' MONTH")
+        assert evaluate(expr, None, ctx) == datetime.date(1994, 2, 28)
+        expr = parse_expression("DATE '1994-03-01' - DATE '1994-02-01'")
+        assert evaluate(expr, None, ctx) == 28
+
+    def test_division_by_zero(self):
+        with pytest.raises(ExecutionError):
+            evaluate(parse_expression("1 / 0"), None, ctx=EvalContext())
+
+    def test_scope_ambiguity(self):
+        scope = Scope([("a", "x"), ("b", "x")])
+        env = Env(scope, (1, 2))
+        with pytest.raises(ExecutionError):
+            env.lookup(None, "x")
+        assert env.lookup("a", "x") == 1
+
+    @given(st.integers(-100, 100), st.integers(-100, 100))
+    @settings(max_examples=30)
+    def test_arithmetic_matches_python(self, a, b):
+        ctx = EvalContext()
+        expr = ast.BinOp("+", ast.Literal(a), ast.BinOp("*", ast.Literal(b), ast.Literal(3)))
+        assert evaluate(expr, None, ctx) == a + b * 3

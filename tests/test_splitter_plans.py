@@ -1,0 +1,214 @@
+"""Plan-shape tests: Algorithm 1 produces the structures the paper shows.
+
+These inspect *plans*, not results: where the GROUP BY lands, when the
+pre-filter appears, when ORDER BY + LIMIT pushes, when subqueries become
+round trips — the behaviours of §4 and §5 as observable artifacts.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import MASTER_KEY, build_sales_db
+from repro.core import (
+    CryptoProvider,
+    HomGroup,
+    PhysicalDesign,
+    Scheme,
+    TechniqueFlags,
+    generate_query_plan,
+    normalize_query,
+)
+from repro.core.candidates import base_design_for_plain
+from repro.core.plan import RemoteRelation, SubPlan
+from repro.sql import parse, to_sql
+
+
+@pytest.fixture(scope="module")
+def db():
+    return build_sales_db(num_orders=60, seed=21)
+
+
+@pytest.fixture(scope="module")
+def provider():
+    return CryptoProvider(MASTER_KEY, paillier_bits=384)
+
+
+def plan_for(db, provider, design, sql, flags=TechniqueFlags(), stats_max=None):
+    schemas = {name: t.schema for name, t in db.tables.items()}
+    return generate_query_plan(
+        normalize_query(parse(sql)),
+        design,
+        schemas,
+        provider,
+        flags,
+        stats_max,
+        plain_db=db,
+    )
+
+
+def full_design(db) -> PhysicalDesign:
+    design = base_design_for_plain(db)
+    design.add("orders", "o_custkey", Scheme.DET)
+    design.add("orders", "o_status", Scheme.DET)
+    design.add("orders", "o_price", Scheme.OPE)
+    design.add("orders", "o_date", Scheme.OPE)
+    design.add("orders", "o_qty", Scheme.OPE)
+    design.add("orders", "o_comment", Scheme.SEARCH)
+    design.add("customer", "c_custkey", Scheme.DET)
+    design.add_hom_group(HomGroup("orders", ("o_price", "o_qty"), 1))
+    return design
+
+
+class TestPlanShapes:
+    def test_fully_pushed_group_by(self, db, provider):
+        plan = plan_for(
+            db,
+            provider,
+            full_design(db),
+            "SELECT o_custkey, SUM(o_price) FROM orders GROUP BY o_custkey",
+        )
+        remote = plan.relations[0]
+        assert isinstance(remote, RemoteRelation)
+        text = remote.sql()
+        assert "GROUP BY o_custkey_det" in text
+        assert "hom_agg" in text
+        assert plan.residual.group_by == ()  # Nothing left to group locally.
+
+    def test_grp_fallback_without_hom(self, db, provider):
+        design = full_design(db)
+        design.hom_groups.clear()
+        design.entries = {e for e in design.entries if e.scheme is not Scheme.HOM}
+        plan = plan_for(
+            db,
+            provider,
+            design,
+            "SELECT o_custkey, SUM(o_price) FROM orders GROUP BY o_custkey",
+        )
+        remote = plan.relations[0]
+        assert "grp(" in remote.sql()
+        assert remote.unnest
+
+    def test_local_filter_forces_client_grouping(self, db, provider):
+        plan = plan_for(
+            db,
+            provider,
+            full_design(db),
+            "SELECT o_custkey, SUM(o_price) FROM orders "
+            "WHERE o_price * o_qty > 1000 GROUP BY o_custkey",
+        )
+        remote = plan.relations[0]
+        assert "GROUP BY" not in remote.sql()
+        assert plan.residual.group_by  # Client groups after filtering.
+        assert plan.residual.where is not None
+
+    def test_prefilter_appears_with_stats(self, db, provider):
+        plan = plan_for(
+            db,
+            provider,
+            full_design(db),
+            "SELECT o_custkey FROM orders GROUP BY o_custkey "
+            "HAVING SUM(o_qty) > 200",
+            stats_max=lambda table, expr: 50 if expr == "o_qty" else None,
+        )
+        text = plan.relations[0].sql()
+        assert "HAVING" in text and "max(o_qty_ope)" in text and "count(*)" in text
+        # The exact predicate still runs locally.
+        assert plan.residual.where is not None or plan.residual.having is not None
+
+    def test_prefilter_disabled_by_flag(self, db, provider):
+        plan = plan_for(
+            db,
+            provider,
+            full_design(db),
+            "SELECT o_custkey FROM orders GROUP BY o_custkey "
+            "HAVING SUM(o_qty) > 200",
+            flags=TechniqueFlags(True, True, True, False, True),
+            stats_max=lambda table, expr: 50,
+        )
+        assert plan.relations[0].query.having is None
+
+    def test_order_limit_pushdown(self, db, provider):
+        plan = plan_for(
+            db,
+            provider,
+            full_design(db),
+            "SELECT o_orderkey, o_price FROM orders WHERE o_status = 'OPEN' "
+            "ORDER BY o_price DESC LIMIT 5",
+        )
+        remote = plan.relations[0].query
+        assert remote.limit == 5
+        assert remote.order_by and "o_price_ope" in to_sql(remote.order_by[0].expr)
+
+    def test_no_pushdown_when_filter_is_local(self, db, provider):
+        plan = plan_for(
+            db,
+            provider,
+            full_design(db),
+            "SELECT o_orderkey FROM orders WHERE o_price * o_qty > 500 "
+            "ORDER BY o_price LIMIT 5",
+        )
+        assert plan.relations[0].query.limit is None
+
+    def test_in_subquery_round_trip(self, db, provider):
+        plan = plan_for(
+            db,
+            provider,
+            full_design(db),
+            "SELECT o_orderkey FROM orders WHERE o_custkey IN "
+            "(SELECT o_custkey FROM orders GROUP BY o_custkey HAVING SUM(o_qty) > 100)",
+        )
+        assert len(plan.subplans) == 1
+        assert plan.subplans[0].mode == "in_set_server"
+        assert "in_set" in plan.relations[0].sql()
+
+    def test_scalar_subquery_binds_to_residual(self, db, provider):
+        plan = plan_for(
+            db,
+            provider,
+            full_design(db),
+            "SELECT o_custkey, SUM(o_price) AS t FROM orders GROUP BY o_custkey "
+            "HAVING SUM(o_price) > (SELECT SUM(o_price) * 0.1 FROM orders)",
+        )
+        assert any(sp.mode == "scalar_residual" for sp in plan.subplans)
+
+    def test_selectivity_hint_attached(self, db, provider):
+        plan = plan_for(
+            db,
+            provider,
+            full_design(db),
+            "SELECT COUNT(*) FROM orders WHERE o_price > 4500",
+        )
+        hint = plan.relations[0].plain_selectivity
+        assert hint is not None and 0.0 < hint < 0.35
+
+    def test_client_join_fallback_avoids_cross_product(self, db, provider):
+        # RND-only design (no DET on the join keys): the join must happen
+        # on the client via separate per-table fetches, not a server cross
+        # product.
+        from repro.sql import ast
+
+        design = PhysicalDesign()
+        for name, table in db.tables.items():
+            for column in table.schema.columns:
+                design.add(name, ast.Column(column.name), Scheme.RND)
+        plan = plan_for(
+            db,
+            provider,
+            design,
+            "SELECT c_name, o_price FROM orders, customer WHERE o_custkey = c_custkey",
+        )
+        remotes = [r for r in plan.relations if isinstance(r, RemoteRelation)]
+        assert len(remotes) == 2
+        for remote in remotes:
+            assert len(remote.query.from_items) == 1
+
+    def test_explain_is_readable(self, db, provider):
+        plan = plan_for(
+            db,
+            provider,
+            full_design(db),
+            "SELECT o_custkey, SUM(o_price) FROM orders GROUP BY o_custkey",
+        )
+        text = plan.explain()
+        assert "RemoteSQL" in text and "Residual" in text

@@ -1,0 +1,188 @@
+"""Lexer / parser / printer tests, including the parse-print-parse property."""
+
+from __future__ import annotations
+
+import datetime
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import LexError, ParseError
+from repro.sql import ast, parse, parse_expression, to_sql
+from repro.sql.lexer import tokenize
+
+
+class TestLexer:
+    def test_keywords_case_insensitive(self):
+        tokens = tokenize("SELECT Select select")
+        assert all(t.is_keyword("select") for t in tokens[:-1])
+
+    def test_string_escapes(self):
+        tokens = tokenize("'it''s'")
+        assert tokens[0].value == "it's"
+
+    def test_hex_blob(self):
+        tokens = tokenize("X'deadbeef'")
+        assert tokens[0].kind == "blob"
+        assert tokens[0].value == bytes.fromhex("deadbeef")
+
+    def test_numbers(self):
+        tokens = tokenize("42 3.14 1e3 2.5e-2")
+        assert tokens[0].value == 42
+        assert tokens[1].value == 3.14
+        assert tokens[2].value == 1000.0
+        assert tokens[3].value == 0.025
+
+    def test_params(self):
+        tokens = tokenize(":1 :name")
+        assert tokens[0].kind == "param" and tokens[0].text == "1"
+        assert tokens[1].text == "name"
+
+    def test_comments_skipped(self):
+        tokens = tokenize("SELECT -- a comment\n 1")
+        assert tokens[1].value == 1
+
+    def test_errors(self):
+        with pytest.raises(LexError):
+            tokenize("'unterminated")
+        with pytest.raises(LexError):
+            tokenize("a @ b")
+        with pytest.raises(LexError):
+            tokenize("X'zz'")
+
+
+class TestParser:
+    def test_simple_select(self):
+        q = parse("SELECT a, b FROM t WHERE a = 1")
+        assert len(q.items) == 2
+        assert isinstance(q.where, ast.BinOp)
+
+    def test_date_and_interval(self):
+        e = parse_expression("DATE '1995-01-01' + INTERVAL '3' MONTH")
+        assert isinstance(e, ast.BinOp)
+        assert e.left == ast.Literal(datetime.date(1995, 1, 1))
+        assert e.right == ast.Interval(3, "month")
+
+    def test_precedence(self):
+        e = parse_expression("a + b * c")
+        assert isinstance(e, ast.BinOp) and e.op == "+"
+        assert isinstance(e.right, ast.BinOp) and e.right.op == "*"
+
+    def test_and_or_precedence(self):
+        e = parse_expression("a = 1 OR b = 2 AND c = 3")
+        assert isinstance(e, ast.BinOp) and e.op == "or"
+
+    def test_not_in(self):
+        e = parse_expression("x NOT IN (1, 2)")
+        assert isinstance(e, ast.InList) and e.negated
+
+    def test_between(self):
+        e = parse_expression("x BETWEEN 1 AND 10")
+        assert isinstance(e, ast.Between)
+
+    def test_case_when(self):
+        e = parse_expression("CASE WHEN a = 1 THEN 'x' ELSE 'y' END")
+        assert isinstance(e, ast.CaseWhen)
+        assert len(e.whens) == 1
+
+    def test_exists_subquery(self):
+        q = parse("SELECT 1 FROM t WHERE EXISTS (SELECT * FROM u WHERE u.a = t.a)")
+        assert isinstance(q.where, ast.Exists)
+
+    def test_scalar_subquery(self):
+        e = parse_expression("(SELECT MAX(x) FROM t)")
+        assert isinstance(e, ast.ScalarSubquery)
+
+    def test_in_subquery(self):
+        e = parse_expression("a IN (SELECT b FROM t)")
+        assert isinstance(e, ast.InSubquery)
+
+    def test_joins(self):
+        q = parse("SELECT * FROM a LEFT OUTER JOIN b ON a.x = b.y JOIN c ON c.z = a.x")
+        join = q.from_items[0]
+        assert isinstance(join, ast.Join) and join.kind == "inner"
+        assert isinstance(join.left, ast.Join) and join.left.kind == "left"
+
+    def test_from_subquery(self):
+        q = parse("SELECT s FROM (SELECT SUM(x) AS s FROM t) AS agg")
+        assert isinstance(q.from_items[0], ast.SubqueryRef)
+
+    def test_group_having_order_limit(self):
+        q = parse(
+            "SELECT a, COUNT(*) AS n FROM t GROUP BY a HAVING COUNT(*) > 2 "
+            "ORDER BY n DESC, a LIMIT 5"
+        )
+        assert len(q.group_by) == 1
+        assert q.having is not None
+        assert q.order_by[0].ascending is False
+        assert q.limit == 5
+
+    def test_distinct_and_count_distinct(self):
+        q = parse("SELECT DISTINCT a FROM t")
+        assert q.distinct
+        e = parse_expression("COUNT(DISTINCT x)")
+        assert isinstance(e, ast.FuncCall) and e.distinct
+
+    def test_extract_substring(self):
+        e = parse_expression("EXTRACT(YEAR FROM d)")
+        assert isinstance(e, ast.Extract) and e.field_name == "year"
+        e = parse_expression("SUBSTRING(p FROM 1 FOR 2)")
+        assert isinstance(e, ast.Substring)
+
+    def test_negative_literal_folded(self):
+        assert parse_expression("-5") == ast.Literal(-5)
+
+    def test_errors(self):
+        with pytest.raises(ParseError):
+            parse("SELECT FROM t")
+        with pytest.raises(ParseError):
+            parse("SELECT a FROM t WHERE")
+        with pytest.raises(ParseError):
+            parse("SELECT a FROM t LIMIT x")
+        with pytest.raises(ParseError):
+            parse_expression("CASE END")
+
+
+class TestPrinterRoundtrip:
+    CASES = [
+        "SELECT a FROM t",
+        "SELECT DISTINCT a, b + 1 AS c FROM t, u WHERE t.x = u.y",
+        "SELECT SUM(a * (100 - b)) AS rev FROM t GROUP BY c HAVING SUM(a) > 10 "
+        "ORDER BY rev DESC LIMIT 3",
+        "SELECT CASE WHEN a LIKE '%x%' THEN 1 ELSE 0 END FROM t",
+        "SELECT a FROM t WHERE d >= DATE '1994-01-01' + INTERVAL '1' YEAR "
+        "AND b BETWEEN 5 AND 7 AND c IN ('x', 'y') AND e IS NOT NULL",
+        "SELECT a FROM t WHERE EXISTS (SELECT * FROM u WHERE u.k = t.k) "
+        "AND a > (SELECT MIN(z) FROM u)",
+        "SELECT a FROM t LEFT JOIN u ON t.x = u.y WHERE NOT t.flag = 1",
+        "SELECT EXTRACT(YEAR FROM d) AS y, COUNT(*) FROM t GROUP BY EXTRACT(YEAR FROM d)",
+        "SELECT SUBSTRING(p FROM 1 FOR 2) FROM t WHERE x = X'00ff'",
+    ]
+
+    @pytest.mark.parametrize("sql", CASES)
+    def test_roundtrip(self, sql):
+        tree = parse(sql)
+        assert parse(to_sql(tree)) == tree
+
+    @given(
+        st.recursive(
+            st.one_of(
+                st.integers(min_value=-1000, max_value=1000).map(ast.Literal),
+                st.sampled_from(["a", "b", "c"]).map(ast.Column),
+                st.text(
+                    alphabet="abc xyz", min_size=0, max_size=6
+                ).map(ast.Literal),
+            ),
+            lambda children: st.builds(
+                ast.BinOp,
+                st.sampled_from(["+", "-", "*", "=", "<", "and", "or"]),
+                children,
+                children,
+            ),
+            max_leaves=12,
+        )
+    )
+    @settings(max_examples=60)
+    def test_expression_roundtrip_property(self, expr):
+        assert parse_expression(to_sql(expr)) == expr

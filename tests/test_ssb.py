@@ -1,0 +1,71 @@
+"""SSB workload: plaintext execution and encrypted equivalence.
+
+SUM(lo_revenue - lo_supplycost) in flight 4 can be negative per row, so the
+designer must decline homomorphic packing for it and fall back to shipping
+components — a behaviour TPC-H never exercises.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import MASTER_KEY, canonical
+from repro.core import MonomiClient, normalize_query
+from repro.engine import Executor
+from repro.sql import parse
+from repro.ssb import generate, ssb_queries
+
+SCALE = 0.0002
+
+
+@pytest.fixture(scope="module")
+def ssb_db():
+    return generate(scale=SCALE, seed=13)
+
+
+@pytest.fixture(scope="module")
+def ssb_client(ssb_db):
+    queries = ssb_queries()
+    workload = [queries[n].sql for n in ("1.1", "2.1", "3.1", "4.1")]
+    return MonomiClient.setup(
+        ssb_db, workload, master_key=MASTER_KEY, paillier_bits=384, space_budget=2.0
+    )
+
+
+class TestSsbGenerator:
+    def test_star_schema_cardinalities(self, ssb_db):
+        assert ssb_db.table("ddate").num_rows == 2406  # Every day 1992..1998-08-02.
+        assert ssb_db.table("lineorder").num_rows >= 200
+
+    def test_datekeys_resolve(self, ssb_db):
+        datekeys = {r[0] for r in ssb_db.table("ddate").rows}
+        for row in ssb_db.table("lineorder").rows[:100]:
+            assert row[5] in datekeys
+
+    def test_revenue_invariant(self, ssb_db):
+        schema = ssb_db.table("lineorder").schema
+        price = schema.column_index("lo_extendedprice")
+        disc = schema.column_index("lo_discount")
+        rev = schema.column_index("lo_revenue")
+        for row in ssb_db.table("lineorder").rows[:100]:
+            assert row[rev] == row[price] * (100 - row[disc]) // 100
+
+
+class TestSsbQueries:
+    def test_all_13_parse_and_run_plaintext(self, ssb_db):
+        executor = Executor(ssb_db)
+        for name, query in ssb_queries().items():
+            result = executor.execute(normalize_query(parse(query.sql)))
+            assert result.columns, name
+
+    @pytest.mark.parametrize("number", ["1.1", "2.1", "3.1", "4.1"])
+    def test_encrypted_equals_plaintext(self, ssb_db, ssb_client, number):
+        query = normalize_query(parse(ssb_queries()[number].sql))
+        outcome = ssb_client.execute(query)
+        expected = Executor(ssb_db).execute(query)
+        assert canonical(outcome.rows) == canonical(expected.rows)
+
+    def test_profit_not_homomorphic(self, ssb_client):
+        """lo_revenue - lo_supplycost can be negative: no HOM group for it."""
+        for group in ssb_client.design.hom_groups:
+            assert "lo_revenue - lo_supplycost" not in group.expr_sqls

@@ -1,0 +1,111 @@
+"""Storage tests: codec roundtrips (property) and ciphertext files."""
+
+from __future__ import annotations
+
+import datetime
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import EngineError
+from repro.crypto.packing import PackedLayout
+from repro.crypto.paillier import generate_keypair
+from repro.storage import (
+    CiphertextFile,
+    CiphertextStore,
+    decode_row,
+    encode_row,
+    row_bytes,
+    value_bytes,
+)
+
+value_strategy = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**62), max_value=2**62),
+    st.integers(min_value=2**70, max_value=2**80),  # Ciphertext-sized.
+    st.floats(allow_nan=False, allow_infinity=False),
+    st.dates(min_value=datetime.date(1970, 1, 1), max_value=datetime.date(2100, 1, 1)),
+    st.text(max_size=40),
+    st.binary(max_size=40),
+)
+
+
+class TestRowCodec:
+    @given(st.lists(value_strategy, max_size=8).map(tuple))
+    @settings(max_examples=80)
+    def test_roundtrip(self, row):
+        assert decode_row(encode_row(row)) == row
+
+    def test_value_bytes_matches_paper_sizes(self):
+        assert value_bytes(42) == 8
+        assert value_bytes(3.14) == 8
+        assert value_bytes(datetime.date(1995, 1, 1)) == 4
+        assert value_bytes("hello") == 6
+        assert value_bytes(b"\x00" * 10) == 11
+        assert value_bytes(None) == 1
+        assert value_bytes(True) == 1
+
+    def test_big_int_sized_by_bit_length(self):
+        ciphertext = 1 << 2047
+        assert value_bytes(ciphertext) == 256
+
+    def test_tagset_sizing(self):
+        tags = frozenset({b"12345678", b"abcdefgh"})
+        assert value_bytes(tags) == 8 * 2 + 2
+
+    def test_row_bytes_includes_header(self):
+        assert row_bytes((1, "ab")) == 24 + 8 + 3
+
+    def test_unsizable_rejected(self):
+        with pytest.raises(EngineError):
+            value_bytes(object())
+
+
+class TestCiphertextFile:
+    @pytest.fixture(scope="class")
+    def file(self):
+        pub, _ = generate_keypair(256, seed=b"ct-file")
+        layout = PackedLayout(column_bits=(16,), pad_bits=8, plaintext_bits=pub.plaintext_bits)
+        f = CiphertextFile(
+            name="t_hom",
+            public_key=pub,
+            layout=layout,
+            column_names=("x",),
+            num_rows=10,
+        )
+        per_ct = layout.rows_per_ciphertext
+        for start in range(0, 10, per_ct):
+            rows = [[i] for i in range(start, min(start + per_ct, 10))]
+            f.ciphertexts.append(pub.encrypt(layout.encode_rows(rows)))
+        return f
+
+    def test_locate(self, file):
+        group, offset = file.locate(0)
+        assert group == 0 and offset == 0
+        last_group, last_offset = file.locate(file.num_rows - 1)
+        assert last_group == (file.num_rows - 1) // file.rows_per_ciphertext
+        assert last_offset == (file.num_rows - 1) % file.rows_per_ciphertext
+
+    def test_locate_out_of_range(self, file):
+        with pytest.raises(EngineError):
+            file.locate(10)
+
+    def test_read_accounting(self, file):
+        before = file.bytes_read
+        file.read(0)
+        assert file.bytes_read == before + file.ciphertext_bytes
+
+    def test_total_bytes(self, file):
+        assert file.total_bytes == len(file.ciphertexts) * file.ciphertext_bytes
+
+    def test_store(self, file):
+        store = CiphertextStore()
+        store.add(file)
+        assert store.get("t_hom") is file
+        with pytest.raises(EngineError):
+            store.add(file)
+        with pytest.raises(EngineError):
+            store.get("missing")
+        assert store.total_bytes == file.total_bytes

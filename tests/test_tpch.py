@@ -1,0 +1,107 @@
+"""TPC-H substrate tests: generator invariants, query texts, and a
+plaintext-vs-encrypted equivalence spot check at a tiny scale."""
+
+from __future__ import annotations
+
+import datetime
+
+import pytest
+
+from conftest import MASTER_KEY, canonical
+from repro.core import MonomiClient, normalize_query
+from repro.engine import Executor
+from repro.sql import parse
+from repro.tpch import generate, supported_numbers, tpch_queries
+
+SCALE = 0.0003
+
+
+@pytest.fixture(scope="module")
+def tpch_db():
+    return generate(scale=SCALE, seed=5)
+
+
+class TestDbgen:
+    def test_deterministic(self):
+        a = generate(scale=0.0002, seed=9)
+        b = generate(scale=0.0002, seed=9)
+        assert a.table("lineitem").rows == b.table("lineitem").rows
+
+    def test_cardinalities(self, tpch_db):
+        assert tpch_db.table("region").num_rows == 5
+        assert tpch_db.table("nation").num_rows == 25
+        assert tpch_db.table("lineitem").num_rows > tpch_db.table("orders").num_rows
+
+    def test_date_chain_invariants(self, tpch_db):
+        schema = tpch_db.table("lineitem").schema
+        ship = schema.column_index("l_shipdate")
+        receipt = schema.column_index("l_receiptdate")
+        for row in tpch_db.table("lineitem").rows[:500]:
+            assert row[receipt] > row[ship]
+
+    def test_foreign_keys_resolve(self, tpch_db):
+        customers = {r[0] for r in tpch_db.table("customer").rows}
+        for row in tpch_db.table("orders").rows[:200]:
+            assert row[1] in customers
+
+    def test_scaled_integers_everywhere(self, tpch_db):
+        for row in tpch_db.table("lineitem").rows[:100]:
+            assert isinstance(row[5], int)  # extendedprice in cents
+            assert 0 <= row[6] <= 10  # discount in points
+
+    def test_phone_country_codes(self, tpch_db):
+        schema = tpch_db.table("customer").schema
+        phone = schema.column_index("c_phone")
+        nation = schema.column_index("c_nationkey")
+        for row in tpch_db.table("customer").rows[:50]:
+            assert int(row[phone].split("-")[0]) == row[nation] + 10
+
+
+class TestQueryTexts:
+    def test_all_22_parse(self):
+        for number, q in tpch_queries(0.01).items():
+            tree = parse(q.sql)
+            assert tree.items, f"Q{number} has no select items"
+
+    def test_exclusions_match_paper(self):
+        queries = tpch_queries(0.01)
+        assert {n for n, q in queries.items() if q.paper_excluded} == {13, 15, 16}
+        assert queries[21].paper_timeout
+        assert supported_numbers() == [n for n in range(1, 23) if n not in (13, 15, 16)]
+
+    def test_q11_fraction_scales(self):
+        assert "0.05" in tpch_queries(0.001)[11].sql
+        assert "0.0001" in tpch_queries(1.0)[11].sql
+
+    def test_all_22_execute_plaintext(self, tpch_db):
+        executor = Executor(tpch_db)
+        for number, q in tpch_queries(SCALE).items():
+            result = executor.execute(normalize_query(parse(q.sql)))
+            assert result.columns, f"Q{number} returned no schema"
+
+
+@pytest.mark.parametrize("number", [1, 3, 4, 6, 11, 12, 18, 19])
+def test_encrypted_equals_plaintext(tpch_db, number):
+    client = _client(tpch_db)
+    queries = tpch_queries(SCALE)
+    query = normalize_query(parse(queries[number].sql))
+    outcome = client.execute(query)
+    expected = Executor(tpch_db).execute(query)
+    assert canonical(outcome.rows) == canonical(expected.rows)
+
+
+_CLIENT_CACHE: dict = {}
+
+
+def _client(tpch_db) -> MonomiClient:
+    if "client" not in _CLIENT_CACHE:
+        queries = tpch_queries(SCALE)
+        workload = [queries[n].sql for n in (1, 3, 4, 6, 11, 12, 18, 19)]
+        _CLIENT_CACHE["client"] = MonomiClient.setup(
+            tpch_db,
+            workload,
+            master_key=MASTER_KEY,
+            paillier_bits=384,
+            space_budget=2.0,
+        )
+    return _CLIENT_CACHE["client"]
