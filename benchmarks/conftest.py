@@ -9,7 +9,6 @@ numbers survive pytest's output capture.
 
 from __future__ import annotations
 
-import math
 import os
 import pathlib
 import time
@@ -22,7 +21,10 @@ from repro.common.ledger import DiskModel, NetworkModel
 from repro.core import MonomiClient, normalize_query
 from repro.engine import Executor
 from repro.sql import parse
+from repro.testkit import geometric_mean
 from repro.tpch import generate, supported_numbers, tpch_queries
+
+__all__ = ["geometric_mean"]
 
 BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.001"))
 PAILLIER_BITS = int(os.environ.get("REPRO_BENCH_PAILLIER", "384"))
@@ -109,13 +111,6 @@ def tpch_env() -> TpchEnv:
         network=network,
         disk=DiskModel(),
     )
-
-
-def geometric_mean(values: list[float]) -> float:
-    positive = [v for v in values if v > 0]
-    if not positive:
-        return 0.0
-    return math.exp(sum(math.log(v) for v in positive) / len(positive))
 
 
 def write_report(name: str, title: str, lines: list[str]) -> pathlib.Path:

@@ -16,19 +16,31 @@ key.  Design choices that mirror the paper's prototype:
   TPC-H's sorted string columns are distinguished within that prefix.
 * Encryption results are memoized per value — analytical columns repeat
   values heavily, and the paper likewise caches repeated (de)cryptions
-  (§8.1 uses a 512-entry decryption cache; ours is unbounded, a laptop
-  nicety).
+  (§8.1 uses a 512-entry decryption cache).  Ours are LRU caches bounded
+  by ``cache_size`` so long-running loads cannot grow memory without
+  limit.
+
+Batch APIs
+----------
+Every scheme has a ``*_encrypt_batch`` / ``*_decrypt_batch`` companion that
+processes a whole column with the scheme/type dispatch, cipher attribute
+lookups, and cache accessors hoisted out of the per-value loop.  The batch
+paths are element-wise identical to the scalar ones (property-tested),
+including ``None`` passthrough; they exist because columnar loading and
+client-side result decryption are throughput-bound (§8, Fig. 7).
 """
 
 from __future__ import annotations
 
 import datetime
+from collections import OrderedDict
+from typing import Sequence
 
 from repro.common.errors import CryptoError, DomainError
 from repro.crypto.det import DetCipher
 from repro.crypto.ffx import FFXInteger
 from repro.crypto.ope import OpeCipher
-from repro.crypto.paillier import generate_keypair
+from repro.crypto.paillier import EncryptionPool, generate_keypair
 from repro.crypto.prf import derive_key
 from repro.crypto.rnd import RndCipher
 from repro.crypto.search import SearchCipher
@@ -53,6 +65,45 @@ for _L in range(_SHORT_TEXT_BYTES + 1):
     _OFFSETS.append(_OFFSETS[-1] + 256 ** _L)
 
 DEFAULT_PAILLIER_BITS = 2048
+DEFAULT_CACHE_SIZE = 65536
+
+
+class LRUCache:
+    """Minimal bounded LRU used for the DET/OPE memoization caches."""
+
+    __slots__ = ("_data", "_capacity")
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise CryptoError(f"cache capacity must be positive, got {capacity}")
+        self._data: OrderedDict = OrderedDict()
+        self._capacity = capacity
+
+    def get(self, key: object) -> object | None:
+        data = self._data
+        value = data.get(key)
+        if value is not None:
+            data.move_to_end(key)
+        return value
+
+    def put(self, key: object, value: object) -> None:
+        data = self._data
+        data[key] = value
+        data.move_to_end(key)
+        if len(data) > self._capacity:
+            data.popitem(last=False)
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+
+# Exact-type tag lookup: dict hit on type() beats the isinstance chain in
+# hot loops; _type_tag remains the fallback for subclasses.
+_TYPE_TAGS = {bool: "bool", int: "int", datetime.date: "date", str: "str"}
 
 
 class CryptoProvider:
@@ -63,6 +114,7 @@ class CryptoProvider:
         master_key: bytes,
         paillier_bits: int = DEFAULT_PAILLIER_BITS,
         ope_expansion_bits: int = 16,
+        cache_size: int = DEFAULT_CACHE_SIZE,
     ) -> None:
         if len(master_key) < 16:
             raise CryptoError("master key must be at least 16 bytes")
@@ -107,9 +159,11 @@ class CryptoProvider:
         self.paillier_public, self.paillier_private = generate_keypair(
             paillier_bits, seed=derive_key(master_key, "paillier-seed")
         )
-        self._det_cache: dict[tuple, object] = {}
-        self._ope_cache: dict[tuple, int] = {}
-        self._ope_dec_cache: dict[tuple, object] = {}
+        self._paillier_pool: EncryptionPool | None = None
+        self.cache_size = cache_size
+        self._det_cache = LRUCache(cache_size)
+        self._ope_cache = LRUCache(cache_size)
+        self._ope_dec_cache = LRUCache(cache_size)
 
     # -- DET ---------------------------------------------------------------------
 
@@ -120,8 +174,29 @@ class CryptoProvider:
         cached = self._det_cache.get(key)
         if cached is None:
             cached = self._det_encrypt_uncached(value)
-            self._det_cache[key] = cached
+            self._det_cache.put(key, cached)
         return cached
+
+    def det_encrypt_batch(self, values: Sequence) -> list:
+        """Element-wise :meth:`det_encrypt` over a column."""
+        get = self._det_cache.get
+        put = self._det_cache.put
+        uncached = self._det_encrypt_uncached
+        tags = _TYPE_TAGS
+        out: list = []
+        append = out.append
+        for value in values:
+            if value is None:
+                append(None)
+                continue
+            tag = tags.get(type(value))
+            key = ("e", tag if tag is not None else _type_tag(value), value)
+            cached = get(key)
+            if cached is None:
+                cached = uncached(value)
+                put(key, cached)
+            append(cached)
+        return out
 
     def _det_encrypt_uncached(self, value: object) -> object:
         if isinstance(value, bool):
@@ -153,14 +228,37 @@ class CryptoProvider:
         if sql_type == "date":
             return _EPOCH + datetime.timedelta(days=self._det_date.decrypt(ciphertext))
         if sql_type == "text":
-            if isinstance(ciphertext, int):
-                length = 1
-                while ciphertext >= _OFFSETS[length + 1]:
-                    length += 1
-                ffx = self._det_short_text[length]
-                inner = ffx.decrypt(ciphertext - _OFFSETS[length])
-                return inner.to_bytes(length, "big").decode("utf-8")
-            return self._det_str.decrypt(ciphertext).decode("utf-8")
+            return self._det_decrypt_text(ciphertext)
+        raise DomainError(f"DET cannot decrypt type {sql_type!r}")
+
+    def _det_decrypt_text(self, ciphertext: object) -> str:
+        if isinstance(ciphertext, int):
+            length = 1
+            while ciphertext >= _OFFSETS[length + 1]:
+                length += 1
+            ffx = self._det_short_text[length]
+            inner = ffx.decrypt(ciphertext - _OFFSETS[length])
+            return inner.to_bytes(length, "big").decode("utf-8")
+        return self._det_str.decrypt(ciphertext).decode("utf-8")
+
+    def det_decrypt_batch(self, ciphertexts: Sequence, sql_type: str) -> list:
+        """Element-wise :meth:`det_decrypt` with one type dispatch."""
+        if sql_type in ("int", "bool"):
+            dec = self._det_int.decrypt
+            if sql_type == "bool":
+                return [None if c is None else bool(dec(c)) for c in ciphertexts]
+            return [None if c is None else dec(c) for c in ciphertexts]
+        if sql_type == "date":
+            dec = self._det_date.decrypt
+            epoch = _EPOCH
+            delta = datetime.timedelta
+            return [
+                None if c is None else epoch + delta(days=dec(c))
+                for c in ciphertexts
+            ]
+        if sql_type == "text":
+            dec_text = self._det_decrypt_text
+            return [None if c is None else dec_text(c) for c in ciphertexts]
         raise DomainError(f"DET cannot decrypt type {sql_type!r}")
 
     # -- OPE ---------------------------------------------------------------------
@@ -172,8 +270,29 @@ class CryptoProvider:
         cached = self._ope_cache.get(key)
         if cached is None:
             cached = self._ope_encrypt_uncached(value)
-            self._ope_cache[key] = cached
+            self._ope_cache.put(key, cached)
         return cached
+
+    def ope_encrypt_batch(self, values: Sequence) -> list:
+        """Element-wise :meth:`ope_encrypt` over a column."""
+        get = self._ope_cache.get
+        put = self._ope_cache.put
+        uncached = self._ope_encrypt_uncached
+        tags = _TYPE_TAGS
+        out: list = []
+        append = out.append
+        for value in values:
+            if value is None:
+                append(None)
+                continue
+            tag = tags.get(type(value))
+            key = ("e", tag if tag is not None else _type_tag(value), value)
+            cached = get(key)
+            if cached is None:
+                cached = uncached(value)
+                put(key, cached)
+            append(cached)
+        return out
 
     def _ope_encrypt_uncached(self, value: object) -> int:
         if isinstance(value, bool):
@@ -195,6 +314,11 @@ class CryptoProvider:
         cached = self._ope_dec_cache.get(key)
         if cached is not None:
             return cached
+        plain = self._ope_decrypt_uncached(ciphertext, sql_type)
+        self._ope_dec_cache.put(key, plain)
+        return plain
+
+    def _ope_decrypt_uncached(self, ciphertext: int, sql_type: str) -> object:
         if sql_type in ("int", "bool"):
             plain: object = self._ope_int.decrypt(ciphertext)
             if sql_type == "bool":
@@ -206,8 +330,26 @@ class CryptoProvider:
             plain = raw.rstrip(b"\x00").decode("utf-8", errors="replace")
         else:
             raise DomainError(f"OPE cannot decrypt type {sql_type!r}")
-        self._ope_dec_cache[key] = plain
         return plain
+
+    def ope_decrypt_batch(self, ciphertexts: Sequence, sql_type: str) -> list:
+        """Element-wise :meth:`ope_decrypt` with hoisted cache accessors."""
+        get = self._ope_dec_cache.get
+        put = self._ope_dec_cache.put
+        uncached = self._ope_decrypt_uncached
+        out: list = []
+        append = out.append
+        for ciphertext in ciphertexts:
+            if ciphertext is None:
+                append(None)
+                continue
+            key = (sql_type, ciphertext)
+            cached = get(key)
+            if cached is None:
+                cached = uncached(ciphertext, sql_type)
+                put(key, cached)
+            append(cached)
+        return out
 
     # -- RND ---------------------------------------------------------------------
 
@@ -216,11 +358,21 @@ class CryptoProvider:
             return None
         return self._rnd.encrypt(encode_value(value))
 
+    def rnd_encrypt_batch(self, values: Sequence) -> list:
+        enc = self._rnd.encrypt
+        encode = encode_value
+        return [None if v is None else enc(encode(v)) for v in values]
+
     def rnd_decrypt(self, ciphertext: bytes | None) -> object:
         if ciphertext is None:
             return None
         value, _ = decode_value(self._rnd.decrypt(ciphertext))
         return value
+
+    def rnd_decrypt_batch(self, ciphertexts: Sequence) -> list:
+        dec = self._rnd.decrypt
+        decode = decode_value
+        return [None if c is None else decode(dec(c))[0] for c in ciphertexts]
 
     # -- SEARCH ------------------------------------------------------------------
 
@@ -229,8 +381,33 @@ class CryptoProvider:
             return None
         return self._search.encrypt(value)
 
+    def search_encrypt_batch(self, values: Sequence) -> list:
+        enc = self._search.encrypt
+        return [None if v is None else enc(v) for v in values]
+
     def search_trapdoor(self, pattern: str) -> bytes:
         return self._search.trapdoor(pattern)
+
+    # -- Paillier ------------------------------------------------------------------
+
+    @property
+    def paillier_pool(self) -> EncryptionPool:
+        """Shared fixed-base randomness pool for bulk Paillier encryption.
+
+        Deliberately unseeded (OS randomness): a deterministic pool would
+        repeat obfuscation factors across provider instances, letting the
+        server compute plaintext deltas between two loads under the same
+        key.  Only the *keys* are derived deterministically.
+        """
+        if self._paillier_pool is None:
+            self._paillier_pool = self.paillier_public.make_pool()
+        return self._paillier_pool
+
+    def paillier_encrypt_batch(self, messages: Sequence[int]) -> list[int]:
+        return self.paillier_public.encrypt_batch(messages, pool=self.paillier_pool)
+
+    def paillier_decrypt_batch(self, ciphertexts: Sequence[int]) -> list[int]:
+        return self.paillier_private.decrypt_batch(ciphertexts)
 
     # -- generic dispatch ----------------------------------------------------------
 
@@ -245,6 +422,18 @@ class CryptoProvider:
             return self.search_encrypt(value)
         raise DomainError(f"no direct encryption for scheme {scheme!r}")
 
+    def encrypt_batch(self, values: Sequence, scheme: str) -> list:
+        """Column-wise :meth:`encrypt`: one scheme dispatch per batch."""
+        if scheme == "det":
+            return self.det_encrypt_batch(values)
+        if scheme == "ope":
+            return self.ope_encrypt_batch(values)
+        if scheme == "rnd":
+            return self.rnd_encrypt_batch(values)
+        if scheme == "search":
+            return self.search_encrypt_batch(values)
+        raise DomainError(f"no direct encryption for scheme {scheme!r}")
+
     def decrypt(self, ciphertext: object, scheme: str, sql_type: str) -> object:
         if scheme == "det":
             return self.det_decrypt(ciphertext, sql_type)
@@ -254,6 +443,18 @@ class CryptoProvider:
             return self.rnd_decrypt(ciphertext)
         if scheme == "plain":
             return ciphertext
+        raise DomainError(f"no direct decryption for scheme {scheme!r}")
+
+    def decrypt_batch(self, ciphertexts: Sequence, scheme: str, sql_type: str) -> list:
+        """Column-wise :meth:`decrypt`: one scheme dispatch per batch."""
+        if scheme == "det":
+            return self.det_decrypt_batch(ciphertexts, sql_type)
+        if scheme == "ope":
+            return self.ope_decrypt_batch(ciphertexts, sql_type)
+        if scheme == "rnd":
+            return self.rnd_decrypt_batch(ciphertexts)
+        if scheme == "plain":
+            return list(ciphertexts)
         raise DomainError(f"no direct decryption for scheme {scheme!r}")
 
 

@@ -23,7 +23,7 @@ from repro.core.schemes import Scheme
 from repro.core.typing import infer_type
 from repro.crypto.packing import PackedLayout
 from repro.engine.catalog import Database
-from repro.engine.eval import Env, EvalContext, Scope, evaluate
+from repro.engine.eval import EvalContext, Scope, compile_expr
 from repro.engine.schema import ColumnDef, TableSchema
 from repro.sql import ast, parse_expression
 
@@ -115,25 +115,35 @@ class EncryptedLoader:
 
         scope = Scope([(table_name, c) for c in plain.schema.column_names])
         ctx = EvalContext()
-        for row_id, row in enumerate(plain.rows):
-            env = Env(scope, row)
-            values: list[object] = []
-            for entry, expr, plain_type in zip(entries, exprs, plain_types):
-                plain_value = evaluate(expr, env, ctx)
-                values.append(self._encrypt_value(plain_value, entry.scheme))
-            if hom_groups:
-                values.append(row_id)
-            enc_table.insert(tuple(values))
+        # Columnar load: evaluate each design expression over the whole
+        # table (compiled once), encrypt the resulting plaintext column
+        # through the batch crypto APIs (one scheme dispatch per column),
+        # then transpose back into encrypted rows.
+        enc_columns: list[list] = []
+        for entry, expr in zip(entries, exprs):
+            fn = compile_expr(expr, scope, ctx)
+            plain_column = [fn(row) for row in plain.rows]
+            enc_columns.append(self._encrypt_column(plain_column, entry.scheme))
+        if hom_groups:
+            enc_columns.append(list(range(plain.num_rows)))
+
+        if enc_columns:
+            for values in zip(*enc_columns):
+                enc_table.insert(values)
+        else:
+            for _ in range(plain.num_rows):
+                enc_table.insert(())
 
         for group in hom_groups:
             self._load_hom_group(server, group, plain, scope)
 
-    def _encrypt_value(self, value: object, scheme: Scheme) -> object:
+    def _encrypt_column(self, values: list, scheme: Scheme) -> list:
         if scheme is Scheme.SEARCH:
-            if value is not None and not isinstance(value, str):
-                raise DesignError("SEARCH applies to text columns only")
-            return self.provider.search_encrypt(value)
-        return self.provider.encrypt(value, scheme.value)
+            for value in values:
+                if value is not None and not isinstance(value, str):
+                    raise DesignError("SEARCH applies to text columns only")
+            return self.provider.search_encrypt_batch(values)
+        return self.provider.encrypt_batch(values, scheme.value)
 
     # -- homomorphic groups ------------------------------------------------------
 
@@ -142,27 +152,25 @@ class EncryptedLoader:
 
         ctx = EvalContext()
         exprs = [parse_expression(sql) for sql in group.expr_sqls]
+        fns = [compile_expr(expr, scope, ctx) for expr in exprs]
         # Gather plaintext values (None -> 0: additive identity).
-        matrix: list[list[int]] = []
-        for row in plain.rows:
-            env = Env(scope, row)
-            values = []
-            for expr in exprs:
-                value = evaluate(expr, env, ctx)
+        matrix: list[list[int]] = [[] for _ in plain.rows]
+        for expr, fn in zip(exprs, fns):
+            for values, row in zip(matrix, plain.rows):
+                value = fn(row)
                 if value is None:
                     value = 0
-                if not isinstance(value, int) or isinstance(value, bool):
+                elif not isinstance(value, int) or isinstance(value, bool):
                     raise DesignError(
                         f"homomorphic column {group.table}:{expr!r} must be "
                         f"integer-valued, got {value!r}"
                     )
-                if value < 0:
+                elif value < 0:
                     raise DesignError(
                         "homomorphic packing requires non-negative values "
                         f"(got {value} in {group.table})"
                     )
                 values.append(value)
-            matrix.append(values)
 
         column_bits = tuple(
             max(1, max((row[i] for row in matrix), default=0).bit_length())
@@ -188,7 +196,11 @@ class EncryptedLoader:
             column_names=group.expr_sqls,
             num_rows=plain.num_rows,
         )
-        for start in range(0, len(matrix), rows_per_ct):
-            chunk = matrix[start : start + rows_per_ct]
-            file.ciphertexts.append(public.encrypt(layout.encode_rows(chunk)))
+        plaintexts = [
+            layout.encode_rows(matrix[start : start + rows_per_ct])
+            for start in range(0, len(matrix), rows_per_ct)
+        ]
+        # Bulk Paillier: fixed-base randomness pool instead of a full-width
+        # r^n exponentiation per ciphertext (~15x at 2,048-bit keys).
+        file.ciphertexts.extend(self.provider.paillier_encrypt_batch(plaintexts))
         server.ciphertext_store.add(file)

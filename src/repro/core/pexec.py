@@ -70,7 +70,9 @@ class PlanExecutor:
             if subplan.mode == "in_set_server":
                 with ledger.timing_client():
                     encrypted = frozenset(
-                        self.provider.det_encrypt(v) for v in values if v is not None
+                        self.provider.det_encrypt_batch(
+                            [v for v in values if v is not None]
+                        )
                     )
                 server_params[subplan.param_name] = encrypted
             elif subplan.mode == "scalar_residual":
@@ -131,6 +133,13 @@ class PlanExecutor:
     def _decrypt_rows(
         self, relation: RemoteRelation, result: ResultSet
     ) -> tuple[list[str], list[tuple]]:
+        """Columnar client decryption (the Fig. 7 hot path).
+
+        The result set is transposed so each server output column decrypts
+        as one batch — a single scheme/type dispatch per
+        :class:`DecryptSpec` instead of one per value, with packed Paillier
+        ciphertexts gathered column-wide into one CRT-batched decryption.
+        """
         specs = relation.specs
         if len(specs) != len(result.columns):
             raise ExecutionError(
@@ -140,59 +149,73 @@ class PlanExecutor:
         columns: list[str] = []
         for spec in specs:
             columns.extend(spec.output_names)
-        rows: list[tuple] = []
-        for row in result.rows:
-            out: list[object] = []
-            for spec, value in zip(specs, row):
-                out.extend(self._decrypt_value(spec, value))
-            rows.append(tuple(out))
-        return columns, rows
+        if not result.rows:
+            return columns, []
+        out_columns: list[list] = []
+        for spec, in_column in zip(specs, zip(*result.rows)):
+            out_columns.extend(self._decrypt_column(spec, in_column))
+        return columns, list(zip(*out_columns))
 
-    def _decrypt_value(self, spec: DecryptSpec, value: object) -> list[object]:
+    def _decrypt_column(self, spec: DecryptSpec, values) -> list[list]:
+        """Decrypt one server output column into its output column(s)."""
         if spec.kind == "plain":
-            return [value]
+            return [list(values)]
         if spec.kind in ("det", "ope", "rnd"):
-            return [self.provider.decrypt(value, spec.kind, spec.sql_type)]
+            return [self.provider.decrypt_batch(values, spec.kind, spec.sql_type)]
         if spec.kind == "grp":
-            if value is None:
-                return [[]]
+            decrypt_batch = self.provider.decrypt_batch
+            elem_kind, sql_type = spec.elem_kind, spec.sql_type
             return [
                 [
-                    self.provider.decrypt(element, spec.elem_kind, spec.sql_type)
-                    for element in value
+                    []
+                    if value is None
+                    else decrypt_batch(value, elem_kind, sql_type)
+                    for value in values
                 ]
             ]
         if spec.kind == "hom":
-            return self._decrypt_hom(spec, value)
+            return self._decrypt_hom_column(spec, values)
         raise ExecutionError(f"unknown decrypt spec kind {spec.kind!r}")
 
-    def _decrypt_hom(self, spec: DecryptSpec, value: object) -> list[object]:
+    def _decrypt_hom_column(self, spec: DecryptSpec, values) -> list[list]:
         width = len(spec.hom_output_names)
-        if value is None:
-            return [None] * width
-        if not isinstance(value, HomAggResult):
-            raise ExecutionError("hom spec over a non-homomorphic value")
-        layout = value.layout
-        totals = [0] * width
-        saw_any = False
-        private = self.provider.paillier_private
-        if value.product is not None:
-            sums = layout.decode_column_sums(private.decrypt(value.product))
-            totals = [t + s for t, s in zip(totals, sums)]
-            saw_any = True
-        for ciphertext, offsets in value.partials:
-            plaintext = layout.decode_rows(
-                private.decrypt(ciphertext), layout.rows_per_ciphertext
-            )
-            for offset in offsets:
-                if offset >= len(plaintext):
-                    raise ExecutionError("hom partial offset out of range")
-                for c in range(width):
-                    totals[c] += plaintext[offset][c]
-            saw_any = True
-        if not saw_any:
-            return [None] * width
-        return list(totals)
+        # Gather every Paillier ciphertext the column carries (running
+        # products first, then partials, per value) so the whole column
+        # decrypts in one CRT batch.
+        ciphertexts: list[int] = []
+        for value in values:
+            if value is None:
+                continue
+            if not isinstance(value, HomAggResult):
+                raise ExecutionError("hom spec over a non-homomorphic value")
+            if value.product is not None:
+                ciphertexts.append(value.product)
+            ciphertexts.extend(ct for ct, _ in value.partials)
+        plaintexts = iter(self.provider.paillier_decrypt_batch(ciphertexts))
+        out_rows: list[list] = []
+        for value in values:
+            if value is None:
+                out_rows.append([None] * width)
+                continue
+            layout = value.layout
+            totals = [0] * width
+            saw_any = False
+            if value.product is not None:
+                sums = layout.decode_column_sums(next(plaintexts))
+                totals = [t + s for t, s in zip(totals, sums)]
+                saw_any = True
+            for _, offsets in value.partials:
+                plaintext = layout.decode_rows(
+                    next(plaintexts), layout.rows_per_ciphertext
+                )
+                for offset in offsets:
+                    if offset >= len(plaintext):
+                        raise ExecutionError("hom partial offset out of range")
+                    for c in range(width):
+                        totals[c] += plaintext[offset][c]
+                saw_any = True
+            out_rows.append(totals if saw_any else [None] * width)
+        return [list(column) for column in zip(*out_rows)]
 
 
 def _unnest_rows(

@@ -11,8 +11,18 @@ Implementation notes
 --------------------
 * ``g = n + 1`` so encryption needs no modular exponentiation for the
   message part: ``g^m = 1 + m*n (mod n^2)``.
-* Decryption uses the CRT-free textbook form with
-  ``lambda = lcm(p-1, q-1)`` and ``mu = L(g^lambda mod n^2)^-1 mod n``.
+* Decryption uses CRT: decrypt mod ``p^2`` and mod ``q^2`` with the
+  half-width exponents ``p-1`` / ``q-1``, then recombine with Garner's
+  formula — roughly 4x faster than the textbook
+  ``lambda = lcm(p-1, q-1)`` / ``mu`` form at 2,048-bit moduli, because
+  modular exponentiation is cubic in the operand width.  The textbook path
+  is kept as :meth:`PaillierPrivateKey.decrypt_textbook` (equivalence is
+  tested) and as the fallback for keys constructed without factors.
+* Bulk encryption goes through :class:`EncryptionPool`, a fixed-base
+  precomputed-randomness source: one full-width ``r0^n mod n^2`` at setup,
+  then each value draws ``(r0^e)^n = (r0^n)^e`` with a short random
+  exponent ``e`` — turning the per-value cost from a ``|n|``-bit into a
+  128-bit exponentiation.
 * Keys can be generated deterministically from a seed (PRF stream) so that
   benchmark databases are reproducible.
 """
@@ -22,12 +32,19 @@ from __future__ import annotations
 import math
 import secrets
 from dataclasses import dataclass
+from functools import cached_property
+from typing import Sequence
 
 from repro.common.errors import CryptoError, DomainError
 from repro.crypto.prf import PRFStream
 from repro.crypto.primes import generate_distinct_primes
 
 DEFAULT_MODULUS_BITS = 2048
+
+# Short-exponent width for the fixed-base encryption pool.  128 bits of
+# randomness in the exponent keeps the obfuscation computationally fresh per
+# value while costing ~|n|/128 of a full-width exponentiation.
+POOL_EXPONENT_BITS = 128
 
 
 @dataclass(frozen=True)
@@ -51,12 +68,51 @@ class PaillierPublicKey:
 
     def encrypt(self, message: int, r: int | None = None) -> int:
         if not 0 <= message < self.n:
-            raise DomainError(f"Paillier plaintext out of range [0, n)")
+            raise DomainError(
+                f"Paillier plaintext out of range [0, n): "
+                f"message={message}, n={self.n}"
+            )
         n2 = self.n_squared
         if r is None:
             r = secrets.randbelow(self.n - 1) + 1
         gm = (1 + message * self.n) % n2  # g^m with g = n+1
         return (gm * pow(r, self.n, n2)) % n2
+
+    def encrypt_batch(
+        self, messages: Sequence[int], pool: "EncryptionPool | None" = None
+    ) -> list[int]:
+        """Encrypt many plaintexts with hoisted parameters.
+
+        With a ``pool``, the per-value randomness factor comes from the
+        fixed-base short-exponent path; without one, each value pays the
+        full-width ``r^n`` exponentiation (but still skips per-call
+        attribute lookups).
+        """
+        n = self.n
+        n2 = self.n_squared
+        out: list[int] = []
+        if pool is not None:
+            factor = pool.factor
+            for message in messages:
+                if not 0 <= message < n:
+                    raise DomainError(
+                        f"Paillier plaintext out of range [0, n): "
+                        f"message={message}, n={n}"
+                    )
+                out.append(((1 + message * n) * factor()) % n2)
+        else:
+            for message in messages:
+                if not 0 <= message < n:
+                    raise DomainError(
+                        f"Paillier plaintext out of range [0, n): "
+                        f"message={message}, n={n}"
+                    )
+                r = secrets.randbelow(n - 1) + 1
+                out.append(((1 + message * n) * pow(r, n, n2)) % n2)
+        return out
+
+    def make_pool(self, seed: bytes | None = None) -> "EncryptionPool":
+        return EncryptionPool(self, seed=seed)
 
     def add(self, c1: int, c2: int) -> int:
         """Homomorphic addition: E(a) (*) E(b) = E(a + b mod n)."""
@@ -87,21 +143,120 @@ class PaillierPublicKey:
         return self.encrypt(0)
 
 
+class EncryptionPool:
+    """Precomputed-randomness source for bulk Paillier encryption.
+
+    Pays one full-width exponentiation up front (``base = r0^n mod n^2``
+    for a secret random ``r0``) and then serves per-value obfuscation
+    factors ``base^e mod n^2`` for short random exponents ``e`` — each
+    factor equals ``(r0^e)^n``, i.e. valid Paillier randomness for the
+    (uniformly unknown) value ``r0^e``.
+    """
+
+    def __init__(self, public: PaillierPublicKey, seed: bytes | None = None) -> None:
+        self.public = public
+        self._n2 = public.n_squared
+        self._stream = PRFStream(seed, b"paillier-pool") if seed is not None else None
+        r0 = self._random_below(public.n - 1) + 1
+        self._base = pow(r0, public.n, self._n2)
+
+    def _random_below(self, bound: int) -> int:
+        if self._stream is not None:
+            return self._stream.next_below(bound)
+        return secrets.randbelow(bound)
+
+    def factor(self) -> int:
+        """One obfuscation factor ``r^n mod n^2`` (short-exponent path)."""
+        e = self._random_below((1 << POOL_EXPONENT_BITS) - 1) + 1
+        return pow(self._base, e, self._n2)
+
+    def encrypt(self, message: int) -> int:
+        public = self.public
+        if not 0 <= message < public.n:
+            raise DomainError(
+                f"Paillier plaintext out of range [0, n): "
+                f"message={message}, n={public.n}"
+            )
+        return ((1 + message * public.n) * self.factor()) % self._n2
+
+
 @dataclass(frozen=True)
 class PaillierPrivateKey:
-    """Private half: can decrypt."""
+    """Private half: can decrypt.
+
+    ``p``/``q`` enable the CRT fast path; keys built without them (``0``)
+    decrypt through the textbook ``lambda``/``mu`` form.
+    """
 
     public: PaillierPublicKey
     lam: int
     mu: int
+    p: int = 0
+    q: int = 0
+
+    @cached_property
+    def _crt(self) -> tuple[int, int, int, int, int, int] | None:
+        """(p2, q2, hp, hq, q_inv, q) or None when factors are unknown."""
+        p, q = self.p, self.q
+        if not p or not q:
+            return None
+        p2 = p * p
+        q2 = q * q
+        n = self.public.n
+        # hp = L_p((n+1)^(p-1) mod p^2)^-1 mod p, and symmetrically for q.
+        hp = pow((pow(n + 1, p - 1, p2) - 1) // p % p, -1, p)
+        hq = pow((pow(n + 1, q - 1, q2) - 1) // q % q, -1, q)
+        q_inv = pow(q, -1, p)
+        return (p2, q2, hp, hq, q_inv, q)
 
     def decrypt(self, ciphertext: int) -> int:
-        n = self.public.n
         n2 = self.public.n_squared
         if not 0 <= ciphertext < n2:
             raise CryptoError("Paillier ciphertext out of range")
-        u = pow(ciphertext, self.lam, n2)
+        crt = self._crt
+        if crt is None:
+            return self._decrypt_textbook_unchecked(ciphertext)
+        p2, q2, hp, hq, q_inv, q = crt
+        p = self.p
+        mp = (pow(ciphertext, p - 1, p2) - 1) // p % p * hp % p
+        mq = (pow(ciphertext, q - 1, q2) - 1) // q % q * hq % q
+        # Garner recombination: m = mq + q * ((mp - mq) * q^-1 mod p).
+        return mq + q * ((mp - mq) * q_inv % p)
+
+    def decrypt_textbook(self, ciphertext: int) -> int:
+        """CRT-free reference decryption (``lambda``/``mu`` form)."""
+        if not 0 <= ciphertext < self.public.n_squared:
+            raise CryptoError("Paillier ciphertext out of range")
+        return self._decrypt_textbook_unchecked(ciphertext)
+
+    def _decrypt_textbook_unchecked(self, ciphertext: int) -> int:
+        n = self.public.n
+        u = pow(ciphertext, self.lam, self.public.n_squared)
         return (_big_l(u, n) * self.mu) % n
+
+    def decrypt_batch(self, ciphertexts: Sequence[int]) -> list[int]:
+        """Decrypt many ciphertexts with CRT parameters hoisted out of the
+        loop — the client-side hot path for packed-aggregate results."""
+        n2 = self.public.n_squared
+        crt = self._crt
+        if crt is None:
+            lam, mu, n = self.lam, self.mu, self.public.n
+            out = []
+            for c in ciphertexts:
+                if not 0 <= c < n2:
+                    raise CryptoError("Paillier ciphertext out of range")
+                out.append((pow(c, lam, n2) - 1) // n * mu % n)
+            return out
+        p2, q2, hp, hq, q_inv, q = crt
+        p = self.p
+        out = []
+        for c in ciphertexts:
+            if not 0 <= c < n2:
+                raise CryptoError("Paillier ciphertext out of range")
+            mp = (pow(c, p - 1, p2) - 1) // p % p * hp % p
+            mq = (pow(c, q - 1, q2) - 1) // q % q * hq % q
+            out.append(mq + q * ((mp - mq) * q_inv % p))
+        return out
 
 
 def generate_keypair(
@@ -121,7 +276,7 @@ def generate_keypair(
     g_lam = pow(n + 1, lam, n2)
     mu = pow(_big_l(g_lam, n), -1, n)
     public = PaillierPublicKey(n=n)
-    return public, PaillierPrivateKey(public=public, lam=lam, mu=mu)
+    return public, PaillierPrivateKey(public=public, lam=lam, mu=mu, p=p, q=q)
 
 
 def _big_l(u: int, n: int) -> int:

@@ -11,6 +11,7 @@ MONOMI's server queries.
 from __future__ import annotations
 
 import datetime
+import operator
 import re
 from dataclasses import dataclass, field
 from typing import Callable
@@ -335,6 +336,254 @@ def _eval_like(expr: ast.Like, env: Env | None, ctx: EvalContext) -> object:
     else:
         found = like_matches(str(needle), str(pattern))
     return (not found) if expr.negated else found
+
+
+# ---------------------------------------------------------------------------
+# Compiled expressions
+# ---------------------------------------------------------------------------
+#
+# ``compile_expr`` turns an AST into a closure ``fn(row) -> value`` with all
+# dispatch — node type, operator, column index, function pointer — resolved
+# once per query instead of once per row.  The executor's hot loops (WHERE
+# filtering, hash-join key extraction, group keys, aggregate arguments,
+# projection) run these closures directly over raw row tuples, skipping the
+# per-row ``Env`` allocation and scope lookups of the tree walker.
+#
+# Compilation never fails: nodes whose semantics depend on per-row dynamic
+# context (subqueries, aggregate references, alias resolution) compile to a
+# closure that defers to :func:`evaluate`, so compiled and interpreted
+# results are identical by construction.
+
+RowFn = Callable[[tuple], object]
+
+_CMP_OPS = {"<": operator.lt, "<=": operator.le, ">": operator.gt, ">=": operator.ge}
+
+
+def compile_expr(
+    expr: ast.Expr, scope: Scope, ctx: EvalContext, outer: Env | None = None
+) -> RowFn:
+    if isinstance(expr, ast.Literal):
+        value = expr.value
+        return lambda row: value
+    if isinstance(expr, ast.Interval):
+        return lambda row: expr
+    if isinstance(expr, ast.Column):
+        try:
+            index = scope.find(expr.table, expr.name)
+        except ExecutionError:
+            return _compile_fallback(expr, scope, ctx, outer)
+        if index is None:
+            # Outer (correlated) or alias reference: needs the env chain.
+            return _compile_fallback(expr, scope, ctx, outer)
+        return lambda row: row[index]
+    if isinstance(expr, ast.Param):
+        params = ctx.params
+        name = expr.name
+        def run_param(row):
+            if name not in params:
+                raise ExecutionError(f"unbound parameter :{name}")
+            return params[name]
+        return run_param
+    if isinstance(expr, ast.BinOp):
+        return _compile_binop(expr, scope, ctx, outer)
+    if isinstance(expr, ast.UnaryOp):
+        operand = compile_expr(expr.operand, scope, ctx, outer)
+        if expr.op == "not":
+            def run_not(row):
+                value = operand(row)
+                return None if value is None else (not _truthy(value))
+            return run_not
+        def run_neg(row):
+            value = operand(row)
+            return None if value is None else -value
+        return run_neg
+    if isinstance(expr, ast.FuncCall):
+        if ast.is_aggregate_call(expr) or expr.star:
+            return _compile_fallback(expr, scope, ctx, outer)
+        fn = ctx.functions.get(expr.name)
+        if fn is None:
+            return _compile_fallback(expr, scope, ctx, outer)
+        arg_fns = [compile_expr(a, scope, ctx, outer) for a in expr.args]
+        if len(arg_fns) == 1:
+            arg0 = arg_fns[0]
+            return lambda row: fn(arg0(row))
+        return lambda row: fn(*[f(row) for f in arg_fns])
+    if isinstance(expr, ast.CaseWhen):
+        whens = [
+            (compile_expr(c, scope, ctx, outer), compile_expr(r, scope, ctx, outer))
+            for c, r in expr.whens
+        ]
+        else_fn = (
+            compile_expr(expr.else_, scope, ctx, outer)
+            if expr.else_ is not None
+            else None
+        )
+        def run_case(row):
+            for cond_fn, result_fn in whens:
+                if _truthy(cond_fn(row)):
+                    return result_fn(row)
+            return else_fn(row) if else_fn is not None else None
+        return run_case
+    if isinstance(expr, ast.InList):
+        needle_fn = compile_expr(expr.needle, scope, ctx, outer)
+        negated = expr.negated
+        if all(isinstance(i, ast.Literal) for i in expr.items):
+            items = [i.value for i in expr.items]
+            return lambda row: _eval_in(needle_fn(row), items, negated)
+        item_fns = [compile_expr(i, scope, ctx, outer) for i in expr.items]
+        return lambda row: _eval_in(
+            needle_fn(row), [f(row) for f in item_fns], negated
+        )
+    if isinstance(expr, ast.Like):
+        needle_fn = compile_expr(expr.needle, scope, ctx, outer)
+        pattern_fn = compile_expr(expr.pattern, scope, ctx, outer)
+        negated = expr.negated
+        def run_like(row):
+            needle = needle_fn(row)
+            pattern = pattern_fn(row)
+            if needle is None or pattern is None:
+                return None
+            if isinstance(needle, frozenset) and isinstance(pattern, bytes):
+                found = pattern in needle
+            else:
+                found = like_matches(str(needle), str(pattern))
+            return (not found) if negated else found
+        return run_like
+    if isinstance(expr, ast.Between):
+        needle_fn = compile_expr(expr.needle, scope, ctx, outer)
+        low_fn = compile_expr(expr.low, scope, ctx, outer)
+        high_fn = compile_expr(expr.high, scope, ctx, outer)
+        negated = expr.negated
+        def run_between(row):
+            needle = needle_fn(row)
+            low = low_fn(row)
+            high = high_fn(row)
+            if needle is None or low is None or high is None:
+                return None
+            result = low <= needle <= high
+            return (not result) if negated else result
+        return run_between
+    if isinstance(expr, ast.IsNull):
+        operand = compile_expr(expr.operand, scope, ctx, outer)
+        if expr.negated:
+            return lambda row: operand(row) is not None
+        return lambda row: operand(row) is None
+    if isinstance(expr, ast.Extract):
+        operand = compile_expr(expr.operand, scope, ctx, outer)
+        field_name = expr.field_name
+        def run_extract(row):
+            value = operand(row)
+            if value is None:
+                return None
+            if not isinstance(value, datetime.date):
+                raise ExecutionError(f"EXTRACT from non-date {value!r}")
+            return getattr(value, field_name)
+        return run_extract
+    if isinstance(expr, ast.Substring):
+        operand = compile_expr(expr.operand, scope, ctx, outer)
+        start_fn = compile_expr(expr.start, scope, ctx, outer)
+        length_fn = (
+            compile_expr(expr.length, scope, ctx, outer)
+            if expr.length is not None
+            else None
+        )
+        def run_substring(row):
+            value = operand(row)
+            start = start_fn(row)
+            if value is None or start is None:
+                return None
+            begin = max(int(start) - 1, 0)
+            if length_fn is None:
+                return value[begin:]
+            return value[begin : begin + int(length_fn(row))]
+        return run_substring
+    # Subqueries (scalar / IN / EXISTS) and anything unrecognized need the
+    # full dynamic context: defer to the tree walker.
+    return _compile_fallback(expr, scope, ctx, outer)
+
+
+def _compile_fallback(
+    expr: ast.Expr, scope: Scope, ctx: EvalContext, outer: Env | None
+) -> RowFn:
+    return lambda row: evaluate(expr, Env(scope, row, outer), ctx)
+
+
+def _compile_binop(
+    expr: ast.BinOp, scope: Scope, ctx: EvalContext, outer: Env | None
+) -> RowFn:
+    op = expr.op
+    left_fn = compile_expr(expr.left, scope, ctx, outer)
+    right_fn = compile_expr(expr.right, scope, ctx, outer)
+    if op == "and":
+        def run_and(row):
+            left = left_fn(row)
+            if left is False:
+                return False
+            right = right_fn(row)
+            if right is False:
+                return False
+            if left is None or right is None:
+                return None
+            return _truthy(left) and _truthy(right)
+        return run_and
+    if op == "or":
+        def run_or(row):
+            left = left_fn(row)
+            if left is not None and _truthy(left):
+                return True
+            right = right_fn(row)
+            if right is not None and _truthy(right):
+                return True
+            if left is None or right is None:
+                return None
+            return False
+        return run_or
+    if op == "=":
+        def run_eq(row):
+            left = left_fn(row)
+            right = right_fn(row)
+            if left is None or right is None:
+                return None
+            return left == right
+        return run_eq
+    if op == "<>":
+        def run_ne(row):
+            left = left_fn(row)
+            right = right_fn(row)
+            if left is None or right is None:
+                return None
+            return left != right
+        return run_ne
+    if op in ("<", "<=", ">", ">="):
+        cmp = _CMP_OPS[op]
+        def run_cmp(row):
+            left = left_fn(row)
+            right = right_fn(row)
+            if left is None or right is None:
+                return None
+            try:
+                return cmp(left, right)
+            except TypeError:
+                raise ExecutionError(
+                    f"cannot compare {type(left).__name__} with "
+                    f"{type(right).__name__}"
+                ) from None
+        return run_cmp
+    if op == "||":
+        def run_concat(row):
+            left = left_fn(row)
+            right = right_fn(row)
+            if left is None or right is None:
+                return None
+            return str(left) + str(right)
+        return run_concat
+    def run_arith(row):
+        left = left_fn(row)
+        right = right_fn(row)
+        if left is None or right is None:
+            return None
+        return _eval_arith(op, left, right)
+    return run_arith
 
 
 def _run_subquery(query: ast.Select, env: Env | None, ctx: EvalContext):

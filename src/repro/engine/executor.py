@@ -24,7 +24,7 @@ from dataclasses import dataclass, field
 from repro.common.errors import ExecutionError
 from repro.engine.aggregates import make_aggregate
 from repro.engine.catalog import Database
-from repro.engine.eval import Env, EvalContext, Scope, evaluate
+from repro.engine.eval import Env, EvalContext, Scope, compile_expr, evaluate
 from repro.engine.functions import default_functions
 from repro.sql import ast
 from repro.storage.rowcodec import value_bytes
@@ -61,10 +61,19 @@ class _Relation:
 class Executor:
     """Executes SELECT statements against a :class:`Database`."""
 
-    def __init__(self, db: Database) -> None:
+    def __init__(self, db: Database, use_compiled: bool = True) -> None:
         self.db = db
         self.functions = default_functions()
         self.last_stats = ExecStats()
+        self.use_compiled = use_compiled
+
+    def _compile(self, expr, scope, ctx, outer=None):
+        """Compile an expression, or (with ``use_compiled=False``) return a
+        per-row tree-walking closure — the pre-compilation engine, kept so
+        benchmarks can measure what compilation buys."""
+        if self.use_compiled:
+            return compile_expr(expr, scope, ctx, outer)
+        return lambda row: evaluate(expr, Env(scope, row, outer), ctx)
 
     # -- public API ---------------------------------------------------------
 
@@ -154,12 +163,8 @@ class Executor:
                 pushed.add(i)
         if not local:
             return rel
-        predicate = ast.conjoin(local)
-        rows = [
-            row
-            for row in rel.rows
-            if evaluate(predicate, Env(rel.scope, row, outer), ctx) is True
-        ]
+        predicate = self._compile(ast.conjoin(local), rel.scope, ctx, outer)
+        rows = [row for row in rel.rows if predicate(row) is True]
         return _Relation(rel.scope, rows)
 
     def _binding_refs(self, expr: ast.Expr, rel: _Relation) -> str:
@@ -258,19 +263,23 @@ class Executor:
         ctx: EvalContext,
         outer: Env | None,
     ) -> _Relation:
+        right_fn = self._compile(right_key, right.scope, ctx, outer)
         buckets: dict[object, list[tuple]] = {}
         for row in right.rows:
-            key = evaluate(right_key, Env(right.scope, row, outer), ctx)
+            key = right_fn(row)
             if key is None:
                 continue
             buckets.setdefault(key, []).append(row)
+        left_fn = self._compile(left_key, left.scope, ctx, outer)
         joined: list[tuple] = []
+        append = joined.append
+        get_bucket = buckets.get
         for row in left.rows:
-            key = evaluate(left_key, Env(left.scope, row, outer), ctx)
+            key = left_fn(row)
             if key is None:
                 continue
-            for other in buckets.get(key, ()):
-                joined.append(row + other)
+            for other in get_bucket(key, ()):
+                append(row + other)
         return _Relation(left.scope.merged_with(right.scope), joined)
 
     def _cross(self, left: _Relation, right: _Relation) -> _Relation:
@@ -295,26 +304,31 @@ class Executor:
             equi = self._split_equi(condition, left, right)
         if equi is not None:
             left_key, right_key = equi
+            right_fn = self._compile(right_key, right.scope, ctx, outer)
             buckets: dict[object, list[tuple]] = {}
             for row in right.rows:
-                key = evaluate(right_key, Env(right.scope, row, outer), ctx)
+                key = right_fn(row)
                 if key is not None:
                     buckets.setdefault(key, []).append(row)
+            left_fn = self._compile(left_key, left.scope, ctx, outer)
             for row in left.rows:
-                key = evaluate(left_key, Env(left.scope, row, outer), ctx)
+                key = left_fn(row)
                 matches = buckets.get(key, []) if key is not None else []
                 if matches:
                     rows.extend(row + other for other in matches)
                 elif kind == "left":
                     rows.append(row + null_row)
             return _Relation(scope, rows)
+        cond_fn = (
+            self._compile(condition, scope, ctx, outer)
+            if condition is not None
+            else None
+        )
         for row in left.rows:
             matched = False
             for other in right.rows:
                 combined = row + other
-                if condition is None or evaluate(
-                    condition, Env(scope, combined, outer), ctx
-                ) is True:
+                if cond_fn is None or cond_fn(combined) is True:
                     rows.append(combined)
                     matched = True
             if not matched and kind == "left":
@@ -333,12 +347,8 @@ class Executor:
         self._consumed_where = None
         if not remaining:
             return relation
-        predicate = ast.conjoin(remaining)
-        rows = [
-            row
-            for row in relation.rows
-            if evaluate(predicate, Env(relation.scope, row, outer), ctx) is True
-        ]
+        predicate = self._compile(ast.conjoin(remaining), relation.scope, ctx, outer)
+        rows = [row for row in relation.rows if predicate(row) is True]
         return _Relation(relation.scope, rows)
 
     # Projection / grouping -------------------------------------------------------
@@ -368,24 +378,36 @@ class Executor:
                 if call not in seen:
                     seen.add(call)
                     agg_calls.append(call)
+        # Compile group keys and aggregate arguments once per query; the
+        # scan below touches every input row with plain closure calls.
+        key_fns = [
+            self._compile(k, relation.scope, ctx, outer) for k in query.group_by
+        ]
+        arg_fns: list[list | None] = [
+            None
+            if call.star
+            else [self._compile(a, relation.scope, ctx, outer) for a in call.args]
+            for call in agg_calls
+        ]
+        store = self.db.ciphertext_store
         groups: dict[tuple, tuple[tuple, list]] = {}
+        get_group = groups.get
+        star_arg = [1]
         for row in relation.rows:
-            env = Env(relation.scope, row, outer)
-            key = tuple(evaluate(k, env, ctx) for k in query.group_by)
-            entry = groups.get(key)
+            key = tuple(kf(row) for kf in key_fns)
+            entry = get_group(key)
             if entry is None:
                 aggs = [
-                    make_aggregate(c.name, c.distinct, self.db.ciphertext_store)
-                    for c in agg_calls
+                    make_aggregate(c.name, c.distinct, store) for c in agg_calls
                 ]
-                groups[key] = (row, aggs)
-                entry = groups[key]
-            _, aggs = entry
-            for call, agg in zip(agg_calls, aggs):
-                if call.star:
-                    agg.update([1])
+                entry = (row, aggs)
+                groups[key] = entry
+            aggs = entry[1]
+            for fns, agg in zip(arg_fns, aggs):
+                if fns is None:
+                    agg.update(star_arg)
                 else:
-                    agg.update([evaluate(a, env, ctx) for a in call.args])
+                    agg.update([f(row) for f in fns])
         if not groups and not query.group_by:
             # Aggregate over empty input: one row of aggregate identities.
             aggs = [
@@ -421,10 +443,40 @@ class Executor:
     def _project(
         self, query: ast.Select, relation: _Relation, ctx: EvalContext, outer: Env | None
     ) -> list[tuple[tuple, dict]]:
+        # Compile the select-list once; "*" expands to the whole row.
+        item_fns: list = [
+            None
+            if isinstance(item.expr, ast.Column) and item.expr.name == "*"
+            else self._compile(item.expr, relation.scope, ctx, outer)
+            for item in query.items
+        ]
         output = []
+        if not query.order_by:
+            # No per-row alias context needed: tight projection loop.
+            no_keys: list = []
+            append = output.append
+            if len(item_fns) == 1 and item_fns[0] is not None:
+                fn = item_fns[0]
+                for row in relation.rows:
+                    append(((fn(row),), no_keys))
+                return output
+            for row in relation.rows:
+                values: list = []
+                for fn in item_fns:
+                    if fn is None:
+                        values.extend(row)
+                    else:
+                        values.append(fn(row))
+                append((tuple(values), no_keys))
+            return output
         for row in relation.rows:
-            env = Env(relation.scope, row, outer)
-            values = self._project_row(query, env, ctx, relation)
+            values_list: list = []
+            for fn in item_fns:
+                if fn is None:
+                    values_list.extend(row)
+                else:
+                    values_list.append(fn(row))
+            values = tuple(values_list)
             aliases = {
                 item.alias: value
                 for item, value in zip(query.items, values)
@@ -437,20 +489,10 @@ class Executor:
                 alias_values=aliases,
                 _subquery_cache=ctx._subquery_cache,
             )
+            env = Env(relation.scope, row, outer)
             order_keys = self._order_keys(query, env, row_ctx, values)
             output.append((values, order_keys))
         return output
-
-    def _project_row(
-        self, query: ast.Select, env: Env, ctx: EvalContext, relation: _Relation
-    ) -> tuple:
-        values: list = []
-        for item in query.items:
-            if isinstance(item.expr, ast.Column) and item.expr.name == "*":
-                values.extend(env.row)
-            else:
-                values.append(evaluate(item.expr, env, ctx))
-        return tuple(values)
 
     def _order_keys(
         self, query: ast.Select, env: Env | None, ctx: EvalContext, values: tuple

@@ -1,0 +1,107 @@
+"""Shared helpers for the test suite and the benchmark harness.
+
+``tests/conftest.py`` and ``benchmarks/conftest.py`` are separate pytest
+rootdirs; anything both need lives here (importable as ``repro.testkit``)
+so neither conftest ever imports the other — cross-conftest imports resolve
+to whichever directory pytest collected first and break collection.
+"""
+
+from __future__ import annotations
+
+import datetime
+import math
+import random
+
+from repro.engine import Database, schema
+
+MASTER_KEY = b"test-master-key-0123456789abcdef"
+
+SALES_WORKLOAD = [
+    "SELECT o_custkey, SUM(o_price * o_qty) AS rev FROM orders "
+    "WHERE o_price > 500 GROUP BY o_custkey ORDER BY rev DESC",
+    "SELECT c_segment, SUM(o_price) AS total, COUNT(*) AS n FROM orders, customer "
+    "WHERE o_custkey = c_custkey AND o_date >= DATE '1995-06-01' GROUP BY c_segment",
+    "SELECT o_custkey, SUM(o_qty) AS q FROM orders GROUP BY o_custkey "
+    "HAVING SUM(o_qty) > 120 ORDER BY q DESC",
+    "SELECT COUNT(*) FROM orders WHERE o_comment LIKE '%brown%'",
+    "SELECT o_orderkey, o_price FROM orders WHERE o_price BETWEEN 100 AND 900 "
+    "ORDER BY o_price LIMIT 12",
+]
+
+
+def build_sales_db(num_orders: int = 240, seed: int = 11) -> Database:
+    """A small two-table sales database with repeated categorical values."""
+    rng = random.Random(seed)
+    db = Database("sales")
+    orders = db.create_table(
+        schema(
+            "orders",
+            ("o_orderkey", "int"),
+            ("o_custkey", "int"),
+            ("o_price", "int"),
+            ("o_qty", "int"),
+            ("o_discount", "int"),
+            ("o_date", "date"),
+            ("o_status", "text"),
+            ("o_comment", "text"),
+        )
+    )
+    comments = [
+        "quick brown fox jumps",
+        "lazy dog sleeps soundly",
+        "green ideas sleep furiously",
+        "red brown cat purrs",
+        "silent blue whale sings",
+    ]
+    for i in range(1, num_orders + 1):
+        orders.insert(
+            (
+                i,
+                rng.randint(1, 30),
+                rng.randint(10, 5000),
+                rng.randint(1, 50),
+                rng.randint(0, 10),
+                datetime.date(1995, 1, 1) + datetime.timedelta(days=rng.randint(0, 999)),
+                rng.choice(["OPEN", "SHIPPED", "RETURNED"]),
+                rng.choice(comments),
+            )
+        )
+    customer = db.create_table(
+        schema(
+            "customer",
+            ("c_custkey", "int"),
+            ("c_name", "text"),
+            ("c_segment", "text"),
+            ("c_balance", "int"),
+            ("c_nation", "text"),
+        )
+    )
+    nations = ["FRANCE", "GERMANY", "BRAZIL", "JAPAN", "KENYA"]
+    for i in range(1, 31):
+        customer.insert(
+            (
+                i,
+                f"Customer#{i:04d}",
+                rng.choice(["BUILDING", "AUTOMOBILE", "MACHINERY"]),
+                rng.randint(0, 100_000),
+                rng.choice(nations),
+            )
+        )
+    return db
+
+
+def canonical(rows) -> list[str]:
+    """Order-insensitive, float-tolerant row comparison form."""
+    out = []
+    for row in rows:
+        out.append(
+            tuple(round(v, 6) if isinstance(v, float) else v for v in row)
+        )
+    return sorted(str(r) for r in out)
+
+
+def geometric_mean(values: list[float]) -> float:
+    positive = [v for v in values if v > 0]
+    if not positive:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in positive) / len(positive))

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from conftest import MASTER_KEY, SALES_WORKLOAD, build_sales_db, canonical
+from repro.testkit import MASTER_KEY, SALES_WORKLOAD, build_sales_db, canonical
 from repro.baselines import (
     client_only_setup,
     cryptdb_client_setup,

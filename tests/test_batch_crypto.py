@@ -1,0 +1,214 @@
+"""Batch crypto APIs: element-wise equivalence with the scalar paths.
+
+The columnar pipeline (loader, client decrypt) relies on the ``*_batch``
+methods producing exactly what a per-value loop over the scalar methods
+would — including ``None`` passthrough, FFX short-text length boundaries,
+and the CRT-vs-textbook Paillier decryption split.
+"""
+
+from __future__ import annotations
+
+import datetime
+import random
+
+import pytest
+
+from repro.core import CryptoProvider
+from repro.core.encdata import (
+    _SHORT_TEXT_BYTES,
+    DEFAULT_CACHE_SIZE,
+    INT_BOUND,
+    LRUCache,
+)
+from repro.common.errors import DomainError
+from repro.crypto.paillier import generate_keypair
+from repro.testkit import MASTER_KEY
+
+RNG = random.Random(20130713)
+
+
+def _sample_ints(n: int) -> list:
+    values: list = [0, 1, -1, INT_BOUND - 1, -INT_BOUND, None, True, False]
+    values += [RNG.randint(-(10 ** 6), 10 ** 6) for _ in range(n)]
+    return values
+
+
+def _sample_dates(n: int) -> list:
+    base = datetime.date(1970, 1, 1)
+    # DATE_DAYS = 1 << 15: the domain's last representable day.
+    values: list = [base, base + datetime.timedelta(days=(1 << 15) - 1), None]
+    values += [base + datetime.timedelta(days=RNG.randint(0, 30000)) for _ in range(n)]
+    return values
+
+
+def _sample_texts() -> list:
+    # Every FFX short-text boundary: empty (CMC branch), 1..12 bytes (FFX
+    # per-length domains), 13+ bytes (CMC wide-block branch), multi-byte
+    # UTF-8 straddling the byte-length boundary.
+    values: list = ["", None]
+    for length in range(1, _SHORT_TEXT_BYTES + 3):
+        values.append("x" * length)
+    values += ["héllo", "naïve-café", "ünïcödé-stri", "日本語テキスト", "BRASS", "PROMO"]
+    values += ["word salad " * 4, "a much longer comment string than twelve bytes"]
+    return values
+
+
+@pytest.fixture(scope="module")
+def prov() -> CryptoProvider:
+    return CryptoProvider(MASTER_KEY, paillier_bits=256)
+
+
+class TestDetBatch:
+    @pytest.mark.parametrize(
+        "values", [_sample_ints(40), _sample_dates(25), _sample_texts()],
+        ids=["ints", "dates", "texts"],
+    )
+    def test_encrypt_matches_scalar(self, prov, values):
+        assert prov.det_encrypt_batch(values) == [prov.det_encrypt(v) for v in values]
+
+    def test_decrypt_matches_scalar_and_roundtrips(self, prov):
+        for values, sql_type in [
+            (_sample_ints(25), "int"),
+            (_sample_dates(15), "date"),
+            (_sample_texts(), "text"),
+        ]:
+            if sql_type == "int":
+                values = [v for v in values if not isinstance(v, bool)]
+            cts = prov.det_encrypt_batch(values)
+            batch = prov.det_decrypt_batch(cts, sql_type)
+            assert batch == [prov.det_decrypt(c, sql_type) for c in cts]
+            assert batch == values
+
+    def test_bool_type(self, prov):
+        values = [True, False, None, True]
+        cts = prov.det_encrypt_batch(values)
+        assert prov.det_decrypt_batch(cts, "bool") == values
+
+
+class TestOpeBatch:
+    @pytest.mark.parametrize(
+        "values", [_sample_ints(25), _sample_dates(15), _sample_texts()],
+        ids=["ints", "dates", "texts"],
+    )
+    def test_encrypt_matches_scalar(self, prov, values):
+        assert prov.ope_encrypt_batch(values) == [prov.ope_encrypt(v) for v in values]
+
+    def test_order_preserved_and_decrypt_matches(self, prov):
+        values = sorted(v for v in _sample_ints(30) if isinstance(v, int))
+        cts = prov.ope_encrypt_batch(values)
+        assert cts == sorted(cts)
+        fresh = CryptoProvider(MASTER_KEY, paillier_bits=256)
+        batch = fresh.ope_decrypt_batch(cts, "int")
+        assert batch == [prov.ope_decrypt(c, "int") for c in cts]
+        assert batch == [int(v) for v in values]
+
+
+class TestRndSearchBatch:
+    def test_rnd_roundtrip_batch(self, prov):
+        values = _sample_ints(10) + _sample_texts() + _sample_dates(5) + [2.5, -0.125]
+        cts = prov.rnd_encrypt_batch(values)
+        assert [c is None for c in cts] == [v is None for v in values]
+        assert prov.rnd_decrypt_batch(cts) == values
+
+    def test_search_matches_scalar(self, prov):
+        values = ["quick brown fox", "", None, "PROMO burnished", "word " * 8]
+        assert prov.search_encrypt_batch(values) == [
+            prov.search_encrypt(v) for v in values
+        ]
+
+    def test_generic_dispatch_matches_scheme_methods(self, prov):
+        values = _sample_ints(10)
+        assert prov.encrypt_batch(values, "det") == prov.det_encrypt_batch(values)
+        assert prov.encrypt_batch(values, "ope") == prov.ope_encrypt_batch(values)
+        cts = prov.det_encrypt_batch(values)
+        assert prov.decrypt_batch(cts, "det", "int") == prov.det_decrypt_batch(cts, "int")
+        assert prov.decrypt_batch(cts, "plain", "int") == list(cts)
+
+
+class TestPaillierBatchAndCrt:
+    def test_crt_matches_textbook(self):
+        public, private = generate_keypair(384, seed=b"crt-equivalence-seed")
+        assert private.p and private.q  # CRT parameters present
+        messages = [0, 1, 2, public.n - 1] + [
+            RNG.randrange(public.n) for _ in range(40)
+        ]
+        for m in messages:
+            c = public.encrypt(m)
+            assert private.decrypt(c) == private.decrypt_textbook(c) == m
+
+    def test_textbook_fallback_without_factors(self):
+        public, private = generate_keypair(256, seed=b"fallback-seed")
+        bare = type(private)(public=public, lam=private.lam, mu=private.mu)
+        cts = [public.encrypt(m) for m in (0, 7, 12345)]
+        assert bare._crt is None
+        assert [bare.decrypt(c) for c in cts] == [0, 7, 12345]
+        assert bare.decrypt_batch(cts) == [0, 7, 12345]
+
+    def test_encrypt_batch_with_pool_decrypts(self, prov):
+        messages = [RNG.randrange(1 << 48) for _ in range(30)] + [0, 1]
+        cts = prov.paillier_encrypt_batch(messages)
+        assert prov.paillier_decrypt_batch(cts) == messages
+        # Pool factors must be fresh randomness: ciphertexts all distinct.
+        assert len(set(cts)) == len(cts)
+
+    def test_pool_randomness_not_repeated_across_providers(self):
+        # Two providers under the same master key share keys but must NOT
+        # share encryption randomness — repeated obfuscation factors would
+        # let the server compute plaintext deltas between two loads.
+        a = CryptoProvider(MASTER_KEY, paillier_bits=256)
+        b = CryptoProvider(MASTER_KEY, paillier_bits=256)
+        assert a.paillier_public.n == b.paillier_public.n
+        messages = [5, 5, 5, 5]
+        assert set(a.paillier_encrypt_batch(messages)).isdisjoint(
+            b.paillier_encrypt_batch(messages)
+        )
+
+    def test_pool_homomorphism(self, prov):
+        public = prov.paillier_public
+        a, b = 1234, 5678
+        ca, cb = prov.paillier_encrypt_batch([a, b])
+        assert prov.paillier_private.decrypt(public.add(ca, cb)) == a + b
+
+    def test_decrypt_batch_matches_scalar(self, prov):
+        private = prov.paillier_private
+        cts = prov.paillier_encrypt_batch([RNG.randrange(1 << 32) for _ in range(10)])
+        assert private.decrypt_batch(cts) == [private.decrypt(c) for c in cts]
+
+    def test_out_of_range_error_reports_value_and_modulus(self, prov):
+        public = prov.paillier_public
+        with pytest.raises(DomainError) as excinfo:
+            public.encrypt(public.n)
+        assert str(public.n) in str(excinfo.value)
+        with pytest.raises(DomainError) as excinfo:
+            public.encrypt_batch([0, -3])
+        assert "-3" in str(excinfo.value)
+
+
+class TestBoundedCaches:
+    def test_lru_evicts_least_recently_used(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1  # refresh "a"
+        cache.put("c", 3)  # evicts "b"
+        assert cache.get("b") is None
+        assert cache.get("a") == 1 and cache.get("c") == 3
+        assert len(cache) == 2
+
+    def test_provider_caches_stay_bounded(self):
+        prov = CryptoProvider(MASTER_KEY, paillier_bits=256, cache_size=16)
+        values = list(range(100))
+        first = prov.det_encrypt_batch(values)
+        assert len(prov._det_cache) <= 16
+        assert len(prov._ope_cache) == 0
+        # Correctness survives eviction: re-encrypting gives the same
+        # ciphertexts (DET is deterministic) even though nothing is cached.
+        assert prov.det_encrypt_batch(values) == first
+        cts = prov.ope_encrypt_batch(values[:40])
+        assert len(prov._ope_cache) <= 16
+        assert prov.ope_decrypt_batch(cts, "int") == values[:40]
+        assert len(prov._ope_dec_cache) <= 16
+
+    def test_default_cache_size(self):
+        prov = CryptoProvider(MASTER_KEY, paillier_bits=256)
+        assert prov._det_cache.capacity == DEFAULT_CACHE_SIZE

@@ -6,7 +6,7 @@ import datetime
 
 import pytest
 
-from conftest import MASTER_KEY, build_sales_db
+from repro.testkit import MASTER_KEY, build_sales_db
 from repro.common.ledger import CostLedger, DiskModel, NetworkModel
 from repro.core import CryptoProvider, normalize_query
 from repro.core.cost import DecryptionProfiler, MonomiCostModel

@@ -11,7 +11,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from conftest import SALES_WORKLOAD, canonical
+from repro.testkit import SALES_WORKLOAD, canonical
 from repro.common.errors import UnsupportedQueryError
 from repro.core import Scheme, normalize_query
 from repro.core.plan import RemoteRelation

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import pytest
 
-from conftest import MASTER_KEY, build_sales_db
+from repro.testkit import MASTER_KEY, build_sales_db
 from repro.core import (
     CryptoProvider,
     HomGroup,

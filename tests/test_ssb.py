@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import pytest
 
-from conftest import MASTER_KEY, canonical
+from repro.testkit import MASTER_KEY, canonical
 from repro.core import MonomiClient, normalize_query
 from repro.engine import Executor
 from repro.sql import parse

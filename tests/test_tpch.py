@@ -7,7 +7,7 @@ import datetime
 
 import pytest
 
-from conftest import MASTER_KEY, canonical
+from repro.testkit import MASTER_KEY, canonical
 from repro.core import MonomiClient, normalize_query
 from repro.engine import Executor
 from repro.sql import parse
