@@ -1,0 +1,181 @@
+"""Backend benchmark: split plans on the in-memory engine vs real SQLite.
+
+Loads the same encrypted design into both untrusted-server backends and
+runs the sales workload (plus TPC-H-shaped extras) on each, recording:
+
+* **load seconds** — encrypt once, then bulk-insert into each backend
+  (encryption cost is shared; the delta is pure backend write path);
+* **per-query wall seconds** and the ledger's three cost components
+  (server / transfer / client) per backend;
+* **agreement** — the harness *asserts* both backends return identical
+  plaintext rows and identical ledger byte counts for every query, so a
+  backend divergence fails the benchmark (and CI) loudly.
+
+Writes ``BENCH_PR2.json`` (repo root by default).  Run:
+
+    PYTHONPATH=src python benchmarks/bench_backends.py          # full
+    PYTHONPATH=src python benchmarks/bench_backends.py --quick  # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+from repro.common.ledger import DiskModel, NetworkModel
+from repro.core import (
+    CryptoProvider,
+    EncryptedLoader,
+    MonomiClient,
+    TechniqueFlags,
+    normalize_query,
+)
+from repro.engine import Executor
+from repro.server import BACKEND_KINDS, make_backend
+from repro.sql import parse
+from repro.testkit import MASTER_KEY, SALES_WORKLOAD, build_sales_db, canonical
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+EXTRA_QUERIES = [
+    # Aggregate + HAVING alias (the paper's §3 example shape).
+    "SELECT o_custkey, SUM(o_price) AS total FROM orders GROUP BY o_custkey "
+    "HAVING total > 5000 ORDER BY total DESC",
+    # Join + group (Q3 shape).
+    "SELECT c_nation, COUNT(*) AS n, SUM(o_qty) FROM orders, customer "
+    "WHERE o_custkey = c_custkey AND o_date < DATE '1996-06-01' "
+    "GROUP BY c_nation ORDER BY n DESC, c_nation",
+    # Multi-round-trip DET IN-set plan (Q18 shape).
+    "SELECT o_orderkey, o_price FROM orders WHERE o_custkey IN "
+    "(SELECT o_custkey FROM orders GROUP BY o_custkey HAVING SUM(o_qty) > 140) "
+    "ORDER BY o_orderkey LIMIT 25",
+    # SEARCH predicate.
+    "SELECT o_status, COUNT(*) FROM orders WHERE o_comment LIKE '%brown%' "
+    "GROUP BY o_status ORDER BY o_status",
+    # MIN/MAX via OPE with grp() fallback.
+    "SELECT o_custkey, MIN(o_price), MAX(o_price) FROM orders "
+    "GROUP BY o_custkey ORDER BY o_custkey LIMIT 8",
+]
+
+
+def build_clients(num_orders: int, paillier_bits: int):
+    """One shared key chain and design; one client per backend kind.
+
+    The designer runs once and a throwaway load warms the provider's
+    DET/OPE caches and Paillier pool, so the timed per-backend loads
+    compare the backend *write paths* (insert_many vs executemany) rather
+    than cold-cache encryption.
+    """
+    db = build_sales_db(num_orders=num_orders)
+    provider = CryptoProvider(MASTER_KEY, paillier_bits=paillier_bits)
+    warmup = MonomiClient.setup(
+        db,
+        SALES_WORKLOAD,
+        master_key=MASTER_KEY,
+        paillier_bits=paillier_bits,
+        space_budget=2.5,
+        provider=provider,
+    )
+    design = warmup.design
+    flags = TechniqueFlags()
+    network, disk = NetworkModel(), DiskModel()
+    clients: dict[str, MonomiClient] = {}
+    load_seconds: dict[str, float] = {}
+    for kind in BACKEND_KINDS:
+        backend = make_backend(kind, name=f"{db.name}_enc")
+        start = time.perf_counter()
+        EncryptedLoader(db, provider).load_into(backend, design)
+        load_seconds[kind] = time.perf_counter() - start
+        clients[kind] = MonomiClient(
+            db, design, provider, backend, flags, network, disk
+        )
+    return db, clients, load_seconds
+
+
+def bench_queries(db, clients, repeats: int, results: dict) -> None:
+    plain = Executor(db)
+    per_query: list[dict] = []
+    for sql in SALES_WORKLOAD + EXTRA_QUERIES:
+        query = normalize_query(parse(sql))
+        expected = canonical(plain.execute(query).rows)
+        entry: dict = {"sql": sql, "backends": {}}
+        baseline = None
+        for kind, client in clients.items():
+            best = float("inf")
+            outcome = None
+            for _ in range(repeats):
+                start = time.perf_counter()
+                outcome = client.execute(query)
+                best = min(best, time.perf_counter() - start)
+            assert canonical(outcome.rows) == expected, (
+                f"backend {kind!r} diverged from plaintext on {sql!r}"
+            )
+            ledger = outcome.ledger
+            if baseline is None:
+                baseline = (ledger.transfer_bytes, ledger.server_bytes_scanned)
+            else:
+                assert baseline == (
+                    ledger.transfer_bytes,
+                    ledger.server_bytes_scanned,
+                ), f"backend {kind!r} ledger bytes diverged on {sql!r}"
+            entry["backends"][kind] = {
+                "wall_seconds": round(best, 6),
+                "server_seconds": round(ledger.server_seconds, 6),
+                "transfer_bytes": ledger.transfer_bytes,
+                "client_seconds": round(ledger.client_seconds, 6),
+                "rows": len(outcome.rows),
+            }
+        per_query.append(entry)
+    results["queries"] = per_query
+    for kind in clients:
+        walls = [q["backends"][kind]["wall_seconds"] for q in per_query]
+        results["summary"][kind]["total_query_seconds"] = round(sum(walls), 6)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="CI smoke: tiny keys/data")
+    parser.add_argument("--out", default=str(REPO_ROOT / "BENCH_PR2.json"))
+    args = parser.parse_args(argv)
+
+    num_orders = 80 if args.quick else 600
+    paillier_bits = 256 if args.quick else 768
+    repeats = 1 if args.quick else 3
+
+    print(f"[bench_backends] orders={num_orders} paillier={paillier_bits} bits")
+    db, clients, load_seconds = build_clients(num_orders, paillier_bits)
+
+    results: dict = {
+        "benchmark": "bench_backends",
+        "mode": "quick" if args.quick else "full",
+        "num_orders": num_orders,
+        "paillier_bits": paillier_bits,
+        "summary": {
+            kind: {
+                "load_seconds": round(load_seconds[kind], 6),
+                "server_bytes": clients[kind].server_bytes(),
+            }
+            for kind in clients
+        },
+    }
+    bench_queries(db, clients, repeats, results)
+
+    for kind, client in clients.items():
+        print(
+            f"  {kind:>7}: load {load_seconds[kind]:.2f}s, "
+            f"queries {results['summary'][kind]['total_query_seconds']:.3f}s, "
+            f"server {client.server_bytes()} bytes"
+        )
+    print("  backends agree on all plaintexts and ledger byte counts")
+
+    out_path = pathlib.Path(args.out)
+    out_path.write_text(json.dumps(results, indent=2) + "\n")
+    print(f"[bench_backends] wrote {out_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,9 +10,9 @@
   server, decrypt, finish locally, and return plaintext rows together with
   the cost ledger.
 
-The server half (:attr:`server_db`) holds only ciphertexts, the Paillier
-public key, and packing metadata; every decryption happens in this class'
-provider.
+The server half (:attr:`backend` — in-memory engine or real SQLite, see
+:mod:`repro.server`) holds only ciphertexts, the Paillier public key, and
+packing metadata; every decryption happens in this class' provider.
 """
 
 from __future__ import annotations
@@ -31,6 +31,8 @@ from repro.core.pexec import PlanExecutor
 from repro.core.planner import PlannedQuery, Planner
 from repro.engine.catalog import Database
 from repro.engine.executor import ResultSet
+from repro.server import ServerBackend, as_backend, make_backend
+from repro.server.inmemory import InMemoryBackend
 from repro.sql import ast, parse
 
 
@@ -57,7 +59,7 @@ class MonomiClient:
         plain_db: Database,
         design: PhysicalDesign,
         provider: CryptoProvider,
-        server_db: Database,
+        server_db: Database | ServerBackend,
         flags: TechniqueFlags,
         network: NetworkModel,
         disk: DiskModel,
@@ -66,7 +68,7 @@ class MonomiClient:
         self.plain_db = plain_db
         self.design = design
         self.provider = provider
-        self.server_db = server_db
+        self.backend = as_backend(server_db)
         self.flags = flags
         self.network = network
         self.disk = disk
@@ -78,16 +80,17 @@ class MonomiClient:
         from repro.engine.cost import HomFileInfo
 
         table_bytes = {
-            name: float(table.total_bytes)
-            for name, table in server_db.tables.items()
+            name: float(self.backend.table_bytes(name))
+            for name in self.backend.table_names()
             if name in self.schemas
         }
+        store = self.backend.ciphertext_store
         hom_info = {
             name: HomFileInfo(
-                server_db.ciphertext_store.get(name).rows_per_ciphertext,
-                server_db.ciphertext_store.get(name).ciphertext_bytes,
+                store.get(name).rows_per_ciphertext,
+                store.get(name).ciphertext_bytes,
             )
-            for name in server_db.ciphertext_store.names()
+            for name in store.names()
         }
         cost_model = MonomiCostModel(
             plain_db,
@@ -105,7 +108,21 @@ class MonomiClient:
             stats_max=self._designer.stats_max,
             plain_db=plain_db,
         )
-        self.executor = PlanExecutor(server_db, provider, network, disk)
+        self.executor = PlanExecutor(self.backend, provider, network, disk)
+
+    @property
+    def server_db(self) -> Database:
+        """The in-memory server's catalog (pre-backend convention).
+
+        Only the default :class:`InMemoryBackend` exposes a `Database`;
+        external backends (SQLite, ...) hold their state inside the engine.
+        """
+        if isinstance(self.backend, InMemoryBackend):
+            return self.backend.database
+        raise AttributeError(
+            f"backend {self.backend.kind!r} has no in-process Database; "
+            "use client.backend instead"
+        )
 
     # -- setup phase -----------------------------------------------------------
 
@@ -123,15 +140,23 @@ class MonomiClient:
         disk: DiskModel | None = None,
         design: PhysicalDesign | None = None,
         det_default: bool = True,
+        backend: str | ServerBackend = "memory",
+        provider: CryptoProvider | None = None,
     ) -> "MonomiClient":
         """Design (unless ``design`` is given), encrypt, and load.
 
         ``paillier_bits`` defaults to 512 for tractable pure-Python
-        benchmarking; pass 2048 for the paper's key size.
+        benchmarking; pass 2048 for the paper's key size.  ``backend``
+        picks the untrusted server: ``"memory"`` (default), ``"sqlite"``,
+        or a pre-built :class:`~repro.server.ServerBackend`.  Passing a
+        shared ``provider`` keeps the launch-time decryption profile (and
+        hence plan choice) identical across clients — the cross-backend
+        equivalence harness relies on this.
         """
         network = network or NetworkModel()
         disk = disk or DiskModel()
-        provider = CryptoProvider(master_key, paillier_bits=paillier_bits)
+        if provider is None:
+            provider = CryptoProvider(master_key, paillier_bits=paillier_bits)
         queries = [
             normalize_query(parse(q) if isinstance(q, str) else q) for q in workload
         ]
@@ -148,12 +173,14 @@ class MonomiClient:
                 design_result = designer.design_greedy(queries)
             design = design_result.design
         loader = EncryptedLoader(plain_db, provider)
-        server_db = loader.load(design)
+        if isinstance(backend, str):
+            backend = make_backend(backend, name=f"{plain_db.name}_enc")
+        loader.load_into(backend, design)
         return cls(
             plain_db,
             design,
             provider,
-            server_db,
+            backend,
             flags,
             network,
             disk,
@@ -191,7 +218,7 @@ class MonomiClient:
     # -- reporting --------------------------------------------------------------------
 
     def server_bytes(self) -> int:
-        return self.server_db.total_bytes
+        return self.backend.total_bytes
 
     def plaintext_bytes(self) -> int:
         return sum(t.total_bytes for t in self.plain_db.tables.values())

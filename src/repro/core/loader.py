@@ -73,22 +73,35 @@ def server_column_type(entry: EncEntry, plain_type: str) -> str:
 
 
 class EncryptedLoader:
-    """Builds the encrypted server database."""
+    """Builds the encrypted server state behind a :class:`ServerBackend`."""
 
     def __init__(self, plain_db: Database, provider: CryptoProvider) -> None:
         self.plain_db = plain_db
         self.provider = provider
 
     def load(self, design: PhysicalDesign) -> Database:
+        """Encrypt into a fresh in-memory server (pre-backend convention)."""
+        from repro.server.inmemory import InMemoryBackend
+
+        backend = InMemoryBackend(Database(name=f"{self.plain_db.name}_enc"))
+        self.load_into(backend, design)
+        return backend.database
+
+    def load_into(self, backend, design: PhysicalDesign):
+        """Encrypt the database under ``design`` into any backend.
+
+        Each table materializes as one bulk insert (the backend's one write
+        path — ``executemany`` for SQLite, ``insert_many`` in memory), and
+        packed homomorphic groups install as ciphertext files.
+        """
         design = complete_design(design, self.plain_db)
-        server = Database(name=f"{self.plain_db.name}_enc")
         for table_name in sorted(self.plain_db.tables):
-            self._load_table(server, table_name, design)
-        return server
+            self._load_table(backend, table_name, design)
+        return backend
 
     # -- per-table -----------------------------------------------------------
 
-    def _load_table(self, server: Database, table_name: str, design: PhysicalDesign) -> None:
+    def _load_table(self, backend, table_name: str, design: PhysicalDesign) -> None:
         plain = self.plain_db.table(table_name)
         schemas = {table_name: plain.schema}
         entries = [
@@ -111,14 +124,14 @@ class EncryptedLoader:
             columns.append(ColumnDef(ROW_ID_COLUMN, "int"))
 
         enc_schema = TableSchema(name=table_name, columns=tuple(columns))
-        enc_table = server.create_table(enc_schema)
+        backend.create_table(enc_schema)
 
         scope = Scope([(table_name, c) for c in plain.schema.column_names])
         ctx = EvalContext()
         # Columnar load: evaluate each design expression over the whole
         # table (compiled once), encrypt the resulting plaintext column
         # through the batch crypto APIs (one scheme dispatch per column),
-        # then transpose back into encrypted rows.
+        # then transpose back and bulk-insert the encrypted rows.
         enc_columns: list[list] = []
         for entry, expr in zip(entries, exprs):
             fn = compile_expr(expr, scope, ctx)
@@ -128,14 +141,12 @@ class EncryptedLoader:
             enc_columns.append(list(range(plain.num_rows)))
 
         if enc_columns:
-            for values in zip(*enc_columns):
-                enc_table.insert(values)
+            backend.insert_rows(table_name, zip(*enc_columns))
         else:
-            for _ in range(plain.num_rows):
-                enc_table.insert(())
+            backend.insert_rows(table_name, (() for _ in range(plain.num_rows)))
 
         for group in hom_groups:
-            self._load_hom_group(server, group, plain, scope)
+            self._load_hom_group(backend, group, plain, scope)
 
     def _encrypt_column(self, values: list, scheme: Scheme) -> list:
         if scheme is Scheme.SEARCH:
@@ -147,7 +158,7 @@ class EncryptedLoader:
 
     # -- homomorphic groups ------------------------------------------------------
 
-    def _load_hom_group(self, server: Database, group: HomGroup, plain, scope: Scope) -> None:
+    def _load_hom_group(self, backend, group: HomGroup, plain, scope: Scope) -> None:
         from repro.storage.ciphertext_store import CiphertextFile
 
         ctx = EvalContext()
@@ -203,4 +214,4 @@ class EncryptedLoader:
         # Bulk Paillier: fixed-base randomness pool instead of a full-width
         # r^n exponentiation per ciphertext (~15x at 2,048-bit keys).
         file.ciphertexts.extend(self.provider.paillier_encrypt_batch(plaintexts))
-        server.ciphertext_store.add(file)
+        backend.add_ciphertext_file(file)

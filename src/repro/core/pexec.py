@@ -27,6 +27,7 @@ from repro.engine.aggregates import HomAggResult
 from repro.engine.catalog import Database
 from repro.engine.executor import Executor, ResultSet
 from repro.engine.schema import ColumnDef, TableSchema
+from repro.server.backend import ServerBackend, as_backend
 
 _TYPE_MAP = {
     "int": "int",
@@ -38,16 +39,16 @@ _TYPE_MAP = {
 
 
 class PlanExecutor:
-    """Executes split plans for one (server database, key chain) pair."""
+    """Executes split plans for one (server backend, key chain) pair."""
 
     def __init__(
         self,
-        server_db: Database,
+        server: Database | ServerBackend,
         provider: CryptoProvider,
         network: NetworkModel | None = None,
         disk: DiskModel | None = None,
     ) -> None:
-        self.server = Executor(server_db)
+        self.backend = as_backend(server)
         self.provider = provider
         self.network = network or NetworkModel()
         self.disk = disk or DiskModel()
@@ -118,8 +119,8 @@ class PlanExecutor:
         ledger: CostLedger,
     ) -> tuple[list[str], list[tuple]]:
         with ledger.timing_server():
-            result = self.server.execute(relation.query, params=server_params)
-        bytes_scanned = self.server.last_stats.bytes_scanned
+            result = self.backend.execute(relation.query, params=server_params)
+        bytes_scanned = self.backend.last_stats.bytes_scanned
         ledger.server_bytes_scanned += bytes_scanned
         ledger.server_seconds += self.disk.read_seconds(bytes_scanned)
         ledger.add_transfer(result.byte_size(), self.network)

@@ -79,6 +79,15 @@ class Executor:
 
     def execute(self, query: ast.Select, params: dict[str, object] | None = None) -> ResultSet:
         self.last_stats = ExecStats()
+        # Static scan accounting: one heap read per table occurrence in the
+        # query tree, charged up front.  Re-executions of a correlated
+        # subquery hit the buffer pool, not the disk, and a subquery the
+        # engine happens to short-circuit still counts as part of the
+        # query's I/O footprint — which keeps the ledger identical across
+        # server backends (they charge the same static walk).
+        for name in ast.table_occurrences(query):
+            if self.db.has_table(name):
+                self.last_stats.bytes_scanned += self.db.table(name).total_bytes
         ciphertext_read_start = self.db.ciphertext_store.bytes_read
         semijoins = _SemiJoinCache(self)
         ctx = EvalContext(
@@ -130,7 +139,6 @@ class Executor:
     def _resolve_ref(self, ref: ast.TableRef, ctx: EvalContext, outer: Env | None) -> _Relation:
         if isinstance(ref, ast.TableName):
             table = self.db.table(ref.name)
-            self.last_stats.bytes_scanned += table.total_bytes
             binding = ref.binding
             scope = Scope([(binding, c) for c in table.schema.column_names])
             return _Relation(scope, table.rows)

@@ -1,0 +1,104 @@
+"""The untrusted-server seam: anything that can store ciphertexts and run SQL.
+
+MONOMI's central architectural claim (§1, §7) is that the untrusted server
+is an *unmodified relational engine* extended only with a handful of UDFs
+(packed homomorphic aggregation, searchable-encryption matching).  A
+:class:`ServerBackend` is that seam made explicit: the client library —
+loader, plan executor, cost model — talks to the server exclusively through
+this interface, so the same split plans run against
+
+* :class:`~repro.server.inmemory.InMemoryBackend` — the in-process
+  relational engine (`engine.Executor` over list-of-tuples), the default
+  and the reference for equivalence testing;
+* :class:`~repro.server.sqlite.SQLiteBackend` — a real SQLite database
+  with `hom_agg` / `grp` / `searchswp` registered as Python UDFs, proving
+  the "unmodified DBMS" claim on an actual engine.
+
+Every backend reports the two quantities the cost ledger needs: bytes
+scanned per query (fed to the disk model) and the per-table heap sizes
+(fed to the planner's scan-cost estimates).  Byte accounting is *logical*
+— `storage.rowcodec.row_bytes` over the values a row carries — so the two
+backends charge identical scan bytes for identical data, keeping ledger
+output backend-independent.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Iterable
+
+from repro.engine.executor import ExecStats, ResultSet
+from repro.engine.schema import TableSchema
+from repro.sql import ast
+from repro.storage.ciphertext_store import CiphertextFile, CiphertextStore
+
+
+class ServerBackend(ABC):
+    """Abstract untrusted server: encrypted tables + ciphertext files + SQL."""
+
+    #: Short backend identifier ("memory", "sqlite", ...) used by reports.
+    kind: str = "abstract"
+
+    # -- state the client library reads ------------------------------------
+
+    ciphertext_store: CiphertextStore
+    last_stats: ExecStats
+
+    # -- loading ------------------------------------------------------------
+
+    @abstractmethod
+    def create_table(self, schema: TableSchema) -> None:
+        """Create an (empty) encrypted table."""
+
+    @abstractmethod
+    def insert_rows(self, table_name: str, rows: Iterable[tuple]) -> None:
+        """Bulk-insert encrypted rows (the loader's one write path)."""
+
+    def add_ciphertext_file(self, file: CiphertextFile) -> None:
+        """Install a packed-Paillier file for the ``hom_agg`` UDF."""
+        self.ciphertext_store.add(file)
+
+    # -- introspection -------------------------------------------------------
+
+    @abstractmethod
+    def table_names(self) -> list[str]:
+        """Names of the encrypted tables, sorted."""
+
+    @abstractmethod
+    def table_bytes(self, table_name: str) -> int:
+        """Logical heap size of one table (rowcodec accounting)."""
+
+    @property
+    def total_bytes(self) -> int:
+        """Total server-side footprint: table heaps + ciphertext files."""
+        tables = sum(self.table_bytes(n) for n in self.table_names())
+        return tables + self.ciphertext_store.total_bytes
+
+    # -- query execution ------------------------------------------------------
+
+    @abstractmethod
+    def execute(
+        self, query: ast.Select, params: dict[str, object] | None = None
+    ) -> ResultSet:
+        """Run one server-side query; update :attr:`last_stats`.
+
+        ``params`` carries DET-encrypted IN sets for the multi-round-trip
+        plans (consumed by ``in_set``).  The returned :class:`ResultSet`
+        holds *logical* values — big OPE/DET integers as Python ints,
+        ``grp()`` results as tuples, ``hom_agg`` results as
+        :class:`~repro.engine.aggregates.HomAggResult` — regardless of how
+        the backend represents them at rest.
+        """
+
+
+def as_backend(server: object) -> ServerBackend:
+    """Adapt a raw :class:`~repro.engine.catalog.Database` (the pre-backend
+    calling convention) or pass a backend through unchanged."""
+    from repro.engine.catalog import Database
+    from repro.server.inmemory import InMemoryBackend
+
+    if isinstance(server, ServerBackend):
+        return server
+    if isinstance(server, Database):
+        return InMemoryBackend(server)
+    raise TypeError(f"cannot use {type(server).__name__} as a server backend")

@@ -1,0 +1,59 @@
+"""The default backend: the in-process relational engine over Python rows.
+
+Wraps one :class:`~repro.engine.catalog.Database` plus an
+:class:`~repro.engine.executor.Executor` behind the
+:class:`~repro.server.backend.ServerBackend` interface.  Behavior is
+identical to the pre-backend code path — same executor, same scan
+accounting — which makes this backend the reference side of the
+cross-backend equivalence harness.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.engine.catalog import Database
+from repro.engine.executor import ExecStats, Executor, ResultSet
+from repro.engine.schema import TableSchema
+from repro.server.backend import ServerBackend
+from repro.sql import ast
+
+
+class InMemoryBackend(ServerBackend):
+    """`engine.Executor` over list-of-tuples tables, as a backend."""
+
+    kind = "memory"
+
+    def __init__(self, database: Database | None = None, name: str = "server") -> None:
+        self.database = database if database is not None else Database(name)
+        self.executor = Executor(self.database)
+        self.last_stats = ExecStats()
+
+    # -- loading ------------------------------------------------------------
+
+    def create_table(self, schema: TableSchema) -> None:
+        self.database.create_table(schema)
+
+    def insert_rows(self, table_name: str, rows: Iterable[tuple]) -> None:
+        self.database.table(table_name).insert_many(rows)
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def ciphertext_store(self):
+        return self.database.ciphertext_store
+
+    def table_names(self) -> list[str]:
+        return sorted(self.database.tables)
+
+    def table_bytes(self, table_name: str) -> int:
+        return self.database.table(table_name).total_bytes
+
+    # -- query execution ------------------------------------------------------
+
+    def execute(
+        self, query: ast.Select, params: dict[str, object] | None = None
+    ) -> ResultSet:
+        result = self.executor.execute(query, params=params)
+        self.last_stats = self.executor.last_stats
+        return result

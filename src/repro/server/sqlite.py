@@ -1,0 +1,437 @@
+"""Real-SQLite untrusted server: encrypted tables + hom-aggregate UDFs.
+
+This backend demonstrates the paper's claim (§1, §7) that MONOMI's server
+half is an *unmodified* relational engine plus a few UDFs.  Encrypted
+tables are materialized into an actual SQLite database; split-plan server
+queries print in SQLite dialect (``sql.printer`` with ``dialect="sqlite"``)
+and run inside the engine; the paper's server-side UDFs are registered as
+Python functions on the connection:
+
+* ``hom_agg(file, row_id)`` — grouped packed-Paillier addition, backed by
+  the same :class:`~repro.storage.ciphertext_store.CiphertextStore` the
+  in-memory engine uses (ciphertexts live outside table rows, §7);
+* ``grp(x)``               — the GROUP() operator shipping whole groups;
+* ``searchswp(tags, t)``   — SWP tag-set membership for SEARCH predicates;
+* ``like_strict(s, p)``    — case-sensitive LIKE (SQLite's is not).
+
+Value representation
+--------------------
+Values SQLite cannot hold natively — ciphertext integers wider than the
+64-bit INTEGER, SEARCH tag sets — use the order-preserving **marker-blob
+codec** in :mod:`repro.storage.sqlite_codec` (shared with the SQL
+printer's literal rendering).  ``grp`` lists and ``hom_agg`` results
+serialize to tagged blobs the same way, defined here next to the UDFs
+that produce them; :func:`decode_sqlite_value` restores the logical
+Python values before the result set leaves the backend, so the client's
+decrypt path is backend-agnostic.
+
+Scan accounting is logical and identical to the in-memory backend: each
+table reference charges the table's rowcodec heap size, and ``hom_agg``
+ciphertext reads charge through the shared store, so the cost ledger's
+byte counts are backend-independent (asserted by the equivalence tests).
+"""
+
+from __future__ import annotations
+
+import sqlite3
+import struct
+from dataclasses import replace
+from typing import Iterable
+
+from repro.common.errors import EngineError, ExecutionError
+from repro.crypto.search import TAG_BYTES
+from repro.engine.aggregates import GrpAgg, HomAgg, HomAggResult
+from repro.engine.eval import like_matches
+from repro.engine.executor import ExecStats, ResultSet
+from repro.engine.schema import TableSchema
+from repro.server.backend import ServerBackend
+from repro.sql import ast, to_sql
+from repro.storage.ciphertext_store import CiphertextStore
+from repro.storage.rowcodec import decode_value, encode_value, row_bytes
+from repro.storage.sqlite_codec import (
+    BIG_MARK,
+    GRP_MARK,
+    HOM_MARK,
+    MARK_LEN,
+    TAG_MARK,
+    decode_big,
+    decode_tags,
+    encode_sqlite_value,
+    quote_ident,
+)
+
+__all__ = ["SQLiteBackend", "decode_sqlite_value", "encode_sqlite_value"]
+
+
+# ---------------------------------------------------------------------------
+# Value codec (aggregate-blob half; scalar half lives in storage.sqlite_codec)
+# ---------------------------------------------------------------------------
+
+
+def decode_sqlite_value(value: object, store: CiphertextStore) -> object:
+    """Restore the logical value behind one SQLite storage value."""
+    if not isinstance(value, bytes) or len(value) < MARK_LEN:
+        return value
+    mark = value[:MARK_LEN]
+    if mark == BIG_MARK:
+        return decode_big(value)
+    if mark == TAG_MARK:
+        return decode_tags(value)
+    if mark == GRP_MARK:
+        return _decode_grp(value)
+    if mark == HOM_MARK:
+        return _decode_hom(value, store)
+    return value
+
+
+def _decode_grp(blob: bytes) -> tuple:
+    (count,) = struct.unpack_from("<I", blob, MARK_LEN)
+    offset = MARK_LEN + 4
+    values = []
+    for _ in range(count):
+        value, offset = decode_value(blob, offset)
+        values.append(value)
+    return tuple(values)
+
+
+def _encode_hom(result: HomAggResult) -> bytes:
+    parts = [HOM_MARK, encode_value(result.file_name), encode_value(result.product)]
+    parts.append(struct.pack("<I", len(result.partials)))
+    for ciphertext, offsets in result.partials:
+        parts.append(encode_value(ciphertext))
+        parts.append(struct.pack("<I", len(offsets)))
+        parts.append(struct.pack(f"<{len(offsets)}I", *offsets))
+    parts.append(struct.pack("<I", result.multiplications))
+    return b"".join(parts)
+
+
+def _decode_hom(blob: bytes, store: CiphertextStore) -> HomAggResult:
+    file_name, offset = decode_value(blob, MARK_LEN)
+    product, offset = decode_value(blob, offset)
+    (num_partials,) = struct.unpack_from("<I", blob, offset)
+    offset += 4
+    partials = []
+    for _ in range(num_partials):
+        ciphertext, offset = decode_value(blob, offset)
+        (num_offsets,) = struct.unpack_from("<I", blob, offset)
+        offset += 4
+        slots = struct.unpack_from(f"<{num_offsets}I", blob, offset)
+        offset += 4 * num_offsets
+        partials.append((ciphertext, tuple(slots)))
+    (multiplications,) = struct.unpack_from("<I", blob, offset)
+    file = store.get(file_name)
+    return HomAggResult(
+        file_name=file_name,
+        column_names=file.column_names,
+        product=product,
+        partials=tuple(partials),
+        multiplications=multiplications,
+        ciphertext_bytes=file.ciphertext_bytes,
+        layout=file.layout,
+    )
+
+
+# ---------------------------------------------------------------------------
+# UDFs
+# ---------------------------------------------------------------------------
+
+
+def _searchswp(tags_blob: object, trapdoor: object) -> object:
+    """SWP membership test: does the row's tag set contain the trapdoor?"""
+    if tags_blob is None or trapdoor is None:
+        return None
+    if not (isinstance(tags_blob, bytes) and tags_blob[:MARK_LEN] == TAG_MARK):
+        raise ExecutionError("searchswp over a non-tagset value")
+    body = tags_blob[MARK_LEN:]
+    for i in range(0, len(body), TAG_BYTES):
+        if body[i : i + TAG_BYTES] == trapdoor:
+            return 1
+    return 0
+
+
+def _like_strict(needle: object, pattern: object) -> object:
+    if needle is None or pattern is None:
+        return None
+    return 1 if like_matches(str(needle), str(pattern)) else 0
+
+
+class _SqliteSum:
+    """SUM override: decode marker-blob integers and sum with Python ints.
+
+    SQLite's native SUM coerces BIG_MARK blobs to 0 and raises "integer
+    overflow" past 2**63; routing through Python keeps SUM exact over
+    ciphertext-sized integers and identical to the engine's SumAgg
+    (None-skipping, NULL over empty input).  Other arithmetic (+, -, *)
+    over marker blobs remains out of contract — the planner never ships
+    arithmetic over ciphertexts (SUM travels as hom_agg or grp).
+    """
+
+    def __init__(self, store: CiphertextStore) -> None:
+        self._store = store
+        self._total = None
+
+    def step(self, value: object) -> None:
+        value = decode_sqlite_value(value, self._store)
+        if value is None:
+            return
+        self._total = value if self._total is None else self._total + value
+
+    def finalize(self) -> object:
+        return encode_sqlite_value(self._total)
+
+
+class _SqliteGrp:
+    """GROUP() adapter: collect raw SQLite values, emit one tagged blob."""
+
+    def __init__(self, store: CiphertextStore) -> None:
+        self._store = store
+        self._inner = GrpAgg()
+
+    def step(self, value: object) -> None:
+        self._inner.update([decode_sqlite_value(value, self._store)])
+
+    def finalize(self) -> bytes:
+        values = self._inner.finalize()
+        body = b"".join(encode_value(v) for v in values)
+        return GRP_MARK + struct.pack("<I", len(values)) + body
+
+
+class _SqliteHomAgg:
+    """hom_agg adapter over the shared HomAgg implementation."""
+
+    def __init__(self, store: CiphertextStore) -> None:
+        self._inner = HomAgg(store)
+
+    def step(self, file_name: object, row_id: object) -> None:
+        self._inner.update([file_name, row_id])
+
+    def finalize(self) -> bytes | None:
+        result = self._inner.finalize()
+        if result is None:
+            return None
+        return _encode_hom(result)
+
+
+# ---------------------------------------------------------------------------
+# Query preparation
+# ---------------------------------------------------------------------------
+
+
+def _inline_in_sets(query: ast.Select, params: dict[str, object]) -> ast.Select:
+    """Bind the DET IN-set parameters of the multi-round-trip plans.
+
+    SQLite cannot bind a set-valued parameter, so ``in_set(x, :p)`` inlines
+    as ``x IN (c1, c2, ...)`` over the DET ciphertext literals — exactly
+    the SQL a real deployment would ship.  An empty set becomes
+    ``x IS NULL AND NULL`` (NULL for a NULL needle, false otherwise),
+    matching the engine's three-valued ``in_set``.
+    """
+
+    def rewrite(node: ast.Expr) -> ast.Expr:
+        if isinstance(node, ast.FuncCall) and node.name == "in_set":
+            if len(node.args) != 2 or not isinstance(node.args[1], ast.Param):
+                raise ExecutionError("in_set expects (expr, :param)")
+            needle, param = node.args
+            if param.name not in params:
+                raise ExecutionError(f"unbound IN-set parameter :{param.name}")
+            members = params[param.name]
+            if not members:
+                return ast.BinOp("and", ast.IsNull(needle), ast.Literal(None))
+            ordered = sorted(members, key=lambda v: (isinstance(v, bytes), v))
+            return ast.InList(needle, tuple(ast.Literal(v) for v in ordered))
+        if isinstance(node, ast.ScalarSubquery):
+            return ast.ScalarSubquery(_inline_in_sets(node.query, params))
+        if isinstance(node, ast.InSubquery):
+            return ast.InSubquery(
+                node.needle, _inline_in_sets(node.query, params), node.negated
+            )
+        if isinstance(node, ast.Exists):
+            return ast.Exists(_inline_in_sets(node.query, params), node.negated)
+        return node
+
+    def rewrite_ref(ref: ast.TableRef) -> ast.TableRef:
+        if isinstance(ref, ast.SubqueryRef):
+            return ast.SubqueryRef(_inline_in_sets(ref.query, params), ref.alias)
+        if isinstance(ref, ast.Join):
+            condition = ref.condition
+            if condition is not None:
+                condition = ast.transform(condition, rewrite)
+            return ast.Join(
+                rewrite_ref(ref.left), rewrite_ref(ref.right), ref.kind, condition
+            )
+        return ref
+
+    rewritten = query.map_expressions(lambda e: ast.transform(e, rewrite))
+    return replace(
+        rewritten,
+        from_items=tuple(rewrite_ref(ref) for ref in rewritten.from_items),
+    )
+
+
+def _add_order_tiebreak(query: ast.Select) -> ast.Select:
+    """Pin the tie order of a pushed ORDER BY + LIMIT to insertion order.
+
+    The engine's stable sort breaks ties by insertion order; SQLite leaves
+    tie order undefined.  For the common pushed shape — single base table,
+    no grouping/DISTINCT/aggregates — appending ``rowid`` (SQLite's
+    insertion order) makes the served subset deterministic and identical
+    to the engine's.  Grouped ORDER BY + LIMIT keeps SQLite's tie order
+    (group emission order is an engine detail on both sides).
+    """
+    if query.limit is None or not query.order_by:
+        return query
+    if query.group_by or query.distinct:
+        return query
+    if len(query.from_items) != 1 or not isinstance(
+        query.from_items[0], ast.TableName
+    ):
+        return query
+    exprs = [item.expr for item in query.items]
+    exprs.extend(o.expr for o in query.order_by)
+    if any(ast.contains_aggregate(e) for e in exprs):
+        return query
+    tiebreak = ast.OrderItem(ast.Column("rowid"))
+    return replace(query, order_by=query.order_by + (tiebreak,))
+
+
+def _restore_grp_identities(query: ast.Select, rows: list[tuple]) -> list[tuple]:
+    """Replace NULL ``grp()`` outputs with the empty tuple.
+
+    Aggregating over zero input rows (no GROUP BY) yields one identity row;
+    SQLite never instantiates a user aggregate that sees no input, so
+    ``grp()`` comes back NULL where the engine's GrpAgg produces ``()``.
+    GrpAgg never returns None otherwise (a group has at least one row), so
+    the substitution is unambiguous.
+    """
+    grp_positions = [
+        i
+        for i, item in enumerate(query.items)
+        if isinstance(item.expr, ast.FuncCall) and item.expr.name == "grp"
+    ]
+    if not grp_positions or not rows:
+        return rows
+    positions = set(grp_positions)
+    return [
+        tuple(
+            () if i in positions and value is None else value
+            for i, value in enumerate(row)
+        )
+        for row in rows
+    ]
+
+
+# ---------------------------------------------------------------------------
+# The backend
+# ---------------------------------------------------------------------------
+
+
+class SQLiteBackend(ServerBackend):
+    """Encrypted tables in a real SQLite database (file or in-memory)."""
+
+    kind = "sqlite"
+
+    def __init__(self, name: str = "server", path: str = ":memory:") -> None:
+        self.name = name
+        self.path = path
+        self.ciphertext_store = CiphertextStore()
+        self.last_stats = ExecStats()
+        self.schemas: dict[str, TableSchema] = {}
+        self._table_bytes: dict[str, int] = {}
+        self.connection = sqlite3.connect(path)
+        self._register_udfs()
+
+    def _register_udfs(self) -> None:
+        conn = self.connection
+        store = self.ciphertext_store
+        conn.create_function("searchswp", 2, _searchswp, deterministic=True)
+        conn.create_function("like_strict", 2, _like_strict, deterministic=True)
+        conn.create_aggregate("grp", 1, lambda: _SqliteGrp(store))
+        conn.create_aggregate("hom_agg", 2, lambda: _SqliteHomAgg(store))
+        conn.create_aggregate("sum", 1, lambda: _SqliteSum(store))
+
+    # -- loading ------------------------------------------------------------
+
+    def create_table(self, schema: TableSchema) -> None:
+        if schema.name in self.schemas:
+            raise EngineError(f"table {schema.name!r} already exists")
+        if not schema.columns:
+            raise EngineError("SQLite backend requires at least one column")
+        self.schemas[schema.name] = schema
+        columns = ", ".join(quote_ident(c.name) for c in schema.columns)
+        self.connection.execute(
+            f"CREATE TABLE {quote_ident(schema.name)} ({columns})"
+        )
+        self._table_bytes[schema.name] = 0
+
+    def insert_rows(self, table_name: str, rows: Iterable[tuple]) -> None:
+        schema = self.schemas.get(table_name)
+        if schema is None:
+            raise EngineError(f"unknown table {table_name!r}")
+        width = len(schema.columns)
+        placeholders = ", ".join("?" * width)
+        encoded: list[tuple] = []
+        total = 0
+        for row in rows:
+            if len(row) != width:
+                raise EngineError(
+                    f"row has {len(row)} values, table {table_name!r} has {width}"
+                )
+            total += row_bytes(row)
+            encoded.append(tuple(encode_sqlite_value(v) for v in row))
+        self.connection.executemany(
+            f"INSERT INTO {quote_ident(table_name)} VALUES ({placeholders})",
+            encoded,
+        )
+        self.connection.commit()
+        self._table_bytes[table_name] += total
+
+    # -- introspection -------------------------------------------------------
+
+    def table_names(self) -> list[str]:
+        return sorted(self.schemas)
+
+    def table_bytes(self, table_name: str) -> int:
+        try:
+            return self._table_bytes[table_name]
+        except KeyError:
+            raise EngineError(f"unknown table {table_name!r}") from None
+
+    # -- query execution ------------------------------------------------------
+
+    def execute(
+        self, query: ast.Select, params: dict[str, object] | None = None
+    ) -> ResultSet:
+        self.last_stats = ExecStats()
+        bound = _inline_in_sets(query, params or {})
+        sql_text = to_sql(_add_order_tiebreak(bound), dialect="sqlite")
+        read_start = self.ciphertext_store.bytes_read
+        bind = {
+            name: encode_sqlite_value(value)
+            for name, value in (params or {}).items()
+            if not isinstance(value, (set, frozenset))
+        }
+        try:
+            cursor = self.connection.execute(sql_text, bind)
+            raw_rows = cursor.fetchall()
+        except sqlite3.Error as exc:
+            raise ExecutionError(f"SQLite error: {exc} in {sql_text!r}") from exc
+        store = self.ciphertext_store
+        rows = [
+            tuple(decode_sqlite_value(v, store) for v in row) for row in raw_rows
+        ]
+        rows = _restore_grp_identities(bound, rows)
+        columns = [item.output_name(i) for i, item in enumerate(query.items)]
+        # Static scan accounting over the same walk the engine uses
+        # (ast.table_occurrences), so ledgers are backend-independent.
+        scanned = sum(
+            self.table_bytes(name)
+            for name in ast.table_occurrences(bound)
+            if name in self._table_bytes
+        )
+        scanned += store.bytes_read - read_start
+        self.last_stats.bytes_scanned = scanned
+        self.last_stats.rows_output = len(rows)
+        return ResultSet(columns, rows)
+
+    def close(self) -> None:
+        self.connection.close()

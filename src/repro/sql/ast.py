@@ -402,3 +402,39 @@ def _rebuild_children(expr: Expr, fn) -> Expr:
     if isinstance(expr, InSubquery):
         return InSubquery(fn(expr.needle), expr.query, expr.negated)
     return expr
+
+
+def table_occurrences(query: Select):
+    """Yield every base-table name a query tree references, once per
+    occurrence (FROM items, joins, FROM-subqueries, and expression
+    subqueries — including inside join ON conditions).
+
+    This is the unit of *static* scan accounting: the engine and every
+    server backend charge one table heap read per occurrence, so cost
+    ledgers are backend-independent by construction.
+    """
+
+    def from_ref(ref: TableRef):
+        if isinstance(ref, TableName):
+            yield ref.name
+        elif isinstance(ref, SubqueryRef):
+            yield from table_occurrences(ref.query)
+        elif isinstance(ref, Join):
+            yield from from_ref(ref.left)
+            yield from from_ref(ref.right)
+            if ref.condition is not None:
+                for sub in find_subqueries(ref.condition):
+                    yield from table_occurrences(sub)
+
+    for ref in query.from_items:
+        yield from from_ref(ref)
+    exprs: list[Expr] = [item.expr for item in query.items]
+    exprs.extend(query.group_by)
+    exprs.extend(o.expr for o in query.order_by)
+    if query.where is not None:
+        exprs.append(query.where)
+    if query.having is not None:
+        exprs.append(query.having)
+    for expr in exprs:
+        for sub in find_subqueries(expr):
+            yield from table_occurrences(sub)

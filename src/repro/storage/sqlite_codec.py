@@ -1,0 +1,75 @@
+"""SQLite storage representation for server values (the marker-blob codec).
+
+SQLite's INTEGER is 64-bit signed, but several schemes produce wider
+ciphertexts (OPE over strings uses an 88-bit range; DET short-text FFX
+offsets exceed 2**63), and SEARCH tag sets are sets of 8-byte PRF tags.
+Values SQLite cannot hold natively are stored as **marker blobs**: an
+8-byte magic prefix plus a fixed-width payload.
+
+The encoding is chosen so the engine's comparison semantics survive with
+zero modification: SQLite orders every INTEGER before any BLOB and
+compares BLOBs bytewise, so a column mixing native integers (< 2**63) and
+fixed-width big-endian marker blobs (>= 2**63) still sorts in exact
+numeric order — OPE predicates, MIN/MAX, and ORDER BY stay correct.
+
+This module is representation-only (no engine or server imports): both
+the SQL printer (ciphertext literals in the SQLite dialect) and the
+SQLite backend (table loads, result decoding) depend on it downward.
+The ``grp()``/``hom_agg()`` aggregate blobs reuse the same marker scheme
+but are serialized in :mod:`repro.server.sqlite`, which owns the UDFs.
+
+A genuine RND/DET ciphertext blob starts with a marker with probability
+2**-64 per value — the same collision budget the SWP tags already accept.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import EngineError
+from repro.crypto.search import TAG_BYTES
+
+BIG_MARK = b"\x00mBIGv1\x00"  # integer >= 2**63, big-endian in 16 bytes
+TAG_MARK = b"\x00mTAGv1\x00"  # SEARCH tag set, concatenated sorted tags
+GRP_MARK = b"\x00mGRPv1\x00"  # grp() list, rowcodec-encoded elements
+HOM_MARK = b"\x00mHOMv1\x00"  # hom_agg() result (product + partials)
+
+MARK_LEN = 8
+BIG_WIDTH = 16  # Covers every scheme: widest is DET short-text (~104 bits).
+
+
+def encode_sqlite_value(value: object) -> object:
+    """Map one logical server value onto an SQLite storage value."""
+    if value is None or isinstance(value, (float, str)):
+        return value
+    if isinstance(value, bool):
+        return int(value)
+    if isinstance(value, int):
+        if -(1 << 63) <= value < (1 << 63):
+            return value
+        if not 0 <= value < (1 << (8 * BIG_WIDTH)):
+            raise EngineError(f"integer {value.bit_length()} bits wide cannot encode")
+        return BIG_MARK + value.to_bytes(BIG_WIDTH, "big")
+    if isinstance(value, bytes):
+        return value
+    if isinstance(value, frozenset):
+        return TAG_MARK + b"".join(sorted(value))
+    raise EngineError(
+        f"value type {type(value).__name__} is never stored on the server"
+    )
+
+
+def decode_big(blob: bytes) -> int:
+    """Decode a BIG_MARK blob back to the integer it carries."""
+    return int.from_bytes(blob[MARK_LEN:], "big")
+
+
+def decode_tags(blob: bytes) -> frozenset[bytes]:
+    """Decode a TAG_MARK blob back to a SEARCH tag set."""
+    body = blob[MARK_LEN:]
+    return frozenset(
+        body[i : i + TAG_BYTES] for i in range(0, len(body), TAG_BYTES)
+    )
+
+
+def quote_ident(name: str) -> str:
+    """Escape one SQLite identifier (table, column, alias)."""
+    return '"' + name.replace('"', '""') + '"'

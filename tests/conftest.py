@@ -26,14 +26,41 @@ def provider() -> CryptoProvider:
 
 
 @pytest.fixture(scope="session")
-def sales_client(sales_db) -> MonomiClient:
+def sales_client(sales_db, provider) -> MonomiClient:
     return MonomiClient.setup(
         sales_db,
         SALES_WORKLOAD,
         master_key=MASTER_KEY,
         paillier_bits=384,
         space_budget=2.5,
+        provider=provider,
     )
+
+
+@pytest.fixture(scope="session")
+def sales_client_sqlite(sales_db, provider, sales_client) -> MonomiClient:
+    """Same design and key chain as ``sales_client``, but the untrusted
+    server is a real SQLite database.  Sharing the provider keeps the
+    launch-time decryption profile (and hence plan choice) identical, so
+    ledgers are comparable byte-for-byte across backends."""
+    return MonomiClient.setup(
+        sales_db,
+        SALES_WORKLOAD,
+        master_key=MASTER_KEY,
+        paillier_bits=384,
+        space_budget=2.5,
+        provider=provider,
+        design=sales_client.design,
+        backend="sqlite",
+    )
+
+
+@pytest.fixture(params=["memory", "sqlite"])
+def each_backend_client(request, sales_client, sales_client_sqlite) -> MonomiClient:
+    """Parametrizes a test over both untrusted-server backends."""
+    if request.param == "memory":
+        return sales_client
+    return sales_client_sqlite
 
 
 @pytest.fixture(scope="session")

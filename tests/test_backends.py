@@ -1,0 +1,335 @@
+"""Cross-backend equivalence: split plans on real SQLite vs the in-memory engine.
+
+The ``ServerBackend`` seam promises that every split plan — including
+multi-round-trip DET IN-set plans — produces identical plaintext results
+and identical ledger byte counts whether the untrusted server is the
+in-process engine or a real SQLite database with the ``hom_agg`` /
+``grp`` / ``searchswp`` UDFs.  This module tests that promise at three
+levels: the value codec, splitter-generated plans executed directly
+through :class:`PlanExecutor`, and the full TPC-H / SSB suites.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.testkit import MASTER_KEY, build_sales_db, canonical
+from repro.core import (
+    CryptoProvider,
+    EncryptedLoader,
+    HomGroup,
+    MonomiClient,
+    PlanExecutor,
+    Scheme,
+    TechniqueFlags,
+    generate_query_plan,
+    normalize_query,
+)
+from repro.core.candidates import base_design_for_plain
+from repro.engine import Executor
+from repro.server import InMemoryBackend, SQLiteBackend, make_backend
+from repro.server.sqlite import (
+    BIG_MARK,
+    decode_sqlite_value,
+    encode_sqlite_value,
+)
+from repro.sql import parse
+from repro.ssb import generate as ssb_generate, ssb_queries
+from repro.storage.ciphertext_store import CiphertextStore
+from repro.tpch import generate as tpch_generate, tpch_queries
+
+TPCH_SCALE = 0.0003
+TPCH_NUMBERS = (1, 3, 4, 6, 11, 12, 18, 19)
+SSB_SCALE = 0.0002
+SSB_NUMBERS = ("1.1", "2.1", "3.1", "4.1")
+
+
+# ---------------------------------------------------------------------------
+# Value codec
+# ---------------------------------------------------------------------------
+
+
+class TestSqliteCodec:
+    def test_native_values_pass_through(self):
+        store = CiphertextStore()
+        for value in (None, 42, -7, 3.5, "text", b"\x01\x02", 0, (1 << 62)):
+            assert decode_sqlite_value(encode_sqlite_value(value), store) == value
+
+    def test_wide_integers_round_trip(self):
+        store = CiphertextStore()
+        for value in (1 << 63, (1 << 88) - 1, (1 << 104) + 12345):
+            encoded = encode_sqlite_value(value)
+            assert isinstance(encoded, bytes) and encoded.startswith(BIG_MARK)
+            assert decode_sqlite_value(encoded, store) == value
+
+    def test_wide_integer_blobs_preserve_order(self):
+        """SQLite compares BLOBs bytewise and sorts INTEGER before BLOB, so
+        the marker encoding must be order-preserving across the 2**63
+        boundary — that is what keeps OPE comparisons correct."""
+        values = [0, 5, (1 << 62), (1 << 63) - 1, 1 << 63, (1 << 63) + 1, 1 << 87]
+        encoded = [encode_sqlite_value(v) for v in values]
+
+        def sqlite_order(x, y):
+            # INTEGER < BLOB; INTEGER vs INTEGER numeric; BLOB vs BLOB memcmp.
+            x_blob, y_blob = isinstance(x, bytes), isinstance(y, bytes)
+            if x_blob != y_blob:
+                return -1 if y_blob else 1
+            return -1 if x < y else (1 if x > y else 0)
+
+        for i in range(len(values) - 1):
+            assert sqlite_order(encoded[i], encoded[i + 1]) == -1
+
+    def test_tag_sets_round_trip(self):
+        store = CiphertextStore()
+        tags = frozenset({b"\x01" * 8, b"\x02" * 8, b"\xff" * 8})
+        assert decode_sqlite_value(encode_sqlite_value(tags), store) == tags
+
+
+# ---------------------------------------------------------------------------
+# Splitter plans through PlanExecutor on both backends
+# ---------------------------------------------------------------------------
+
+PLAN_QUERIES = [
+    # Integer division must use true division on every backend (SQLite's
+    # native / truncates; the dialect casts the dividend to REAL).
+    "SELECT o_custkey, SUM(o_price) / COUNT(*) FROM orders "
+    "GROUP BY o_custkey ORDER BY o_custkey",
+    # Fully pushed GROUP BY with homomorphic SUM.
+    "SELECT o_custkey, SUM(o_price) FROM orders GROUP BY o_custkey",
+    # grp() fallback + local re-aggregation.
+    "SELECT o_status, SUM(o_qty), MIN(o_price) FROM orders GROUP BY o_status",
+    # SEARCH predicate through the searchswp UDF.
+    "SELECT COUNT(*) FROM orders WHERE o_comment LIKE '%brown%'",
+    # OPE range + DET join.
+    "SELECT c_segment, COUNT(*) FROM orders, customer "
+    "WHERE o_custkey = c_custkey AND o_price > 2500 GROUP BY c_segment",
+    # Multi-round-trip: IN-subquery materialized as a DET-encrypted server set.
+    "SELECT o_orderkey FROM orders WHERE o_custkey IN "
+    "(SELECT o_custkey FROM orders GROUP BY o_custkey HAVING SUM(o_qty) > 140)",
+]
+
+
+@pytest.fixture(scope="module")
+def plan_env():
+    db = build_sales_db(num_orders=120, seed=31)
+    provider = CryptoProvider(MASTER_KEY, paillier_bits=384)
+    design = base_design_for_plain(db)
+    design.add("orders", "o_custkey", Scheme.DET)
+    design.add("orders", "o_status", Scheme.DET)
+    design.add("orders", "o_orderkey", Scheme.DET)
+    design.add("orders", "o_price", Scheme.OPE)
+    design.add("orders", "o_qty", Scheme.OPE)
+    design.add("orders", "o_comment", Scheme.SEARCH)
+    design.add("customer", "c_custkey", Scheme.DET)
+    design.add("customer", "c_segment", Scheme.DET)
+    design.add_hom_group(HomGroup("orders", ("o_price", "o_qty"), 4))
+    loader = EncryptedLoader(db, provider)
+    memory = loader.load_into(make_backend("memory"), design)
+    sqlite = loader.load_into(make_backend("sqlite"), design)
+    schemas = {name: t.schema for name, t in db.tables.items()}
+    return db, provider, design, schemas, memory, sqlite
+
+
+@pytest.mark.parametrize("sql", PLAN_QUERIES)
+def test_split_plan_runs_identically_on_both_backends(plan_env, sql):
+    db, provider, design, schemas, memory, sqlite = plan_env
+    query = normalize_query(parse(sql))
+    plan = generate_query_plan(
+        query, design, schemas, provider, TechniqueFlags(), None, plain_db=db
+    )
+    mem_result, mem_ledger = PlanExecutor(memory, provider).execute(plan)
+    lite_result, lite_ledger = PlanExecutor(sqlite, provider).execute(plan)
+    expected = Executor(db).execute(query)
+    assert canonical(mem_result.rows) == canonical(expected.rows)
+    assert canonical(lite_result.rows) == canonical(expected.rows)
+    assert mem_ledger.transfer_bytes == lite_ledger.transfer_bytes
+    assert mem_ledger.server_bytes_scanned == lite_ledger.server_bytes_scanned
+    assert mem_ledger.round_trips == lite_ledger.round_trips
+
+
+def test_scan_accounting_is_static_for_unexecuted_subqueries():
+    """A subquery the engine short-circuits (empty outer table) still counts
+    toward the scan footprint — on both backends, identically."""
+    from repro.engine import Database, schema
+
+    rows_u = [(1,), (2,), (3,)]
+    backends = []
+    for kind in ("memory", "sqlite"):
+        backend = make_backend(kind)
+        backend.create_table(schema("t", ("a", "int")))
+        backend.create_table(schema("u", ("b", "int")))
+        backend.insert_rows("t", [])
+        backend.insert_rows("u", rows_u)
+        backends.append(backend)
+    query = normalize_query(
+        parse("SELECT a FROM t WHERE EXISTS (SELECT b FROM u WHERE b = a)")
+    )
+    scanned = []
+    for backend in backends:
+        result = backend.execute(query)
+        assert result.rows == []
+        scanned.append(backend.last_stats.bytes_scanned)
+    assert scanned[0] == scanned[1] > 0
+
+
+def test_backends_report_identical_footprint(plan_env):
+    _, _, _, _, memory, sqlite = plan_env
+    assert memory.table_names() == sqlite.table_names()
+    for name in memory.table_names():
+        assert memory.table_bytes(name) == sqlite.table_bytes(name)
+    assert memory.total_bytes == sqlite.total_bytes
+
+
+def test_sqlite_server_never_sees_plaintext(plan_env):
+    """Dump every raw SQLite value: no plaintext string, date, or comment
+    word from the sales data may appear at rest."""
+    db, _, _, _, _, sqlite = plan_env
+    forbidden = {"OPEN", "SHIPPED", "RETURNED", "BUILDING", "FRANCE"}
+    import datetime
+
+    for name in sqlite.table_names():
+        cursor = sqlite.connection.execute(f'SELECT * FROM "{name}"')
+        for row in cursor.fetchall():
+            for value in row:
+                assert value not in forbidden
+                assert not isinstance(value, datetime.date)
+                if isinstance(value, str):
+                    assert "brown" not in value and "Customer" not in value
+
+
+# ---------------------------------------------------------------------------
+# Full TPC-H / SSB suites on both backends
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def tpch_pair():
+    db = tpch_generate(scale=TPCH_SCALE, seed=5)
+    queries = tpch_queries(TPCH_SCALE)
+    workload = [queries[n].sql for n in TPCH_NUMBERS]
+    provider = CryptoProvider(MASTER_KEY, paillier_bits=384)
+    memory = MonomiClient.setup(
+        db, workload, master_key=MASTER_KEY, paillier_bits=384,
+        space_budget=2.0, provider=provider,
+    )
+    sqlite = MonomiClient.setup(
+        db, workload, master_key=MASTER_KEY, paillier_bits=384,
+        space_budget=2.0, provider=provider, design=memory.design,
+        backend="sqlite",
+    )
+    return db, queries, memory, sqlite
+
+
+@pytest.mark.parametrize("number", TPCH_NUMBERS)
+def test_tpch_backends_agree(tpch_pair, number):
+    db, queries, memory, sqlite = tpch_pair
+    query = normalize_query(parse(queries[number].sql))
+    mem = memory.execute(query)
+    lite = sqlite.execute(query)
+    expected = Executor(db).execute(query)
+    assert canonical(mem.rows) == canonical(expected.rows)
+    assert canonical(lite.rows) == canonical(expected.rows)
+    assert mem.ledger.transfer_bytes == lite.ledger.transfer_bytes
+    assert mem.ledger.server_bytes_scanned == lite.ledger.server_bytes_scanned
+
+
+@pytest.fixture(scope="module")
+def ssb_pair():
+    db = ssb_generate(scale=SSB_SCALE, seed=13)
+    queries = ssb_queries()
+    workload = [queries[n].sql for n in SSB_NUMBERS]
+    provider = CryptoProvider(MASTER_KEY, paillier_bits=384)
+    memory = MonomiClient.setup(
+        db, workload, master_key=MASTER_KEY, paillier_bits=384,
+        space_budget=2.0, provider=provider,
+    )
+    sqlite = MonomiClient.setup(
+        db, workload, master_key=MASTER_KEY, paillier_bits=384,
+        space_budget=2.0, provider=provider, design=memory.design,
+        backend="sqlite",
+    )
+    return db, queries, memory, sqlite
+
+
+@pytest.mark.parametrize("number", SSB_NUMBERS)
+def test_ssb_backends_agree(ssb_pair, number):
+    db, queries, memory, sqlite = ssb_pair
+    query = normalize_query(parse(queries[number].sql))
+    mem = memory.execute(query)
+    lite = sqlite.execute(query)
+    expected = Executor(db).execute(query)
+    assert canonical(mem.rows) == canonical(expected.rows)
+    assert canonical(lite.rows) == canonical(expected.rows)
+    assert mem.ledger.transfer_bytes == lite.ledger.transfer_bytes
+    assert mem.ledger.server_bytes_scanned == lite.ledger.server_bytes_scanned
+
+
+# ---------------------------------------------------------------------------
+# SQLite backend unit behavior
+# ---------------------------------------------------------------------------
+
+
+def test_sqlite_backend_rejects_duplicate_table():
+    from repro.engine import schema
+
+    backend = SQLiteBackend()
+    backend.create_table(schema("t", ("a", "int")))
+    with pytest.raises(Exception):
+        backend.create_table(schema("t", ("a", "int")))
+
+
+def test_sqlite_dialect_rejects_unbound_in_set():
+    from repro.common.errors import ExecutionError
+
+    backend = SQLiteBackend()
+    from repro.engine import schema
+
+    backend.create_table(schema("t", ("a", "int")))
+    query = parse("SELECT a FROM t WHERE in_set(a, :sub0)")
+    with pytest.raises(ExecutionError):
+        backend.execute(query, params={})
+
+
+def test_sqlite_sum_is_exact_over_wide_integers():
+    """Native SQLite SUM coerces marker blobs to 0 and overflows past 2**63;
+    the registered Python override must sum exactly, like the engine."""
+    from repro.engine import schema
+
+    values = [(1 << 63) + 5, (1 << 70) + 1, 7, None]
+    expected = sum(v for v in values if v is not None)
+    results = []
+    for kind in ("memory", "sqlite"):
+        backend = make_backend(kind)
+        backend.create_table(schema("t", ("a", "int")))
+        backend.insert_rows("t", [(v,) for v in values])
+        result = backend.execute(normalize_query(parse("SELECT SUM(a) FROM t")))
+        results.append(result.rows[0][0])
+    assert results == [expected, expected]
+
+
+def test_sqlite_order_limit_ties_follow_insertion_order():
+    """A pushed ORDER BY + LIMIT with duplicate sort keys must serve the
+    same tied subset as the engine's stable sort (insertion order)."""
+    from repro.engine import schema
+
+    rows = [(i, i % 3) for i in range(30)]  # Ten-way ties on the sort key.
+    query = normalize_query(parse("SELECT i FROM t ORDER BY k LIMIT 7"))
+    results = []
+    for kind in ("memory", "sqlite"):
+        backend = make_backend(kind)
+        backend.create_table(schema("t", ("i", "int"), ("k", "int")))
+        backend.insert_rows("t", rows)
+        results.append(backend.execute(query).rows)
+    assert results[0] == results[1]
+
+
+def test_in_memory_backend_wraps_database():
+    from repro.engine import Database, schema
+
+    db = Database("d")
+    backend = InMemoryBackend(db)
+    backend.create_table(schema("t", ("a", "int")))
+    backend.insert_rows("t", [(1,), (2,), (None,)])
+    result = backend.execute(normalize_query(parse("SELECT COUNT(a) FROM t")))
+    assert result.rows == [(2,)]
+    assert backend.table_bytes("t") == db.table("t").total_bytes
