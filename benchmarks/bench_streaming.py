@@ -1,0 +1,215 @@
+"""Streaming benchmark: RowBlock pipeline vs materializing execution.
+
+Measures what the streaming refactor buys on both untrusted-server
+backends:
+
+* **time-to-first-row** — wall seconds until the first decrypted RowBlock
+  arrives at the client (`execute_iter`), vs the materializing path which
+  cannot return anything before the whole pipeline finishes;
+* **peak client memory** — tracemalloc peak while consuming the result,
+  which is O(block) for stream-shaped plans vs O(result) materialized;
+* **bounded-memory sweep** — server-scan streaming peaks across growing
+  table sizes (flat) against materialized peaks (linear in rows);
+* **agreement** — the harness *asserts* both modes return identical rows
+  and identical ledger byte counts, so a divergence fails CI loudly.
+
+Writes ``BENCH_PR3.json`` (repo root by default).  Run:
+
+    PYTHONPATH=src python benchmarks/bench_streaming.py          # full
+    PYTHONPATH=src python benchmarks/bench_streaming.py --quick  # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+import tracemalloc
+
+from repro.core import CryptoProvider, MonomiClient, PlanExecutor, normalize_query
+from repro.engine import schema
+from repro.server import BACKEND_KINDS, make_backend
+from repro.sql import parse
+from repro.testkit import MASTER_KEY, build_sales_db
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+#: (label, SQL) — the first three are stream-shaped end-to-end; the last is
+#: a blocking plan included to show the fallback costs nothing extra.
+QUERIES = [
+    (
+        "full_scan_projection",
+        "SELECT o_orderkey, o_price, o_qty FROM orders",
+    ),
+    (
+        "pushed_ope_filter",
+        "SELECT o_orderkey, o_price FROM orders WHERE o_price > 2500",
+    ),
+    (
+        "client_residual_filter",
+        "SELECT o_orderkey FROM orders WHERE o_price * o_qty > 40000",
+    ),
+    (
+        "blocking_group_by",
+        "SELECT o_custkey, SUM(o_price) FROM orders GROUP BY o_custkey",
+    ),
+]
+
+WORKLOAD = [sql for _, sql in QUERIES]
+
+
+def ledger_bytes(ledger) -> tuple:
+    return (ledger.transfer_bytes, ledger.server_bytes_scanned, ledger.round_trips)
+
+
+def build_clients(num_orders: int, paillier_bits: int) -> dict[str, MonomiClient]:
+    db = build_sales_db(num_orders=num_orders)
+    provider = CryptoProvider(MASTER_KEY, paillier_bits=paillier_bits)
+    memory = MonomiClient.setup(
+        db, WORKLOAD, master_key=MASTER_KEY, paillier_bits=paillier_bits,
+        space_budget=2.5, provider=provider,
+    )
+    sqlite = MonomiClient.setup(
+        db, WORKLOAD, master_key=MASTER_KEY, paillier_bits=paillier_bits,
+        space_budget=2.5, provider=provider, design=memory.design,
+        backend="sqlite",
+    )
+    return {"memory": memory, "sqlite": sqlite}
+
+
+def bench_query(client: MonomiClient, sql: str, block_rows: int) -> dict:
+    query = normalize_query(parse(sql))
+    planned = client.planner.plan(query)
+    streaming = PlanExecutor(
+        client.backend, client.provider, client.network, client.disk,
+        streaming=True, block_rows=block_rows,
+    )
+    materializing = PlanExecutor(
+        client.backend, client.provider, client.network, client.disk,
+        streaming=False,
+    )
+
+    tracemalloc.start()
+    start = time.perf_counter()
+    stream = streaming.execute_iter(planned.plan)
+    blocks = iter(stream)
+    first = next(blocks, None)
+    ttfr = time.perf_counter() - start
+    stream_rows = [] if first is None else first.rows()
+    for block in blocks:
+        stream_rows.extend(block.rows())
+    stream_total = time.perf_counter() - start
+    _, stream_peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+
+    tracemalloc.start()
+    start = time.perf_counter()
+    result, mat_ledger = materializing.execute(planned.plan)
+    mat_total = time.perf_counter() - start
+    _, mat_peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+
+    assert stream_rows == result.rows, f"streaming diverged on {sql!r}"
+    assert ledger_bytes(stream.ledger) == ledger_bytes(mat_ledger), (
+        f"ledger bytes diverged on {sql!r}"
+    )
+    return {
+        "rows": len(result.rows),
+        "streams": streaming._plan_streams(planned.plan),
+        "time_to_first_row_seconds": round(ttfr, 6),
+        "streaming_total_seconds": round(stream_total, 6),
+        "materializing_total_seconds": round(mat_total, 6),
+        "ttfr_speedup": round(mat_total / max(ttfr, 1e-9), 2),
+        "streaming_peak_bytes": stream_peak,
+        "materializing_peak_bytes": mat_peak,
+    }
+
+
+def bench_memory_sweep(sizes: list[int], block_rows: int) -> list[dict]:
+    """Server-scan peaks across table sizes: streaming must stay flat."""
+    sweep = []
+    for num_rows in sizes:
+        backend = make_backend("memory")
+        backend.create_table(schema("big", ("a", "int"), ("b", "int"), ("c", "int")))
+        backend.insert_rows("big", [(i, i * 7, i % 97) for i in range(num_rows)])
+        query = normalize_query(parse("SELECT a, b FROM big WHERE c < 80"))
+
+        tracemalloc.start()
+        count = 0
+        for block in backend.execute_stream(query, block_rows=block_rows):
+            count += len(block)
+        _, stream_peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+
+        tracemalloc.start()
+        result = backend.execute(query)
+        _, mat_peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+
+        assert count == len(result.rows)
+        sweep.append(
+            {
+                "table_rows": num_rows,
+                "result_rows": count,
+                "streaming_peak_bytes": stream_peak,
+                "materializing_peak_bytes": mat_peak,
+            }
+        )
+    return sweep
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="CI smoke: tiny keys/data")
+    parser.add_argument("--out", default=str(REPO_ROOT / "BENCH_PR3.json"))
+    args = parser.parse_args(argv)
+
+    num_orders = 200 if args.quick else 1200
+    paillier_bits = 256 if args.quick else 768
+    block_rows = 64 if args.quick else 256
+    sweep_sizes = [5_000, 10_000] if args.quick else [20_000, 40_000, 80_000]
+
+    print(f"[bench_streaming] orders={num_orders} paillier={paillier_bits} bits")
+    clients = build_clients(num_orders, paillier_bits)
+
+    results: dict = {
+        "benchmark": "bench_streaming",
+        "mode": "quick" if args.quick else "full",
+        "num_orders": num_orders,
+        "paillier_bits": paillier_bits,
+        "block_rows": block_rows,
+        "queries": [],
+    }
+    for label, sql in QUERIES:
+        entry: dict = {"label": label, "sql": sql, "backends": {}}
+        for kind in BACKEND_KINDS:
+            entry["backends"][kind] = bench_query(clients[kind], sql, block_rows)
+        results["queries"].append(entry)
+        mem = entry["backends"]["memory"]
+        print(
+            f"  {label:>24}: ttfr {mem['time_to_first_row_seconds']:.4f}s vs "
+            f"materialized {mem['materializing_total_seconds']:.4f}s "
+            f"({mem['ttfr_speedup']}x), peak "
+            f"{mem['streaming_peak_bytes'] / 1024:.0f}K vs "
+            f"{mem['materializing_peak_bytes'] / 1024:.0f}K"
+        )
+
+    results["memory_sweep"] = bench_memory_sweep(sweep_sizes, 512)
+    for point in results["memory_sweep"]:
+        print(
+            f"  sweep {point['table_rows']:>7} rows: streaming peak "
+            f"{point['streaming_peak_bytes'] / 1024:.0f}K, materializing "
+            f"{point['materializing_peak_bytes'] / 1024:.0f}K"
+        )
+    print("  streaming and materializing agree on all rows and ledger bytes")
+
+    out_path = pathlib.Path(args.out)
+    out_path.write_text(json.dumps(results, indent=2) + "\n")
+    print(f"[bench_streaming] wrote {out_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

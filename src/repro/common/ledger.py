@@ -80,6 +80,24 @@ class CostLedger:
         self.round_trips += 1
         self.transfer_seconds += network.transfer_seconds(num_bytes)
 
+    # -- streaming transfer accounting --------------------------------------
+    #
+    # A streamed result charges the same bytes as a materialized one, just
+    # incrementally: one begin_round_trip (the link latency) plus one
+    # add_block_transfer per result header / RowBlock payload.  Byte totals
+    # are identical to add_transfer by construction; seconds differ only by
+    # float summation order.
+
+    def begin_round_trip(self, network: NetworkModel) -> None:
+        """Open one client↔server round trip: charge its latency once."""
+        self.round_trips += 1
+        self.transfer_seconds += network.latency_seconds
+
+    def add_block_transfer(self, num_bytes: int, network: NetworkModel) -> None:
+        """Charge one block's wire bytes at bandwidth cost (no latency)."""
+        self.transfer_bytes += num_bytes
+        self.transfer_seconds += network.transfer_seconds(num_bytes, round_trips=0)
+
     def merge(self, other: "CostLedger") -> None:
         self.server_seconds += other.server_seconds
         self.client_seconds += other.client_seconds

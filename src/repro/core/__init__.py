@@ -1,6 +1,6 @@
 """MONOMI core: split execution, optimizations, designer, and planner."""
 
-from repro.core.client import MonomiClient, QueryOutcome
+from repro.core.client import MonomiClient, QueryOutcome, QueryStream
 from repro.core.design import (
     EncEntry,
     HomGroup,
@@ -12,7 +12,7 @@ from repro.core.designer import Designer, DesignResult
 from repro.core.encdata import CryptoProvider
 from repro.core.loader import EncryptedLoader, complete_design
 from repro.core.normalize import normalize_query
-from repro.core.pexec import PlanExecutor
+from repro.core.pexec import PlanExecutor, PlanStream
 from repro.core.plan import RemoteRelation, SplitPlan
 from repro.core.planner import Planner
 from repro.core.schemes import SCHEME_TABLE, Scheme, weakest
@@ -30,8 +30,10 @@ __all__ = [
     "MonomiClient",
     "PhysicalDesign",
     "PlanExecutor",
+    "PlanStream",
     "Planner",
     "QueryOutcome",
+    "QueryStream",
     "RemoteRelation",
     "SCHEME_TABLE",
     "Scheme",

@@ -17,7 +17,9 @@ packing metadata; every decryption happens in this class' provider.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
+from typing import Iterator
 
 from repro.common.errors import UnsupportedQueryError
 from repro.common.ledger import CostLedger, DiskModel, NetworkModel
@@ -27,13 +29,20 @@ from repro.core.designer import Designer, DesignResult
 from repro.core.encdata import CryptoProvider
 from repro.core.loader import EncryptedLoader
 from repro.core.normalize import has_multi_pattern_like, normalize_query
-from repro.core.pexec import PlanExecutor
+from repro.core.pexec import PlanExecutor, PlanStream
 from repro.core.planner import PlannedQuery, Planner
 from repro.engine.catalog import Database
 from repro.engine.executor import ResultSet
+from repro.engine.rowblock import RowBlock
 from repro.server import ServerBackend, as_backend, make_backend
 from repro.server.inmemory import InMemoryBackend
 from repro.sql import ast, parse
+
+
+def _default_streaming() -> bool:
+    """Streaming execution is the default; ``MONOMI_STREAMING=0`` forces
+    the materializing path everywhere (CI runs the test matrix both ways)."""
+    return os.environ.get("MONOMI_STREAMING", "1") != "0"
 
 
 @dataclass
@@ -53,6 +62,37 @@ class QueryOutcome:
         return self.result.columns
 
 
+class QueryStream:
+    """A streaming query outcome: iterate decrypted RowBlocks.
+
+    The ledger accumulates while blocks are pulled and is final once the
+    stream is exhausted (or closed).  Single-shot, like a cursor.
+    """
+
+    def __init__(self, stream: PlanStream, planned: PlannedQuery) -> None:
+        self._stream = stream
+        self.planned = planned
+
+    @property
+    def columns(self) -> list[str]:
+        return self._stream.columns
+
+    @property
+    def ledger(self) -> CostLedger:
+        return self._stream.ledger
+
+    def __iter__(self) -> Iterator[RowBlock]:
+        return iter(self._stream)
+
+    def close(self) -> None:
+        self._stream.close()
+
+    def drain(self) -> QueryOutcome:
+        """Pull every block and return the materialized outcome."""
+        result = self._stream.drain()
+        return QueryOutcome(result, self._stream.ledger, self.planned)
+
+
 class MonomiClient:
     def __init__(
         self,
@@ -64,6 +104,7 @@ class MonomiClient:
         network: NetworkModel,
         disk: DiskModel,
         design_result: DesignResult | None = None,
+        streaming: bool | None = None,
     ) -> None:
         self.plain_db = plain_db
         self.design = design
@@ -108,7 +149,12 @@ class MonomiClient:
             stats_max=self._designer.stats_max,
             plain_db=plain_db,
         )
-        self.executor = PlanExecutor(self.backend, provider, network, disk)
+        if streaming is None:
+            streaming = _default_streaming()
+        self.streaming = streaming
+        self.executor = PlanExecutor(
+            self.backend, provider, network, disk, streaming=streaming
+        )
 
     @property
     def server_db(self) -> Database:
@@ -142,6 +188,7 @@ class MonomiClient:
         det_default: bool = True,
         backend: str | ServerBackend = "memory",
         provider: CryptoProvider | None = None,
+        streaming: bool | None = None,
     ) -> "MonomiClient":
         """Design (unless ``design`` is given), encrypt, and load.
 
@@ -185,6 +232,7 @@ class MonomiClient:
             network,
             disk,
             design_result,
+            streaming=streaming,
         )
 
     # -- runtime -----------------------------------------------------------------
@@ -201,6 +249,31 @@ class MonomiClient:
         planned = self.planner.plan(query)
         result, ledger = self.executor.execute(planned.plan)
         return QueryOutcome(result, ledger, planned)
+
+    def execute_iter(
+        self,
+        sql: str | ast.Select,
+        params: dict[str, object] | None = None,
+        block_rows: int | None = None,
+    ) -> QueryStream:
+        """Execute, streaming decrypted RowBlocks instead of materializing.
+
+        Stream-shaped plans (one RemoteSQL, scan/filter/project/limit
+        residual) move block-at-a-time from the server scan through
+        decryption to the caller — peak client memory stays O(block) and
+        the first block arrives before the server finishes the scan.
+        Other plans materialize internally and re-block.  ``execute()``
+        remains the drain-everything wrapper around this path.
+        """
+        query = parse(sql) if isinstance(sql, str) else sql
+        query = normalize_query(query, params)
+        if has_multi_pattern_like(query):
+            raise UnsupportedQueryError(
+                "multi-pattern LIKE is not supported (paper §7)"
+            )
+        planned = self.planner.plan(query)
+        stream = self.executor.execute_iter(planned.plan, block_rows=block_rows)
+        return QueryStream(stream, planned)
 
     def explain(self, sql: str | ast.Select, params: dict[str, object] | None = None) -> str:
         query = parse(sql) if isinstance(sql, str) else sql

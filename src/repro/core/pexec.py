@@ -13,11 +13,29 @@ Runs a :class:`~repro.core.plan.SplitPlan` against the untrusted server:
 3. run the residual query over the decrypted virtual tables with the same
    relational engine, on the trusted side.
 
+Two execution modes share this machinery:
+
+* :meth:`PlanExecutor.execute` — materialize everything, return one
+  :class:`ResultSet` (the drain-everything wrapper);
+* :meth:`PlanExecutor.execute_iter` — stream
+  :class:`~repro.engine.rowblock.RowBlock` batches end-to-end.  When the
+  plan is one RemoteRelation whose residual is stream-shaped (scan →
+  filter → project → limit over that relation, no subqueries), blocks
+  flow server scan → per-block decrypt (through the ``*_decrypt_batch``
+  APIs) → per-block unnest → residual operators without ever staging a
+  full table; peak client memory is O(block).  Any other plan shape runs
+  the materializing path and re-blocks its result (one blocking operator
+  at the root).  Both modes return identical rows and identical ledger
+  byte counts — the streaming equivalence tests assert this.
+
 The returned :class:`~repro.common.ledger.CostLedger` carries the paper's
 three cost components (§6.4) for every benchmark to aggregate.
 """
 
 from __future__ import annotations
+
+import time
+from typing import Iterator
 
 from repro.common.errors import ExecutionError
 from repro.common.ledger import CostLedger, DiskModel, NetworkModel
@@ -25,9 +43,17 @@ from repro.core.encdata import CryptoProvider
 from repro.core.plan import ClientRelation, DecryptSpec, RemoteRelation, SplitPlan
 from repro.engine.aggregates import HomAggResult
 from repro.engine.catalog import Database
-from repro.engine.executor import Executor, ResultSet
+from repro.engine.executor import Executor, ResultSet, is_streamable
+from repro.engine.rowblock import (
+    DEFAULT_BLOCK_ROWS,
+    BlockStream,
+    RowBlock,
+    blocks_from_rows,
+    result_header_bytes,
+)
 from repro.engine.schema import ColumnDef, TableSchema
 from repro.server.backend import ServerBackend, as_backend
+from repro.sql import ast
 
 _TYPE_MAP = {
     "int": "int",
@@ -38,8 +64,38 @@ _TYPE_MAP = {
 }
 
 
+class PlanStream:
+    """A streaming query result: RowBlocks plus the live cost ledger.
+
+    The ledger accumulates as blocks are pulled; its totals are final
+    only once the stream is exhausted (or closed).  Single-shot.
+    """
+
+    def __init__(
+        self, columns: list[str], blocks: Iterator[RowBlock], ledger: CostLedger
+    ) -> None:
+        self.columns = columns
+        self.ledger = ledger
+        self._stream = BlockStream(columns, blocks)
+
+    def __iter__(self) -> Iterator[RowBlock]:
+        return iter(self._stream)
+
+    def close(self) -> None:
+        self._stream.close()
+
+    def drain(self) -> ResultSet:
+        return ResultSet(self.columns, self._stream.drain_rows())
+
+
 class PlanExecutor:
-    """Executes split plans for one (server backend, key chain) pair."""
+    """Executes split plans for one (server backend, key chain) pair.
+
+    ``streaming`` selects the default mode of :meth:`execute`; either way
+    :meth:`execute_iter` is available (with ``streaming=False`` it always
+    routes through the materializing path, which makes the two modes
+    directly comparable in tests and benchmarks).
+    """
 
     def __init__(
         self,
@@ -47,22 +103,185 @@ class PlanExecutor:
         provider: CryptoProvider,
         network: NetworkModel | None = None,
         disk: DiskModel | None = None,
+        streaming: bool = True,
+        block_rows: int = DEFAULT_BLOCK_ROWS,
     ) -> None:
         self.backend = as_backend(server)
         self.provider = provider
         self.network = network or NetworkModel()
         self.disk = disk or DiskModel()
+        self.streaming = streaming
+        self.block_rows = block_rows
 
     # -- public ---------------------------------------------------------------
 
     def execute(self, plan: SplitPlan) -> tuple[ResultSet, CostLedger]:
+        if self.streaming:
+            stream = self.execute_iter(plan)
+            return stream.drain(), stream.ledger
         ledger = CostLedger()
         result = self._run(plan, ledger)
         return result, ledger
 
+    def execute_iter(
+        self, plan: SplitPlan, block_rows: int | None = None
+    ) -> PlanStream:
+        """Stream the plan's result as decrypted RowBlocks."""
+        if block_rows is None:
+            block_rows = self.block_rows
+        ledger = CostLedger()
+        if self.streaming and self._plan_streams(plan):
+            relation = plan.relations[0]
+            out_names = [n for spec in relation.specs for n in spec.output_names]
+            if plan.residual is None:
+                columns = list(out_names)
+            else:
+                columns = [
+                    item.output_name(i)
+                    for i, item in enumerate(plan.residual.items)
+                ]
+            blocks = self._stream_plan(plan, relation, out_names, ledger, block_rows)
+            return PlanStream(columns, blocks, ledger)
+        result = self._run(plan, ledger)
+        blocks = blocks_from_rows(result.rows, len(result.columns), block_rows)
+        return PlanStream(list(result.columns), blocks, ledger)
+
+    # -- streaming path ------------------------------------------------------
+
+    def _plan_streams(self, plan: SplitPlan) -> bool:
+        """Can this plan flow block-at-a-time without staging a table?
+
+        One RemoteRelation (subplans are fine — they run in their own
+        round trips first), and a residual that is either absent or a
+        stream-shaped query over exactly that relation.  Residual
+        subqueries would re-read the staged virtual table, which the
+        streaming path never builds, so they force materialization.
+        """
+        if len(plan.relations) != 1:
+            return False
+        relation = plan.relations[0]
+        if not isinstance(relation, RemoteRelation):
+            return False
+        residual = plan.residual
+        if residual is None:
+            return True
+        if not is_streamable(residual):
+            return False
+        if residual.from_items[0].name != relation.alias:
+            return False
+        if residual.limit is not None:
+            # A client-side LIMIT stops pulling the remote stream early,
+            # transferring fewer bytes than the materializing reference —
+            # a real saving, but it would break the byte-identical ledger
+            # contract between the two modes, so LIMIT residuals block.
+            # (A LIMIT *pushed into the server query* still streams: the
+            # server truncates before transfer on both paths.)
+            return False
+        exprs = [item.expr for item in residual.items]
+        if residual.where is not None:
+            exprs.append(residual.where)
+        return not any(ast.find_subqueries(e) for e in exprs)
+
+    def _stream_plan(
+        self,
+        plan: SplitPlan,
+        relation: RemoteRelation,
+        out_names: list[str],
+        ledger: CostLedger,
+        block_rows: int,
+    ) -> Iterator[RowBlock]:
+        server_params, residual_params = self._bind_subplans(plan, ledger)
+        source = self._stream_remote(
+            relation, out_names, server_params, ledger, block_rows
+        )
+        if plan.residual is None:
+            yield from source
+            return
+        # Residual operators pull decrypted blocks straight off the remote
+        # stream (no staging table).  Engine time inside next() includes
+        # the nested server fetch + decrypt, which the source already
+        # booked on the ledger — charge only the remainder to client CPU.
+        executor = Executor(Database("client_tmp"))
+        residual_stream = executor.execute_stream(
+            plan.residual,
+            params=residual_params,
+            sources={relation.alias: BlockStream(out_names, source)},
+            block_rows=block_rows,
+        )
+        blocks = iter(residual_stream)
+        try:
+            while True:
+                booked_before = ledger.server_seconds + ledger.client_seconds
+                start = time.perf_counter()
+                try:
+                    block = next(blocks)
+                except StopIteration:
+                    block = None
+                elapsed = time.perf_counter() - start
+                nested = (
+                    ledger.server_seconds + ledger.client_seconds - booked_before
+                )
+                ledger.client_seconds += max(0.0, elapsed - nested)
+                if block is None:
+                    return
+                yield block
+        finally:
+            residual_stream.close()
+
+    def _stream_remote(
+        self,
+        relation: RemoteRelation,
+        out_names: list[str],
+        server_params: dict[str, object],
+        ledger: CostLedger,
+        block_rows: int,
+    ) -> Iterator[RowBlock]:
+        """Server scan → network → per-block decrypt → per-block unnest."""
+        specs = relation.specs
+        with ledger.timing_server():
+            stream = self.backend.execute_stream(
+                relation.query, params=server_params, block_rows=block_rows
+            )
+        if len(specs) != len(stream.columns):
+            raise ExecutionError(
+                f"decrypt spec count {len(specs)} != result columns "
+                f"{len(stream.columns)}"
+            )
+        ledger.begin_round_trip(self.network)
+        ledger.add_block_transfer(
+            result_header_bytes(stream.columns), self.network
+        )
+        blocks = iter(stream)
+        try:
+            while True:
+                with ledger.timing_server():
+                    block = next(blocks, None)
+                if block is None:
+                    break
+                ledger.add_block_transfer(block.payload_bytes(), self.network)
+                with ledger.timing_client():
+                    out = RowBlock(
+                        self._decrypt_columns(specs, block.columns), len(block)
+                    )
+                    if relation.unnest:
+                        rows = _unnest_rows(out_names, out.rows(), specs)
+                        out = RowBlock.from_rows(rows, len(out_names))
+                yield out
+        finally:
+            # Runs on exhaustion AND on early termination (residual LIMIT):
+            # scan accounting is static, so the full footprint is charged
+            # either way — identical to the materializing path.
+            stream.close()
+            scanned = stream.stats.bytes_scanned
+            ledger.server_bytes_scanned += scanned
+            ledger.server_seconds += self.disk.read_seconds(scanned)
+
     # -- internals ----------------------------------------------------------------
 
-    def _run(self, plan: SplitPlan, ledger: CostLedger) -> ResultSet:
+    def _bind_subplans(
+        self, plan: SplitPlan, ledger: CostLedger
+    ) -> tuple[dict[str, object], dict[str, object]]:
+        """Run subplans (their own round trips); bind their results."""
         server_params: dict[str, object] = {}
         residual_params: dict[str, object] = {}
         for subplan in plan.subplans:
@@ -86,6 +305,10 @@ class PlanExecutor:
                 )
             else:
                 raise ExecutionError(f"unknown subplan mode {subplan.mode!r}")
+        return server_params, residual_params
+
+    def _run(self, plan: SplitPlan, ledger: CostLedger) -> ResultSet:
+        server_params, residual_params = self._bind_subplans(plan, ledger)
 
         client_db = Database("client_tmp")
         for relation in plan.relations:
@@ -140,6 +363,8 @@ class PlanExecutor:
         as one batch — a single scheme/type dispatch per
         :class:`DecryptSpec` instead of one per value, with packed Paillier
         ciphertexts gathered column-wide into one CRT-batched decryption.
+        The streaming path calls the same :meth:`_decrypt_columns` per
+        RowBlock (already column-major — no transpose needed).
         """
         specs = relation.specs
         if len(specs) != len(result.columns):
@@ -152,10 +377,15 @@ class PlanExecutor:
             columns.extend(spec.output_names)
         if not result.rows:
             return columns, []
-        out_columns: list[list] = []
-        for spec, in_column in zip(specs, zip(*result.rows)):
-            out_columns.extend(self._decrypt_column(spec, in_column))
+        out_columns = self._decrypt_columns(specs, list(zip(*result.rows)))
         return columns, list(zip(*out_columns))
+
+    def _decrypt_columns(self, specs: list[DecryptSpec], in_columns) -> list[list]:
+        """Decrypt server output columns into client virtual columns."""
+        out_columns: list[list] = []
+        for spec, in_column in zip(specs, in_columns):
+            out_columns.extend(self._decrypt_column(spec, in_column))
+        return out_columns
 
     def _decrypt_column(self, spec: DecryptSpec, values) -> list[list]:
         """Decrypt one server output column into its output column(s)."""
@@ -233,17 +463,19 @@ def _unnest_rows(
             position += 1
     if not list_positions:
         return rows
+    is_list = frozenset(list_positions)
     out: list[tuple] = []
     for row in rows:
         lengths = {len(row[i]) for i in list_positions}
         if len(lengths) != 1:
             raise ExecutionError("misaligned grp() lists in one group")
         (length,) = lengths
+        width = len(row)
         for index in range(length):
             out.append(
                 tuple(
-                    row[i][index] if i in set(list_positions) else row[i]
-                    for i in range(len(row))
+                    row[i][index] if i in is_list else row[i]
+                    for i in range(width)
                 )
             )
     return out

@@ -3,21 +3,34 @@
 from repro.engine.aggregates import HomAggResult
 from repro.engine.catalog import Database
 from repro.engine.cost import CostEstimator, PlanEstimate
-from repro.engine.executor import ExecStats, Executor, ResultSet
+from repro.engine.executor import ExecStats, Executor, ResultSet, is_streamable
+from repro.engine.rowblock import (
+    DEFAULT_BLOCK_ROWS,
+    BlockStream,
+    RowBlock,
+    blocks_from_rows,
+    result_header_bytes,
+)
 from repro.engine.schema import ColumnDef, TableSchema, schema
 from repro.engine.table import ColumnStats, Table
 
 __all__ = [
+    "BlockStream",
     "ColumnDef",
     "ColumnStats",
     "CostEstimator",
+    "DEFAULT_BLOCK_ROWS",
     "Database",
     "ExecStats",
     "Executor",
     "HomAggResult",
     "PlanEstimate",
     "ResultSet",
+    "RowBlock",
     "Table",
     "TableSchema",
+    "blocks_from_rows",
+    "is_streamable",
+    "result_header_bytes",
     "schema",
 ]

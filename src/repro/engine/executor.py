@@ -1,6 +1,7 @@
 """Query executor: the "unmodified DBMS" the untrusted server runs.
 
-An iterator-free, materializing executor with a small planner:
+A materializing executor with a small planner, plus a pull-based
+streaming layer over the same machinery:
 
 * single-relation WHERE conjuncts are pushed down before joins;
 * equi-join conjuncts drive hash joins (greedy join ordering: smallest
@@ -11,6 +12,16 @@ An iterator-free, materializing executor with a small planner:
   LIMIT;
 * correlated subqueries re-execute per outer row (uncorrelated ones are
   cached by the evaluator).
+
+:meth:`Executor.execute_stream` yields fixed-capacity
+:class:`~repro.engine.rowblock.RowBlock` batches instead of one
+materialized :class:`ResultSet`.  Scan → filter → project → limit plans
+(:func:`is_streamable`) move block-at-a-time with O(block) working
+memory; everything else — sorts, grouping, DISTINCT, joins — drains its
+input through the materializing path and re-enters the stream as one
+blocking operator at the root, so both paths return identical rows and
+identical scan statistics by construction.  ``Executor(streaming=True)``
+routes :meth:`Executor.execute` through the streaming layer.
 
 Execution returns a :class:`ResultSet` plus scan statistics (bytes touched)
 so the caller can charge simulated disk time — analytical queries are
@@ -26,6 +37,12 @@ from repro.engine.aggregates import make_aggregate
 from repro.engine.catalog import Database
 from repro.engine.eval import Env, EvalContext, Scope, compile_expr, evaluate
 from repro.engine.functions import default_functions
+from repro.engine.rowblock import (
+    DEFAULT_BLOCK_ROWS,
+    BlockStream,
+    RowBlock,
+    blocks_from_rows,
+)
 from repro.sql import ast
 from repro.storage.rowcodec import value_bytes
 
@@ -58,14 +75,38 @@ class _Relation:
         return {b for b, _ in self.scope.columns if b is not None}
 
 
+def is_streamable(query: ast.Select) -> bool:
+    """True when the pull-based pipeline can run ``query`` without any
+    blocking operator: one base-table scan feeding filter → project →
+    limit.  Grouping, aggregation, DISTINCT, ORDER BY, and joins all need
+    their full input and therefore materialize."""
+    if len(query.from_items) != 1 or not isinstance(
+        query.from_items[0], ast.TableName
+    ):
+        return False
+    if query.group_by or query.distinct or query.order_by:
+        return False
+    if query.having is not None:
+        return False
+    return not Executor._has_aggregates(query)
+
+
 class Executor:
     """Executes SELECT statements against a :class:`Database`."""
 
-    def __init__(self, db: Database, use_compiled: bool = True) -> None:
+    def __init__(
+        self,
+        db: Database,
+        use_compiled: bool = True,
+        streaming: bool = False,
+        block_rows: int = DEFAULT_BLOCK_ROWS,
+    ) -> None:
         self.db = db
         self.functions = default_functions()
         self.last_stats = ExecStats()
         self.use_compiled = use_compiled
+        self.streaming = streaming
+        self.block_rows = block_rows
 
     def _compile(self, expr, scope, ctx, outer=None):
         """Compile an expression, or (with ``use_compiled=False``) return a
@@ -78,6 +119,9 @@ class Executor:
     # -- public API ---------------------------------------------------------
 
     def execute(self, query: ast.Select, params: dict[str, object] | None = None) -> ResultSet:
+        if self.streaming:
+            stream = self.execute_stream(query, params)
+            return ResultSet(stream.columns, stream.drain_rows())
         self.last_stats = ExecStats()
         # Static scan accounting: one heap read per table occurrence in the
         # query tree, charged up front.  Re-executions of a correlated
@@ -102,6 +146,134 @@ class Executor:
             self.db.ciphertext_store.bytes_read - ciphertext_read_start
         )
         return result
+
+    def execute_stream(
+        self,
+        query: ast.Select,
+        params: dict[str, object] | None = None,
+        *,
+        block_rows: int | None = None,
+        sources: dict[str, BlockStream] | None = None,
+    ) -> BlockStream:
+        """Pull-based execution: a :class:`BlockStream` of RowBlocks.
+
+        ``sources`` maps a table name to an external block stream standing
+        in for that table's scan — the plan executor streams decrypted
+        server blocks through a residual query this way, without staging
+        them in a catalog table; source-backed queries must satisfy
+        :func:`is_streamable`.  Statistics live on ``stream.stats`` (also
+        ``self.last_stats``) and reach their final totals once the stream
+        is exhausted or closed.
+        """
+        if block_rows is None:
+            block_rows = self.block_rows
+        stats = ExecStats()
+        self.last_stats = stats
+        sources = sources or {}
+        for name in ast.table_occurrences(query):
+            if self.db.has_table(name):
+                stats.bytes_scanned += self.db.table(name).total_bytes
+        ciphertext_read_start = self.db.ciphertext_store.bytes_read
+        semijoins = _SemiJoinCache(self)
+        ctx = EvalContext(
+            params=params or {},
+            functions=self.functions,
+            subquery_executor=lambda sub, outer: self._execute(sub, ctx, outer),
+            exists_tester=lambda sub, env: semijoins.test(sub, env, ctx),
+        )
+        columns = [item.output_name(i) for i, item in enumerate(query.items)]
+        if is_streamable(query):
+            blocks = self._stream_blocks(
+                query, ctx, sources, block_rows, stats, ciphertext_read_start
+            )
+        else:
+            if sources:
+                raise ExecutionError(
+                    "source-backed streaming requires a streamable query "
+                    "(single scan, no grouping/ordering/joins)"
+                )
+            blocks = self._materialized_blocks(
+                query, ctx, block_rows, stats, ciphertext_read_start
+            )
+        return BlockStream(columns, blocks, stats)
+
+    def _stream_blocks(
+        self,
+        query: ast.Select,
+        ctx: EvalContext,
+        sources: dict[str, BlockStream],
+        block_rows: int,
+        stats: ExecStats,
+        ciphertext_read_start: int,
+    ):
+        """Scan → filter → project → limit, block-at-a-time."""
+        ref = query.from_items[0]
+        source = sources.get(ref.name)
+        if source is not None:
+            scope = Scope([(ref.binding, c) for c in source.columns])
+            input_rows = (row for block in source for row in block.rows())
+        else:
+            table = self.db.table(ref.name)
+            scope = Scope([(ref.binding, c) for c in table.schema.column_names])
+            input_rows = iter(table.rows)
+        predicate = (
+            self._compile(query.where, scope, ctx, None)
+            if query.where is not None
+            else None
+        )
+        item_fns: list = [
+            None
+            if isinstance(item.expr, ast.Column) and item.expr.name == "*"
+            else self._compile(item.expr, scope, ctx, None)
+            for item in query.items
+        ]
+        remaining = query.limit
+        try:
+            buffer: list[tuple] = []
+            if remaining is None or remaining > 0:
+                for row in input_rows:
+                    if predicate is not None and predicate(row) is not True:
+                        continue
+                    values: list = []
+                    for fn in item_fns:
+                        if fn is None:
+                            values.extend(row)
+                        else:
+                            values.append(fn(row))
+                    buffer.append(tuple(values))
+                    if remaining is not None:
+                        remaining -= 1
+                        if remaining == 0:
+                            break
+                    if len(buffer) >= block_rows:
+                        stats.rows_output += len(buffer)
+                        yield RowBlock.from_rows(buffer, len(query.items))
+                        buffer = []
+            if buffer:
+                stats.rows_output += len(buffer)
+                yield RowBlock.from_rows(buffer, len(query.items))
+        finally:
+            if source is not None:
+                source.close()
+            stats.bytes_scanned += (
+                self.db.ciphertext_store.bytes_read - ciphertext_read_start
+            )
+
+    def _materialized_blocks(
+        self,
+        query: ast.Select,
+        ctx: EvalContext,
+        block_rows: int,
+        stats: ExecStats,
+        ciphertext_read_start: int,
+    ):
+        """Blocking root operator: drain the materializing path, re-block."""
+        result = self._execute(query, ctx, None)
+        stats.rows_output += len(result.rows)
+        stats.bytes_scanned += (
+            self.db.ciphertext_store.bytes_read - ciphertext_read_start
+        )
+        yield from blocks_from_rows(result.rows, len(result.columns), block_rows)
 
     # -- internals ------------------------------------------------------------
 

@@ -28,6 +28,7 @@ from abc import ABC, abstractmethod
 from typing import Iterable
 
 from repro.engine.executor import ExecStats, ResultSet
+from repro.engine.rowblock import DEFAULT_BLOCK_ROWS, BlockStream, blocks_from_rows
 from repro.engine.schema import TableSchema
 from repro.sql import ast
 from repro.storage.ciphertext_store import CiphertextFile, CiphertextStore
@@ -89,6 +90,31 @@ class ServerBackend(ABC):
         :class:`~repro.engine.aggregates.HomAggResult` — regardless of how
         the backend represents them at rest.
         """
+
+    def execute_stream(
+        self,
+        query: ast.Select,
+        params: dict[str, object] | None = None,
+        block_rows: int = DEFAULT_BLOCK_ROWS,
+    ) -> BlockStream:
+        """Run one server query, yielding column-major RowBlocks.
+
+        Same logical values and accounting as :meth:`execute`: the
+        stream's ``stats`` carries the scan bytes (final once the stream
+        is exhausted or closed), and the sum of block payloads plus the
+        result header equals the materialized ``ResultSet.byte_size()``.
+        This base implementation materializes and re-blocks — correct for
+        any backend; engines with incremental cursors override it to keep
+        peak memory bounded by the block size.
+
+        Contract: ciphertext-file reads (``hom_agg``) accrue on a
+        backend-global counter windowed per stream, so streams of
+        hom-reading queries must be consumed one at a time for exact
+        scan-byte accounting; interleaving plain scans is fine.
+        """
+        result = self.execute(query, params=params)
+        blocks = blocks_from_rows(result.rows, len(result.columns), block_rows)
+        return BlockStream(result.columns, blocks, self.last_stats)
 
 
 def as_backend(server: object) -> ServerBackend:

@@ -14,6 +14,7 @@ from typing import Iterable
 
 from repro.engine.catalog import Database
 from repro.engine.executor import ExecStats, Executor, ResultSet
+from repro.engine.rowblock import DEFAULT_BLOCK_ROWS, BlockStream
 from repro.engine.schema import TableSchema
 from repro.server.backend import ServerBackend
 from repro.sql import ast
@@ -57,3 +58,15 @@ class InMemoryBackend(ServerBackend):
         result = self.executor.execute(query, params=params)
         self.last_stats = self.executor.last_stats
         return result
+
+    def execute_stream(
+        self,
+        query: ast.Select,
+        params: dict[str, object] | None = None,
+        block_rows: int = DEFAULT_BLOCK_ROWS,
+    ) -> BlockStream:
+        stream = self.executor.execute_stream(
+            query, params=params, block_rows=block_rows
+        )
+        self.last_stats = stream.stats
+        return stream

@@ -43,6 +43,7 @@ from repro.crypto.search import TAG_BYTES
 from repro.engine.aggregates import GrpAgg, HomAgg, HomAggResult
 from repro.engine.eval import like_matches
 from repro.engine.executor import ExecStats, ResultSet
+from repro.engine.rowblock import DEFAULT_BLOCK_ROWS, BlockStream, RowBlock
 from repro.engine.schema import TableSchema
 from repro.server.backend import ServerBackend
 from repro.sql import ast, to_sql
@@ -294,7 +295,18 @@ def _add_order_tiebreak(query: ast.Select) -> ast.Select:
     return replace(query, order_by=query.order_by + (tiebreak,))
 
 
-def _restore_grp_identities(query: ast.Select, rows: list[tuple]) -> list[tuple]:
+def _grp_positions(query: ast.Select) -> frozenset[int]:
+    """Output positions carrying ``grp()`` results (identity restoration)."""
+    return frozenset(
+        i
+        for i, item in enumerate(query.items)
+        if isinstance(item.expr, ast.FuncCall) and item.expr.name == "grp"
+    )
+
+
+def _restore_grp_identities(
+    positions: frozenset[int], rows: list[tuple]
+) -> list[tuple]:
     """Replace NULL ``grp()`` outputs with the empty tuple.
 
     Aggregating over zero input rows (no GROUP BY) yields one identity row;
@@ -303,14 +315,8 @@ def _restore_grp_identities(query: ast.Select, rows: list[tuple]) -> list[tuple]
     GrpAgg never returns None otherwise (a group has at least one row), so
     the substitution is unambiguous.
     """
-    grp_positions = [
-        i
-        for i, item in enumerate(query.items)
-        if isinstance(item.expr, ast.FuncCall) and item.expr.name == "grp"
-    ]
-    if not grp_positions or not rows:
+    if not positions or not rows:
         return rows
-    positions = set(grp_positions)
     return [
         tuple(
             () if i in positions and value is None else value
@@ -326,9 +332,24 @@ def _restore_grp_identities(query: ast.Select, rows: list[tuple]) -> list[tuple]
 
 
 class SQLiteBackend(ServerBackend):
-    """Encrypted tables in a real SQLite database (file or in-memory)."""
+    """Encrypted tables in a real SQLite database (file or in-memory).
+
+    One connection serves every query for the backend's lifetime:
+    ``sqlite3``'s per-connection statement cache (raised to
+    ``_CACHED_STATEMENTS``) then skips re-preparing repeated SQL — the
+    common case for round-trip plans and benchmark loops, where the same
+    server query text runs many times.  Streamed queries
+    (:meth:`execute_stream`) each get their own cursor with ``arraysize``
+    tuned to the block size, so overlapping streams keep distinct result
+    sets — but scan *accounting* windows the backend-global ciphertext
+    read counter, so streams whose queries read ciphertext files
+    (``hom_agg``) must be consumed one at a time for exact byte charges
+    (the plan executor always does).
+    """
 
     kind = "sqlite"
+
+    _CACHED_STATEMENTS = 256
 
     def __init__(self, name: str = "server", path: str = ":memory:") -> None:
         self.name = name
@@ -337,7 +358,9 @@ class SQLiteBackend(ServerBackend):
         self.last_stats = ExecStats()
         self.schemas: dict[str, TableSchema] = {}
         self._table_bytes: dict[str, int] = {}
-        self.connection = sqlite3.connect(path)
+        self.connection = sqlite3.connect(
+            path, cached_statements=self._CACHED_STATEMENTS
+        )
         self._register_udfs()
 
     def _register_udfs(self) -> None:
@@ -398,40 +421,107 @@ class SQLiteBackend(ServerBackend):
 
     # -- query execution ------------------------------------------------------
 
-    def execute(
-        self, query: ast.Select, params: dict[str, object] | None = None
-    ) -> ResultSet:
-        self.last_stats = ExecStats()
+    def _prepare(
+        self, query: ast.Select, params: dict[str, object] | None
+    ) -> tuple[ast.Select, str, dict]:
+        """Bind IN sets, print SQLite SQL, and encode scalar parameters."""
         bound = _inline_in_sets(query, params or {})
         sql_text = to_sql(_add_order_tiebreak(bound), dialect="sqlite")
-        read_start = self.ciphertext_store.bytes_read
         bind = {
             name: encode_sqlite_value(value)
             for name, value in (params or {}).items()
             if not isinstance(value, (set, frozenset))
         }
+        return bound, sql_text, bind
+
+    def _static_scan_bytes(self, bound: ast.Select) -> int:
+        # Static scan accounting over the same walk the engine uses
+        # (ast.table_occurrences), so ledgers are backend-independent.
+        return sum(
+            self.table_bytes(name)
+            for name in ast.table_occurrences(bound)
+            if name in self._table_bytes
+        )
+
+    def execute(
+        self, query: ast.Select, params: dict[str, object] | None = None
+    ) -> ResultSet:
+        self.last_stats = ExecStats()
+        bound, sql_text, bind = self._prepare(query, params)
+        store = self.ciphertext_store
+        read_start = store.bytes_read
         try:
             cursor = self.connection.execute(sql_text, bind)
             raw_rows = cursor.fetchall()
         except sqlite3.Error as exc:
             raise ExecutionError(f"SQLite error: {exc} in {sql_text!r}") from exc
-        store = self.ciphertext_store
         rows = [
             tuple(decode_sqlite_value(v, store) for v in row) for row in raw_rows
         ]
-        rows = _restore_grp_identities(bound, rows)
+        rows = _restore_grp_identities(_grp_positions(bound), rows)
         columns = [item.output_name(i) for i, item in enumerate(query.items)]
-        # Static scan accounting over the same walk the engine uses
-        # (ast.table_occurrences), so ledgers are backend-independent.
-        scanned = sum(
-            self.table_bytes(name)
-            for name in ast.table_occurrences(bound)
-            if name in self._table_bytes
-        )
+        scanned = self._static_scan_bytes(bound)
         scanned += store.bytes_read - read_start
         self.last_stats.bytes_scanned = scanned
         self.last_stats.rows_output = len(rows)
         return ResultSet(columns, rows)
+
+    def execute_stream(
+        self,
+        query: ast.Select,
+        params: dict[str, object] | None = None,
+        block_rows: int = DEFAULT_BLOCK_ROWS,
+    ) -> BlockStream:
+        """Stream the query through a ``fetchmany`` cursor, one block at a
+        time — the server never materializes the full result set.
+
+        Static scan bytes are charged when the stream is created;
+        ciphertext-store reads made by ``hom_agg`` accrue as the SQLite VM
+        steps and fold into ``stats.bytes_scanned`` when the stream ends
+        (exhausted or closed), so drained totals match :meth:`execute`.
+        """
+        stats = ExecStats()
+        self.last_stats = stats
+        bound, sql_text, bind = self._prepare(query, params)
+        store = self.ciphertext_store
+        read_start = store.bytes_read
+        static_bytes = self._static_scan_bytes(bound)
+        stats.bytes_scanned = static_bytes
+        grp_positions = _grp_positions(bound)
+        columns = [item.output_name(i) for i, item in enumerate(query.items)]
+        cursor = self.connection.cursor()
+        cursor.arraysize = block_rows
+        try:
+            cursor.execute(sql_text, bind)
+        except sqlite3.Error as exc:
+            cursor.close()
+            raise ExecutionError(f"SQLite error: {exc} in {sql_text!r}") from exc
+
+        def blocks():
+            try:
+                while True:
+                    try:
+                        raw = cursor.fetchmany(block_rows)
+                    except sqlite3.Error as exc:
+                        raise ExecutionError(
+                            f"SQLite error: {exc} in {sql_text!r}"
+                        ) from exc
+                    if not raw:
+                        break
+                    rows = [
+                        tuple(decode_sqlite_value(v, store) for v in row)
+                        for row in raw
+                    ]
+                    rows = _restore_grp_identities(grp_positions, rows)
+                    stats.rows_output += len(rows)
+                    yield RowBlock.from_rows(rows, len(columns))
+            finally:
+                cursor.close()
+                stats.bytes_scanned = static_bytes + (
+                    store.bytes_read - read_start
+                )
+
+        return BlockStream(columns, blocks(), stats)
 
     def close(self) -> None:
         self.connection.close()

@@ -8,11 +8,18 @@ can share them without cross-conftest imports.
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.core import CryptoProvider, MonomiClient
 from repro.engine import Database, Executor
 from repro.testkit import MASTER_KEY, SALES_WORKLOAD, build_sales_db
+
+#: CI runs the suite twice: MONOMI_STREAMING=1 (default — clients drain the
+#: RowBlock streaming pipeline) and MONOMI_STREAMING=0 (the materializing
+#: reference path).  Both must pass identically.
+STREAMING = os.environ.get("MONOMI_STREAMING", "1") != "0"
 
 
 @pytest.fixture(scope="session")
@@ -34,6 +41,7 @@ def sales_client(sales_db, provider) -> MonomiClient:
         paillier_bits=384,
         space_budget=2.5,
         provider=provider,
+        streaming=STREAMING,
     )
 
 
@@ -52,6 +60,7 @@ def sales_client_sqlite(sales_db, provider, sales_client) -> MonomiClient:
         provider=provider,
         design=sales_client.design,
         backend="sqlite",
+        streaming=STREAMING,
     )
 
 
