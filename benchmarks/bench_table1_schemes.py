@@ -7,11 +7,10 @@ ciphertexts, plus microbenchmarks of each scheme's encrypt/decrypt.
 
 from __future__ import annotations
 
-import datetime
 
 from conftest import write_report
 
-from repro.core import CryptoProvider, SCHEME_TABLE, Scheme
+from repro.core import CryptoProvider, SCHEME_TABLE
 
 
 def test_table1_schemes(benchmark):

@@ -12,6 +12,17 @@ class ReproError(Exception):
     """Base class for all errors raised by this library."""
 
 
+class ConfigError(ReproError):
+    """An execution-layer configuration is contradictory or unusable.
+
+    Raised instead of silently falling back when the caller explicitly
+    asked for a mode the stack cannot honor — e.g. partition-parallel
+    scans on a backend without native streaming when the root operator
+    blocks, partitions combined with ``streaming=False``, or a
+    ``MONOMI_WORKERS`` / ``MONOMI_PARTITIONS`` value that does not parse.
+    """
+
+
 class CryptoError(ReproError):
     """A cryptographic operation failed (bad key, corrupt ciphertext, ...)."""
 

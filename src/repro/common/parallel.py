@@ -1,0 +1,243 @@
+"""Shared multicore plumbing: worker-count policy and a resilient pool.
+
+Everything in this reproduction that fans work out across cores — batch
+crypto in :class:`~repro.core.encdata.CryptoProvider`, partition-parallel
+scans in the server backends — goes through this module, so the policy
+questions are answered exactly once:
+
+* **How many workers?**  An explicit ``workers=N`` wins; ``workers=None``
+  consults the ``MONOMI_WORKERS`` environment variable and defaults to 1
+  (serial).  ``0`` means "one per core".  Anything unparseable raises
+  :class:`~repro.common.errors.ConfigError` instead of silently running
+  serial — a misconfigured deployment should fail loudly, not slowly.
+* **What if processes are unavailable?**  Sandboxes without working
+  semaphores (or fork) exist; :class:`WorkerPool` degrades to in-process
+  execution on pool-creation failure and remembers the decision, so the
+  parallel and serial code paths stay byte-identical by construction
+  (the same worker functions run either way).
+* **How is work split?**  :func:`shard_spans` cuts ``n`` items into at
+  most ``parts`` contiguous, near-equal spans.  Contiguity is what makes
+  ordered re-merge trivial: concatenating span results in span order
+  reproduces the serial output order exactly.
+"""
+
+from __future__ import annotations
+
+import os
+import queue as queue_mod
+import threading
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Callable, Sequence
+
+from repro.common.errors import ConfigError
+
+WORKERS_ENV = "MONOMI_WORKERS"
+PARTITIONS_ENV = "MONOMI_PARTITIONS"
+
+
+def _parse_count(raw: str, env_name: str) -> int:
+    try:
+        count = int(raw)
+    except ValueError:
+        raise ConfigError(
+            f"{env_name} must be an integer (0 = one per core), got {raw!r}"
+        ) from None
+    if count < 0:
+        raise ConfigError(f"{env_name} must be >= 0, got {count}")
+    return count if count > 0 else (os.cpu_count() or 1)
+
+
+def resolve_workers(workers: int | None, env_name: str = WORKERS_ENV) -> int:
+    """Resolve a worker count: explicit value > env var > serial.
+
+    ``0`` (explicit or via env) means one worker per CPU core.  Negative
+    or unparseable values raise :class:`ConfigError`.
+    """
+    if workers is None:
+        raw = os.environ.get(env_name)
+        if raw is None:
+            return 1
+        return _parse_count(raw, env_name)
+    if workers < 0:
+        raise ConfigError(f"workers must be >= 0, got {workers}")
+    return workers if workers > 0 else (os.cpu_count() or 1)
+
+
+def shard_spans(total: int, parts: int) -> list[tuple[int, int]]:
+    """Split ``range(total)`` into at most ``parts`` contiguous spans.
+
+    Spans are near-equal (sizes differ by at most one) and returned in
+    order, so concatenating per-span results preserves the serial order.
+    Empty spans are never produced; fewer than ``parts`` spans come back
+    when ``total < parts``.
+    """
+    if parts < 1:
+        raise ConfigError(f"partition count must be >= 1, got {parts}")
+    parts = min(parts, total)
+    if parts <= 0:
+        return []
+    base, extra = divmod(total, parts)
+    spans: list[tuple[int, int]] = []
+    start = 0
+    for index in range(parts):
+        size = base + (1 if index < extra else 0)
+        spans.append((start, start + size))
+        start += size
+    return spans
+
+
+class WorkerPool:
+    """A lazily created process pool with a guaranteed serial fallback.
+
+    The pool spins up on first use and persists for the owner's lifetime
+    (worker initialization — key derivation, cipher setup — is paid once
+    per process, not per batch).  If process creation fails the pool marks
+    itself unavailable and :meth:`map_ordered` runs the same function
+    in-process, so callers never need a second code path.
+    """
+
+    def __init__(
+        self,
+        workers: int,
+        initializer: Callable | None = None,
+        initargs: tuple = (),
+    ) -> None:
+        if workers < 1:
+            raise ConfigError(f"pool needs at least 1 worker, got {workers}")
+        self.workers = workers
+        self._initializer = initializer
+        self._initargs = initargs
+        self._executor: ProcessPoolExecutor | None = None
+        self._failed = False
+        self._local_initialized = False
+
+    @property
+    def parallel(self) -> bool:
+        """True when calls actually fan out across processes."""
+        return self.workers > 1 and not self._failed
+
+    def _ensure(self) -> ProcessPoolExecutor | None:
+        if self.workers <= 1 or self._failed:
+            return None
+        if self._executor is None:
+            try:
+                self._executor = ProcessPoolExecutor(
+                    max_workers=self.workers,
+                    initializer=self._initializer,
+                    initargs=self._initargs,
+                )
+            except (OSError, ValueError):
+                # No semaphores / no fork: remember and degrade to serial.
+                self._failed = True
+                return None
+        return self._executor
+
+    def _ensure_local_init(self) -> None:
+        if self._initializer is not None and not self._local_initialized:
+            self._initializer(*self._initargs)
+            self._local_initialized = True
+
+    def _run_local(self, fn: Callable, payloads: Sequence) -> list:
+        self._ensure_local_init()
+        return [fn(payload) for payload in payloads]
+
+    def map_ordered(self, fn: Callable, payloads: Sequence) -> list:
+        """Run ``fn`` over ``payloads``, results in submission order.
+
+        Falls back to in-process execution when the pool is serial or
+        broke at creation; a worker crash (``BrokenProcessPool``) also
+        retries serially once, marking the pool unavailable for later
+        calls — correctness over parallelism.  Exceptions *raised by the
+        task function* are not pool failures: they propagate unchanged
+        and leave the pool healthy.
+        """
+        executor = self._ensure()
+        if executor is None:
+            return self._run_local(fn, payloads)
+        try:
+            return list(executor.map(fn, payloads))
+        except (OSError, BrokenProcessPool):
+            # OSError: worker processes spawn lazily on first submit, so a
+            # sandbox that allows semaphores but blocks process creation
+            # fails here, not in _ensure.  Task functions in this codebase
+            # do no file/socket IO, so an OSError is pool machinery.
+            self._failed = True
+            self.close()
+            return self._run_local(fn, payloads)
+
+    def imap_ordered(self, fn: Callable, payloads: Sequence):
+        """Like :meth:`map_ordered`, but yields results as they arrive.
+
+        Submission order is preserved; with a live pool, result *i* is
+        yielded as soon as workers finish it (later results buffer
+        pool-side), which lets the consumer start merging the first
+        partition while the rest still compute.  The serial fallback
+        computes each result on demand, and — same guarantee as
+        :meth:`map_ordered` — a pool that breaks mid-iteration finishes
+        the remaining payloads in-process instead of raising.
+        """
+        executor = self._ensure()
+        if executor is None:
+
+            def serial():
+                self._ensure_local_init()
+                for payload in payloads:
+                    yield fn(payload)
+
+            return serial()
+
+        def live():
+            results = executor.map(fn, payloads)
+            index = 0
+            while True:
+                try:
+                    result = next(results)
+                except StopIteration:
+                    return
+                except (OSError, BrokenProcessPool):
+                    # Workers died (or never spawned) mid-stream: finish
+                    # serially from the first result we have not yielded
+                    # yet.  Task-raised exceptions (our tasks do no IO)
+                    # are not caught here — they propagate.
+                    self._failed = True
+                    self.close()
+                    self._ensure_local_init()
+                    for payload in payloads[index:]:
+                        yield fn(payload)
+                    return
+                index += 1
+                yield result
+
+        return live()
+
+    def close(self) -> None:
+        """Shut the pool down; it re-creates lazily if used again."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=False, cancel_futures=True)
+            self._executor = None
+
+    def __del__(self) -> None:  # pragma: no cover - interpreter teardown
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+def queue_put_bounded(
+    out: queue_mod.Queue, item: object, stop: threading.Event
+) -> bool:
+    """Bounded queue put that gives up once ``stop`` is set.
+
+    The producer half of every bounded pipeline in this codebase (the
+    plan executor's prefetch queue, the SQLite partition merge): block on
+    a full queue, but poll the stop flag so a consumer that closed early
+    never strands the producer.  Returns False when it gave up.
+    """
+    while not stop.is_set():
+        try:
+            out.put(item, timeout=0.05)
+            return True
+        except queue_mod.Full:
+            continue
+    return False

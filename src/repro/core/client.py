@@ -18,7 +18,7 @@ packing metadata; every decryption happens in this class' provider.
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterator
 
 from repro.common.errors import UnsupportedQueryError
@@ -105,6 +105,8 @@ class MonomiClient:
         disk: DiskModel,
         design_result: DesignResult | None = None,
         streaming: bool | None = None,
+        partitions: int | None = None,
+        prefetch_blocks: int | None = None,
     ) -> None:
         self.plain_db = plain_db
         self.design = design
@@ -153,7 +155,13 @@ class MonomiClient:
             streaming = _default_streaming()
         self.streaming = streaming
         self.executor = PlanExecutor(
-            self.backend, provider, network, disk, streaming=streaming
+            self.backend,
+            provider,
+            network,
+            disk,
+            streaming=streaming,
+            partitions=partitions,
+            prefetch_blocks=prefetch_blocks,
         )
 
     @property
@@ -189,6 +197,9 @@ class MonomiClient:
         backend: str | ServerBackend = "memory",
         provider: CryptoProvider | None = None,
         streaming: bool | None = None,
+        workers: int | None = None,
+        partitions: int | None = None,
+        prefetch_blocks: int | None = None,
     ) -> "MonomiClient":
         """Design (unless ``design`` is given), encrypt, and load.
 
@@ -199,11 +210,20 @@ class MonomiClient:
         shared ``provider`` keeps the launch-time decryption profile (and
         hence plan choice) identical across clients — the cross-backend
         equivalence harness relies on this.
+
+        Multicore knobs: ``workers`` builds the provider with a crypto
+        worker pool (so the encrypted load and client decryption shard
+        across cores; ignored when a pre-built ``provider`` is passed),
+        ``partitions`` requests partition-parallel server scans, and
+        ``prefetch_blocks`` sizes the server→client pipeline queue.  All
+        three default from their ``MONOMI_*`` environment variables.
         """
         network = network or NetworkModel()
         disk = disk or DiskModel()
         if provider is None:
-            provider = CryptoProvider(master_key, paillier_bits=paillier_bits)
+            provider = CryptoProvider(
+                master_key, paillier_bits=paillier_bits, workers=workers
+            )
         queries = [
             normalize_query(parse(q) if isinstance(q, str) else q) for q in workload
         ]
@@ -233,6 +253,8 @@ class MonomiClient:
             disk,
             design_result,
             streaming=streaming,
+            partitions=partitions,
+            prefetch_blocks=prefetch_blocks,
         )
 
     # -- runtime -----------------------------------------------------------------
@@ -275,7 +297,9 @@ class MonomiClient:
         stream = self.executor.execute_iter(planned.plan, block_rows=block_rows)
         return QueryStream(stream, planned)
 
-    def explain(self, sql: str | ast.Select, params: dict[str, object] | None = None) -> str:
+    def explain(
+        self, sql: str | ast.Select, params: dict[str, object] | None = None
+    ) -> str:
         query = parse(sql) if isinstance(sql, str) else sql
         query = normalize_query(query, params)
         planned = self.planner.plan(query)

@@ -16,9 +16,9 @@ MONOMI is first launched".
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
-from repro.common.ledger import DiskModel, NetworkModel
+from repro.common.ledger import NetworkModel
 from repro.core.encdata import CryptoProvider
 from repro.core.plan import ClientRelation, DecryptSpec, RemoteRelation, SplitPlan
 from repro.engine.catalog import Database
@@ -68,8 +68,6 @@ class DecryptionProfiler:
         key = id(provider)
         if key in cls._cache:
             return cls._cache[key]
-        import datetime
-
         det_int_cts = [provider.det_encrypt(i * 7919) for i in range(batch)]
         det_text_cts = [provider.det_encrypt(f"value-{i:06d}") for i in range(batch)]
         ope_cts = [provider.ope_encrypt(i * 104729 % 100000) for i in range(batch)]

@@ -14,7 +14,7 @@ Figure 5 / Figure 6 experiments can enable them one at a time.
 from __future__ import annotations
 
 import hashlib
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 
 from repro.common.errors import DesignError
 from repro.core.schemes import Scheme

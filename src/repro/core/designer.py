@@ -36,7 +36,6 @@ from repro.core.design import (
     HomGroup,
     PhysicalDesign,
     TechniqueFlags,
-    normalize_expr,
 )
 from repro.core.encdata import CryptoProvider
 from repro.core.encset import EncSetExtractor, Pair, Unit

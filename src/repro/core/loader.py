@@ -131,7 +131,9 @@ class EncryptedLoader:
         # Columnar load: evaluate each design expression over the whole
         # table (compiled once), encrypt the resulting plaintext column
         # through the batch crypto APIs (one scheme dispatch per column),
-        # then transpose back and bulk-insert the encrypted rows.
+        # then transpose back and bulk-insert the encrypted rows.  With
+        # CryptoProvider(workers=N) each column batch shards across the
+        # provider's process pool, so load time scales with cores.
         enc_columns: list[list] = []
         for entry, expr in zip(entries, exprs):
             fn = compile_expr(expr, scope, ctx)

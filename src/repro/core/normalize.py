@@ -18,7 +18,6 @@ import datetime
 from dataclasses import replace
 
 from repro.common.errors import PlanningError
-from repro.engine.eval import EvalContext, evaluate
 from repro.sql import ast
 
 

@@ -28,17 +28,39 @@ Two execution modes share this machinery:
   at the root).  Both modes return identical rows and identical ledger
   byte counts — the streaming equivalence tests assert this.
 
+Multicore pipeline
+------------------
+Two knobs overlap the split plan's halves across cores:
+
+* ``partitions`` (default from ``MONOMI_PARTITIONS``) asks the server
+  backend for a partition-parallel scan whenever the server query is
+  itself streamable; blocking server queries run unpartitioned on the
+  native backends, and raise
+  :class:`~repro.common.errors.ConfigError` on backends without native
+  streaming rather than silently changing mode.
+* ``prefetch_blocks`` (default from ``MONOMI_PREFETCH``, 2) runs server
+  block production on a producer thread feeding a bounded queue, so the
+  server scans block *k+1* while the client decrypts block *k* — the
+  two sides pipeline instead of alternating.  The ledger is only ever
+  mutated from the consuming side (the producer reports its measured
+  seconds alongside each block), so byte counts and row order stay
+  byte-identical to the unprefetched stream.
+
 The returned :class:`~repro.common.ledger.CostLedger` carries the paper's
 three cost components (§6.4) for every benchmark to aggregate.
 """
 
 from __future__ import annotations
 
+import os
+import queue as queue_mod
+import threading
 import time
 from typing import Iterator
 
-from repro.common.errors import ExecutionError
+from repro.common.errors import ConfigError, ExecutionError
 from repro.common.ledger import CostLedger, DiskModel, NetworkModel
+from repro.common.parallel import PARTITIONS_ENV, queue_put_bounded, resolve_workers
 from repro.core.encdata import CryptoProvider
 from repro.core.plan import ClientRelation, DecryptSpec, RemoteRelation, SplitPlan
 from repro.engine.aggregates import HomAggResult
@@ -52,8 +74,30 @@ from repro.engine.rowblock import (
     result_header_bytes,
 )
 from repro.engine.schema import ColumnDef, TableSchema
-from repro.server.backend import ServerBackend, as_backend
+from repro.server.backend import ServerBackend, as_backend, supports_partitions
 from repro.sql import ast
+
+PREFETCH_ENV = "MONOMI_PREFETCH"
+DEFAULT_PREFETCH_BLOCKS = 2
+
+
+def _resolve_prefetch(prefetch_blocks: int | None) -> int:
+    """Queue depth for the server→client pipeline; 0 disables it."""
+    if prefetch_blocks is None:
+        raw = os.environ.get(PREFETCH_ENV)
+        if raw is None:
+            return DEFAULT_PREFETCH_BLOCKS
+        try:
+            prefetch_blocks = int(raw)
+        except ValueError:
+            raise ConfigError(
+                f"{PREFETCH_ENV} must be an integer, got {raw!r}"
+            ) from None
+    if prefetch_blocks < 0:
+        raise ConfigError(
+            f"prefetch_blocks must be >= 0, got {prefetch_blocks}"
+        )
+    return prefetch_blocks
 
 _TYPE_MAP = {
     "int": "int",
@@ -105,6 +149,8 @@ class PlanExecutor:
         disk: DiskModel | None = None,
         streaming: bool = True,
         block_rows: int = DEFAULT_BLOCK_ROWS,
+        partitions: int | None = None,
+        prefetch_blocks: int | None = None,
     ) -> None:
         self.backend = as_backend(server)
         self.provider = provider
@@ -112,6 +158,22 @@ class PlanExecutor:
         self.disk = disk or DiskModel()
         self.streaming = streaming
         self.block_rows = block_rows
+        self.partitions = resolve_workers(partitions, env_name=PARTITIONS_ENV)
+        self.prefetch_blocks = _resolve_prefetch(prefetch_blocks)
+        if not streaming and self.partitions > 1:
+            if partitions is not None:
+                # An explicit contradiction fails loudly: the caller asked
+                # for partition-parallel scans AND the materializing mode.
+                raise ConfigError(
+                    f"partition-parallel scans (partitions={partitions}) "
+                    "require streaming execution; streaming=False (or "
+                    "MONOMI_STREAMING=0) contradicts the request — drop "
+                    "one of the two settings"
+                )
+            # MONOMI_PARTITIONS expresses a preference for the streaming
+            # path; a deliberately materializing executor has no scan to
+            # partition, so the env default simply does not apply here.
+            self.partitions = 1
 
     # -- public ---------------------------------------------------------------
 
@@ -238,10 +300,28 @@ class PlanExecutor:
     ) -> Iterator[RowBlock]:
         """Server scan → network → per-block decrypt → per-block unnest."""
         specs = relation.specs
+        partitions = self.partitions
+        if partitions > 1 and not supports_partitions(self.backend):
+            # An override written against the pre-partition contract:
+            # run it unpartitioned rather than pass an unknown kwarg.
+            partitions = 1
+        # Blocking server queries need no pre-check here: the native
+        # backends fall back to their serial streaming path internally,
+        # and a backend without native streaming raises ConfigError from
+        # the base execute_stream — the policy lives in one place.
         with ledger.timing_server():
-            stream = self.backend.execute_stream(
-                relation.query, params=server_params, block_rows=block_rows
-            )
+            if partitions > 1:
+                stream = self.backend.execute_stream(
+                    relation.query,
+                    params=server_params,
+                    block_rows=block_rows,
+                    partitions=partitions,
+                )
+            else:
+                # Third-party backends may predate the partitions kwarg.
+                stream = self.backend.execute_stream(
+                    relation.query, params=server_params, block_rows=block_rows
+                )
         if len(specs) != len(stream.columns):
             raise ExecutionError(
                 f"decrypt spec count {len(specs)} != result columns "
@@ -251,13 +331,12 @@ class PlanExecutor:
         ledger.add_block_transfer(
             result_header_bytes(stream.columns), self.network
         )
-        blocks = iter(stream)
+        if self.prefetch_blocks > 0:
+            produced = self._prefetched_blocks(stream, ledger)
+        else:
+            produced = self._sequential_blocks(stream, ledger)
         try:
-            while True:
-                with ledger.timing_server():
-                    block = next(blocks, None)
-                if block is None:
-                    break
+            for block in produced:
                 ledger.add_block_transfer(block.payload_bytes(), self.network)
                 with ledger.timing_client():
                     out = RowBlock(
@@ -271,10 +350,88 @@ class PlanExecutor:
             # Runs on exhaustion AND on early termination (residual LIMIT):
             # scan accounting is static, so the full footprint is charged
             # either way — identical to the materializing path.
-            stream.close()
+            produced.close()
             scanned = stream.stats.bytes_scanned
             ledger.server_bytes_scanned += scanned
             ledger.server_seconds += self.disk.read_seconds(scanned)
+
+    def _sequential_blocks(
+        self, stream: BlockStream, ledger: CostLedger
+    ) -> Iterator[RowBlock]:
+        """Alternating mode: pull each server block inline, then decrypt."""
+        blocks = iter(stream)
+        try:
+            while True:
+                with ledger.timing_server():
+                    block = next(blocks, None)
+                if block is None:
+                    return
+                yield block
+        finally:
+            stream.close()
+
+    def _prefetched_blocks(
+        self, stream: BlockStream, ledger: CostLedger
+    ) -> Iterator[RowBlock]:
+        """Pipelined mode: a producer thread pulls server blocks into a
+        bounded queue while the consumer decrypts.
+
+        The producer never touches the ledger — it measures the seconds
+        each ``next()`` took and ships them alongside the block, and the
+        consumer folds them in.  Ledger byte counts are therefore
+        identical to :meth:`_sequential_blocks`; only wall-clock overlap
+        differs.  The queue bound keeps peak memory at
+        O(prefetch x block) when the server outruns the client.
+
+        The producer owns the stream: only it iterates the underlying
+        generator, and its ``finally`` closes it (finalizing scan stats)
+        — so an early consumer exit never calls ``close()`` on a
+        generator that is mid-execution in another thread.  The consumer
+        joins the producer before reading the stream's stats; the join is
+        bounded by one block's production, since a stopped producer gives
+        up its pending queue put and exits.
+        """
+        out: queue_mod.Queue = queue_mod.Queue(maxsize=self.prefetch_blocks)
+        stop = threading.Event()
+
+        def produce() -> None:
+            try:
+                blocks = iter(stream)
+                while not stop.is_set():
+                    start = time.perf_counter()
+                    try:
+                        block = next(blocks, None)
+                    except Exception as exc:  # Deliver engine errors in-band.
+                        queue_put_bounded(out, ("error", exc, 0.0), stop)
+                        return
+                    elapsed = time.perf_counter() - start
+                    if block is None:
+                        queue_put_bounded(out, ("done", None, elapsed), stop)
+                        return
+                    if not queue_put_bounded(out, ("block", block, elapsed), stop):
+                        return
+            finally:
+                stream.close()
+
+        producer = threading.Thread(target=produce, daemon=True)
+        producer.start()
+        try:
+            while True:
+                kind, payload, elapsed = out.get()
+                ledger.server_seconds += elapsed
+                if kind == "done":
+                    return
+                if kind == "error":
+                    raise payload
+                yield payload
+        finally:
+            stop.set()
+            while True:
+                try:
+                    out.get_nowait()
+                except queue_mod.Empty:
+                    break
+            producer.join()
 
     # -- internals ----------------------------------------------------------------
 
@@ -313,7 +470,9 @@ class PlanExecutor:
         client_db = Database("client_tmp")
         for relation in plan.relations:
             if isinstance(relation, RemoteRelation):
-                columns, rows = self._materialize_remote(relation, server_params, ledger)
+                columns, rows = self._materialize_remote(
+                    relation, server_params, ledger
+                )
             elif isinstance(relation, ClientRelation):
                 inner = self._run(relation.plan, ledger)
                 columns, rows = list(inner.columns), inner.rows

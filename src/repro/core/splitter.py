@@ -30,7 +30,7 @@ from dataclasses import replace
 from typing import Callable
 
 from repro.common.errors import PlanningError, UnsupportedQueryError
-from repro.core.design import PhysicalDesign, enc_column_name, normalize_expr
+from repro.core.design import PhysicalDesign, normalize_expr
 from repro.core.design import TechniqueFlags
 from repro.core.encdata import CryptoProvider
 from repro.core.loader import ROW_ID_COLUMN
@@ -42,7 +42,6 @@ from repro.core.plan import (
     SubPlan,
 )
 from repro.core.rewrite import BindingContext, ServerRewriter, strip_qualifiers
-from repro.core.schemes import Scheme
 from repro.core.typing import infer_type
 from repro.engine.schema import TableSchema
 from repro.sql import ast, to_sql

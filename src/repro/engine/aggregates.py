@@ -22,7 +22,7 @@ installs on the unmodified DBMS:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.common.errors import ExecutionError
 from repro.storage.ciphertext_store import CiphertextStore

@@ -30,7 +30,7 @@ I/O bound (§5.2), and our cost ledger mirrors that.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.common.errors import ExecutionError
 from repro.engine.aggregates import make_aggregate

@@ -95,6 +95,36 @@ def blocks_from_rows(
         yield RowBlock.from_rows(rows[start : start + block_rows], width)
 
 
+def rechunk_rows(
+    row_lists: Iterable[list],
+    width: int,
+    block_rows: int = DEFAULT_BLOCK_ROWS,
+    stats=None,
+) -> Iterator[RowBlock]:
+    """Merge ordered row-list chunks into blocks of exactly ``block_rows``
+    (except the last) — the partition-parallel merge point.
+
+    Chunks arrive in partition order and rows concatenate as-is, so the
+    output row order and block boundaries match a serial scan of the same
+    rows.  When ``stats`` is given, ``rows_output`` accrues per emitted
+    block (both partitioned backends share these semantics by sharing
+    this function).
+    """
+    buffer: list[tuple] = []
+    for rows in row_lists:
+        buffer.extend(rows)
+        while len(buffer) >= block_rows:
+            head = buffer[:block_rows]
+            del buffer[:block_rows]
+            if stats is not None:
+                stats.rows_output += len(head)
+            yield RowBlock.from_rows(head, width)
+    if buffer:
+        if stats is not None:
+            stats.rows_output += len(buffer)
+        yield RowBlock.from_rows(buffer, width)
+
+
 class BlockStream:
     """An iterable of :class:`RowBlock` plus result metadata.
 

@@ -1,0 +1,42 @@
+"""Partition-scan workers: one streamable scan slice per process.
+
+The in-memory backend's partition-parallel mode ships each worker one
+contiguous slice of a table's (encrypted) rows plus the server query, and
+the worker runs the ordinary relational engine over just that slice —
+scan → filter → project, exactly the operator set
+:func:`~repro.engine.executor.is_streamable` admits, so a slice's output
+is precisely the serial output restricted to the slice's rows.
+Concatenating slice results in slice order therefore reproduces the
+serial scan order — re-merge is list concatenation, no sort needed.
+
+Everything here is module-scope so the process pool can pickle the worker
+function by reference under any start method.  Payloads carry only
+ciphertexts and the query AST: partition workers run on the *untrusted*
+server side of the seam and hold no keys.
+"""
+
+from __future__ import annotations
+
+from repro.engine.catalog import Database
+from repro.engine.executor import Executor
+from repro.engine.schema import ColumnDef, TableSchema
+
+
+def scan_partition(payload: tuple) -> list[tuple]:
+    """Run one streamable query over one slice of a table's rows.
+
+    ``payload`` is ``(table_name, column_names, rows, query, params)``;
+    returns the projected result rows for the slice.  Scan-byte
+    accounting happens in the parent (it charges the full heap once,
+    identical to the serial scan), so the worker's stats are discarded.
+    """
+    table_name, column_names, rows, query, params = payload
+    db = Database("partition")
+    schema = TableSchema(
+        name=table_name,
+        columns=tuple(ColumnDef(name, "any") for name in column_names),
+    )
+    table = db.create_table(schema)
+    table.rows = rows  # Slice of already-validated server rows.
+    executor = Executor(db)
+    return executor.execute(query, params=params).rows

@@ -14,7 +14,7 @@ than mutating, so plans can share subtrees safely.
 from __future__ import annotations
 
 import datetime
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Iterator, Sequence, Union
 
 # ---------------------------------------------------------------------------

@@ -6,7 +6,7 @@ import datetime
 
 import pytest
 
-from repro.common.errors import DomainError, InfeasibleDesignError
+from repro.common.errors import DomainError
 from repro.core import (
     CryptoProvider,
     EncEntry,

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import datetime
 
 import pytest
 
@@ -159,7 +158,7 @@ class TestCostEstimator:
     def test_plan_cost_components(self, db):
         provider = CryptoProvider(MASTER_KEY, paillier_bits=384)
         model = MonomiCostModel(db, provider)
-        from repro.core import PhysicalDesign, Scheme, generate_query_plan
+        from repro.core import Scheme, generate_query_plan
         from repro.core.candidates import base_design_for_plain
 
         design = base_design_for_plain(db)

@@ -17,7 +17,7 @@ from repro.core.candidates import base_design_for_plain
 from repro.core.designer import Designer
 from repro.core.sizer import DesignSizer
 from repro.engine import Executor
-from repro.sql import ast, parse
+from repro.sql import parse
 
 
 @pytest.fixture(scope="module")

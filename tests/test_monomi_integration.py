@@ -13,9 +13,8 @@ from hypothesis import strategies as st
 
 from repro.testkit import SALES_WORKLOAD, canonical
 from repro.common.errors import UnsupportedQueryError
-from repro.core import Scheme, normalize_query
-from repro.core.plan import RemoteRelation
-from repro.sql import parse, to_sql
+from repro.core import normalize_query
+from repro.sql import parse
 
 EXTRA_QUERIES = [
     # Correlated IN-subquery pushed to the server (per-outer-row

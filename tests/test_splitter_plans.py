@@ -20,7 +20,7 @@ from repro.core import (
     normalize_query,
 )
 from repro.core.candidates import base_design_for_plain
-from repro.core.plan import RemoteRelation, SubPlan
+from repro.core.plan import RemoteRelation
 from repro.sql import parse, to_sql
 
 

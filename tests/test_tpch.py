@@ -3,7 +3,6 @@ plaintext-vs-encrypted equivalence spot check at a tiny scale."""
 
 from __future__ import annotations
 
-import datetime
 
 import pytest
 
