@@ -111,6 +111,10 @@ class WorkerPool:
         self._executor: ProcessPoolExecutor | None = None
         self._failed = False
         self._local_initialized = False
+        # Concurrent service sessions share one pool: creation must not
+        # race two executors into existence (the loser would leak worker
+        # processes for the owner's lifetime).
+        self._create_lock = threading.Lock()
 
     @property
     def parallel(self) -> bool:
@@ -121,16 +125,19 @@ class WorkerPool:
         if self.workers <= 1 or self._failed:
             return None
         if self._executor is None:
-            try:
-                self._executor = ProcessPoolExecutor(
-                    max_workers=self.workers,
-                    initializer=self._initializer,
-                    initargs=self._initargs,
-                )
-            except (OSError, ValueError):
-                # No semaphores / no fork: remember and degrade to serial.
-                self._failed = True
-                return None
+            with self._create_lock:
+                if self._executor is not None or self._failed:
+                    return self._executor
+                try:
+                    self._executor = ProcessPoolExecutor(
+                        max_workers=self.workers,
+                        initializer=self._initializer,
+                        initargs=self._initargs,
+                    )
+                except (OSError, ValueError):
+                    # No semaphores / no fork: remember, degrade to serial.
+                    self._failed = True
+                    return None
         return self._executor
 
     def _ensure_local_init(self) -> None:

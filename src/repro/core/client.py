@@ -19,16 +19,18 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass
-from typing import Iterator
+from typing import TYPE_CHECKING, Iterator
 
-from repro.common.errors import UnsupportedQueryError
+if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
+    from repro.service import MonomiService
+
 from repro.common.ledger import CostLedger, DiskModel, NetworkModel
 from repro.core.cost import MonomiCostModel
 from repro.core.design import PhysicalDesign, TechniqueFlags
 from repro.core.designer import Designer, DesignResult
 from repro.core.encdata import CryptoProvider
 from repro.core.loader import EncryptedLoader
-from repro.core.normalize import has_multi_pattern_like, normalize_query
+from repro.core.normalize import normalize_for_execution, normalize_query
 from repro.core.pexec import PlanExecutor, PlanStream
 from repro.core.planner import PlannedQuery, Planner
 from repro.engine.catalog import Database
@@ -262,12 +264,7 @@ class MonomiClient:
     def execute(
         self, sql: str | ast.Select, params: dict[str, object] | None = None
     ) -> QueryOutcome:
-        query = parse(sql) if isinstance(sql, str) else sql
-        query = normalize_query(query, params)
-        if has_multi_pattern_like(query):
-            raise UnsupportedQueryError(
-                "multi-pattern LIKE is not supported (paper §7)"
-            )
+        query = normalize_for_execution(sql, params)
         planned = self.planner.plan(query)
         result, ledger = self.executor.execute(planned.plan)
         return QueryOutcome(result, ledger, planned)
@@ -287,12 +284,7 @@ class MonomiClient:
         Other plans materialize internally and re-block.  ``execute()``
         remains the drain-everything wrapper around this path.
         """
-        query = parse(sql) if isinstance(sql, str) else sql
-        query = normalize_query(query, params)
-        if has_multi_pattern_like(query):
-            raise UnsupportedQueryError(
-                "multi-pattern LIKE is not supported (paper §7)"
-            )
+        query = normalize_for_execution(sql, params)
         planned = self.planner.plan(query)
         stream = self.executor.execute_iter(planned.plan, block_rows=block_rows)
         return QueryStream(stream, planned)
@@ -311,6 +303,25 @@ class MonomiClient:
             f"{planned.candidates_tried} candidate plans"
         )
         return header + "\n" + planned.plan.explain()
+
+    # -- concurrent service ------------------------------------------------------
+
+    def service(
+        self, workers: int = 4, plan_cache_size: int = 128
+    ) -> "MonomiService":
+        """A concurrent query service over this client's database.
+
+        Serves N sessions at once on a worker thread pool: per-worker
+        backend connections, per-session cost ledgers, an LRU plan cache
+        keyed on ⟨normalized SQL, design fingerprint⟩, and a
+        prepared-statement API.  Single-session code keeps using
+        :meth:`execute` unchanged.  See :class:`repro.service.MonomiService`.
+        """
+        from repro.service import MonomiService
+
+        return MonomiService(
+            self, workers=workers, plan_cache_size=plan_cache_size
+        )
 
     # -- reporting --------------------------------------------------------------------
 

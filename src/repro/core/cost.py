@@ -15,6 +15,7 @@ MONOMI is first launched".
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass
 
@@ -59,15 +60,33 @@ class DecryptionProfile:
 
 
 class DecryptionProfiler:
-    """Times each scheme's decryption on a small batch (done once)."""
+    """Times each scheme's decryption on a small batch (done once).
 
-    _cache: dict[int, DecryptionProfile] = {}
+    The profile is stored on the provider instance itself (not a registry
+    keyed by ``id()``, which a garbage-collected provider's address could
+    alias), and profiling is serialized by a lock: concurrent service
+    sessions constructing cost models against one shared provider must
+    neither profile twice nor time decryptions while another thread's
+    profiling run competes for the CPU and skews the numbers.
+    """
+
+    _lock = threading.Lock()
 
     @classmethod
     def profile(cls, provider: CryptoProvider, batch: int = 24) -> DecryptionProfile:
-        key = id(provider)
-        if key in cls._cache:
-            return cls._cache[key]
+        cached = getattr(provider, "_decryption_profile", None)
+        if cached is not None:
+            return cached
+        with cls._lock:
+            cached = getattr(provider, "_decryption_profile", None)
+            if cached is not None:
+                return cached
+            profile = cls._measure(provider, batch)
+            provider._decryption_profile = profile
+            return profile
+
+    @classmethod
+    def _measure(cls, provider: CryptoProvider, batch: int) -> DecryptionProfile:
         det_int_cts = [provider.det_encrypt(i * 7919) for i in range(batch)]
         det_text_cts = [provider.det_encrypt(f"value-{i:06d}") for i in range(batch)]
         ope_cts = [provider.ope_encrypt(i * 104729 % 100000) for i in range(batch)]
@@ -88,7 +107,7 @@ class DecryptionProfiler:
                 acc = pub.add(acc, c)
         hom_mul = (time.perf_counter() - start) / (64 * len(hom_cts))
 
-        profile = DecryptionProfile(
+        return DecryptionProfile(
             det_int=timed(lambda c: provider.det_decrypt(c, "int"), det_int_cts),
             det_text=timed(lambda c: provider.det_decrypt(c, "text"), det_text_cts),
             ope=timed(lambda c: provider.ope_decrypt(c, "int"), ope_cts),
@@ -96,8 +115,6 @@ class DecryptionProfiler:
             paillier=timed(provider.paillier_private.decrypt, hom_cts),
             hom_multiply=hom_mul,
         )
-        cls._cache[key] = profile
-        return profile
 
 
 @dataclass

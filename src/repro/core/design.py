@@ -176,6 +176,26 @@ class PhysicalDesign:
     def tables(self) -> list[str]:
         return sorted({e.table for e in self.entries})
 
+    def fingerprint(self) -> str:
+        """Stable digest of the design's content, for plan-cache keying.
+
+        Two designs with the same ⟨table, expression, scheme⟩ entries and
+        the same homomorphic groups produce the same fingerprint
+        regardless of construction order; any entry added or removed
+        changes it.  The service layer keys its plan cache on
+        ⟨normalized SQL, design fingerprint⟩ so cached plans can never
+        outlive the physical design they were planned against.
+        """
+        entries = sorted(
+            (e.table, e.expr_sql, e.scheme.value) for e in self.entries
+        )
+        groups = sorted(
+            (g.table, g.expr_sqls, g.rows_per_ciphertext)
+            for g in self.hom_groups
+        )
+        payload = repr((entries, groups)).encode()
+        return hashlib.sha1(payload).hexdigest()[:16]
+
     def copy(self) -> "PhysicalDesign":
         return PhysicalDesign(set(self.entries), list(self.hom_groups))
 

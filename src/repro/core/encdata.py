@@ -50,6 +50,7 @@ for scalar calls and sub-threshold batches.
 from __future__ import annotations
 
 import datetime
+import threading
 from collections import OrderedDict
 from typing import Sequence
 
@@ -95,7 +96,17 @@ PAILLIER_MIN_BATCH = 8
 
 
 class LRUCache:
-    """Minimal bounded LRU used for the DET/OPE memoization caches."""
+    """Minimal bounded LRU used for the DET/OPE memoization caches.
+
+    Lock-free but thread-tolerant: every operation is a single atomic
+    dict/OrderedDict call under the GIL, and the two places a concurrent
+    eviction can invalidate a key between calls (``move_to_end`` after a
+    hit, ``popitem`` after an insert) tolerate the ``KeyError`` instead of
+    locking the hot path.  Recency order may be slightly stale under
+    contention; cached *values* are deterministic encryptions, so a racy
+    double-compute returns the identical ciphertext either way — exactly
+    the property the concurrent service layer relies on.
+    """
 
     __slots__ = ("_data", "_capacity")
 
@@ -109,15 +120,24 @@ class LRUCache:
         data = self._data
         value = data.get(key)
         if value is not None:
-            data.move_to_end(key)
+            try:
+                data.move_to_end(key)
+            except KeyError:  # Evicted by a concurrent put.
+                pass
         return value
 
     def put(self, key: object, value: object) -> None:
         data = self._data
         data[key] = value
-        data.move_to_end(key)
-        if len(data) > self._capacity:
-            data.popitem(last=False)
+        try:
+            data.move_to_end(key)
+        except KeyError:  # Evicted by a concurrent put.
+            pass
+        while len(data) > self._capacity:
+            try:
+                data.popitem(last=False)
+            except KeyError:  # Another thread already evicted.
+                break
 
     def __len__(self) -> int:
         return len(self._data)
@@ -156,6 +176,7 @@ class CryptoProvider:
         self.ope_expansion_bits = ope_expansion_bits
         self.workers = resolve_workers(workers)
         self._pool: WorkerPool | None = None
+        self._pool_lock = threading.Lock()
         # Sharding threshold for the symmetric schemes; tests lower it to
         # force pool traffic on small fixtures.  Paillier uses the fixed
         # PAILLIER_MIN_BATCH (per-value cost dwarfs the dispatch).
@@ -212,18 +233,22 @@ class CryptoProvider:
     # -- worker pool -------------------------------------------------------------
 
     def _ensure_pool(self) -> WorkerPool:
+        # Double-checked under a lock: concurrent service sessions sharing
+        # one provider must not race two process pools into existence.
         if self._pool is None:
-            self._pool = WorkerPool(
-                self.workers,
-                initializer=cryptoworker.init_worker,
-                initargs=(
-                    self.master_key,
-                    self.paillier_bits,
-                    self.ope_expansion_bits,
-                    self.cache_size,
-                    (self.paillier_public, self.paillier_private),
-                ),
-            )
+            with self._pool_lock:
+                if self._pool is None:
+                    self._pool = WorkerPool(
+                        self.workers,
+                        initializer=cryptoworker.init_worker,
+                        initargs=(
+                            self.master_key,
+                            self.paillier_bits,
+                            self.ope_expansion_bits,
+                            self.cache_size,
+                            (self.paillier_public, self.paillier_private),
+                        ),
+                    )
         return self._pool
 
     def _sharded(
@@ -263,11 +288,20 @@ class CryptoProvider:
             self._pool.close()
 
     def __getstate__(self) -> dict:
-        """Pickle without live pool handles; both re-create lazily."""
+        """Pickle without live pool handles (both re-create lazily) and
+        without the unpicklable pool-creation lock."""
         state = self.__dict__.copy()
         state["_pool"] = None
         state["_paillier_pool"] = None
+        state.pop("_pool_lock", None)
+        # The decryption profile is host-specific timing; a shipped clone
+        # re-profiles on its own host.
+        state.pop("_decryption_profile", None)
         return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._pool_lock = threading.Lock()
 
     # -- DET ---------------------------------------------------------------------
 

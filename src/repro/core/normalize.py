@@ -17,8 +17,26 @@ from __future__ import annotations
 import datetime
 from dataclasses import replace
 
-from repro.common.errors import PlanningError
-from repro.sql import ast
+from repro.common.errors import PlanningError, UnsupportedQueryError
+from repro.sql import ast, parse
+
+
+def normalize_for_execution(
+    sql: "str | ast.Select", params: dict[str, object] | None = None
+) -> ast.Select:
+    """Parse (if text), normalize, and reject unsupported shapes.
+
+    The one entry gate shared by every execution path — ``MonomiClient``
+    and the service layer — so the normalization rules and the paper-§7
+    multi-pattern-LIKE rejection live in exactly one place.
+    """
+    query = parse(sql) if isinstance(sql, str) else sql
+    query = normalize_query(query, params)
+    if has_multi_pattern_like(query):
+        raise UnsupportedQueryError(
+            "multi-pattern LIKE is not supported (paper §7)"
+        )
+    return query
 
 
 def normalize_query(query: ast.Select, params: dict[str, object] | None = None) -> ast.Select:

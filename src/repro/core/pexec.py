@@ -177,6 +177,28 @@ class PlanExecutor:
 
     # -- public ---------------------------------------------------------------
 
+    def clone_with_backend(self, backend: ServerBackend) -> "PlanExecutor":
+        """An executor with identical settings over a different backend.
+
+        The service layer builds one executor per worker thread, each
+        bound to that worker's backend view: provider, network/disk
+        models, and streaming mode carry over, while per-query server
+        state stays worker-private.  Partition-parallel scans are not
+        carried over — the service's parallelism axis is concurrent
+        queries, and stacking per-query partition fan-out on top of a
+        loaded worker pool oversubscribes the cores it is trying to use.
+        """
+        return PlanExecutor(
+            backend,
+            self.provider,
+            self.network,
+            self.disk,
+            streaming=self.streaming,
+            block_rows=self.block_rows,
+            partitions=1,
+            prefetch_blocks=self.prefetch_blocks,
+        )
+
     def execute(self, plan: SplitPlan) -> tuple[ResultSet, CostLedger]:
         if self.streaming:
             stream = self.execute_iter(plan)

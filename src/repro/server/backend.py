@@ -25,6 +25,7 @@ output backend-independent.
 from __future__ import annotations
 
 import inspect
+import threading
 from abc import ABC, abstractmethod
 from typing import Iterable
 
@@ -134,6 +135,134 @@ class ServerBackend(ABC):
                 f"(partitions={partitions}) but the query's root operator "
                 "blocks (grouping/ordering/joins/aggregation); run with "
                 "partitions=1 or use a streaming-capable backend"
+            )
+        result = self.execute(query, params=params)
+        blocks = blocks_from_rows(result.rows, len(result.columns), block_rows)
+        return BlockStream(result.columns, blocks, self.last_stats)
+
+    # -- concurrent service access -------------------------------------------
+
+    def worker_view(self) -> "ServerBackend":
+        """A view of this backend one service worker thread may own.
+
+        The service layer (:mod:`repro.service`) runs N sessions'
+        queries on a thread pool over one shared backend; per-query state
+        (``last_stats``, cursors) must not be shared between workers.
+        This base implementation returns a :class:`LockScopedView`: every
+        query runs under one backend-wide lock, so execution over the
+        shared engine is serialized while each view keeps its own stats —
+        correct for *any* backend, at the price of no server-side
+        overlap.  Backends with per-connection isolation (SQLite over a
+        shared-cache database) override this to return views that execute
+        genuinely concurrently.
+
+        Views share the parent's storage: tables loaded through any view
+        or through the parent are visible to all.
+        """
+        with _VIEW_LOCK_GUARD:
+            lock = getattr(self, "_worker_view_lock", None)
+            if lock is None:
+                lock = threading.Lock()
+                self._worker_view_lock = lock
+        return LockScopedView(self, lock)
+
+
+#: Guards lazy creation of a backend's shared worker-view lock (the lock
+#: attribute itself must not be racily created twice).
+_VIEW_LOCK_GUARD = threading.Lock()
+
+
+class DelegatingView(ServerBackend):
+    """Shared worker-view plumbing: everything but execution delegates.
+
+    Loading and introspection pass through to the parent backend (views
+    share its storage; the loader runs before the service serves), and
+    each view owns its ``last_stats``.  Subclasses define how queries
+    execute — that is the only thing worker views differ in.
+    """
+
+    def __init__(self, parent: ServerBackend) -> None:
+        self._parent = parent
+        self.last_stats = ExecStats()
+
+    @property
+    def kind(self) -> str:  # type: ignore[override]
+        return self._parent.kind
+
+    @property
+    def ciphertext_store(self) -> CiphertextStore:  # type: ignore[override]
+        return self._parent.ciphertext_store
+
+    def worker_view(self) -> ServerBackend:
+        return self._parent.worker_view()
+
+    def create_table(self, schema: TableSchema) -> None:
+        self._parent.create_table(schema)
+
+    def insert_rows(self, table_name: str, rows: Iterable[tuple]) -> None:
+        self._parent.insert_rows(table_name, rows)
+
+    def add_ciphertext_file(self, file: CiphertextFile) -> None:
+        self._parent.add_ciphertext_file(file)
+
+    def table_names(self) -> list[str]:
+        return self._parent.table_names()
+
+    def table_bytes(self, table_name: str) -> int:
+        return self._parent.table_bytes(table_name)
+
+
+class LockScopedView(DelegatingView):
+    """Serializing worker view: one lock scopes every query on the parent.
+
+    Each view carries its own ``last_stats`` (the parent's per-query
+    mutable state is captured under the lock before another worker can
+    overwrite it), so concurrent sessions read back exactly the stats of
+    their own queries.  Streamed queries materialize under the lock and
+    re-block — holding the backend lock for as long as a consumer cares
+    to keep a cursor open would let one slow session starve every other.
+    """
+
+    def __init__(self, parent: ServerBackend, lock: threading.Lock) -> None:
+        super().__init__(parent)
+        self._lock = lock
+
+    # Writes lock too: the in-memory engine mutates shared row lists, so
+    # a load overlapping an in-flight view query must serialize.
+
+    def create_table(self, schema: TableSchema) -> None:
+        with self._lock:
+            self._parent.create_table(schema)
+
+    def insert_rows(self, table_name: str, rows: Iterable[tuple]) -> None:
+        with self._lock:
+            self._parent.insert_rows(table_name, rows)
+
+    def add_ciphertext_file(self, file: CiphertextFile) -> None:
+        with self._lock:
+            self._parent.add_ciphertext_file(file)
+
+    def execute(
+        self, query: ast.Select, params: dict[str, object] | None = None
+    ) -> ResultSet:
+        with self._lock:
+            result = self._parent.execute(query, params=params)
+            self.last_stats = self._parent.last_stats
+        return result
+
+    def execute_stream(
+        self,
+        query: ast.Select,
+        params: dict[str, object] | None = None,
+        block_rows: int = DEFAULT_BLOCK_ROWS,
+        partitions: int = 1,
+    ) -> BlockStream:
+        if partitions > 1 and not is_streamable(query):
+            raise ConfigError(
+                f"worker views of backend {self._parent.kind!r} serialize "
+                f"execution and cannot partition a blocking query "
+                f"(partitions={partitions}); run with partitions=1 or "
+                "execute on the parent backend directly"
             )
         result = self.execute(query, params=params)
         blocks = blocks_from_rows(result.rows, len(result.columns), block_rows)

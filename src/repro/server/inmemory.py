@@ -170,6 +170,21 @@ class InMemoryBackend(ServerBackend):
 
         return BlockStream(columns, blocks(), stats)
 
+    # -- concurrent service access ---------------------------------------------
+
+    def worker_view(self) -> ServerBackend:
+        """Lock-scoped executor access (the base :class:`LockScopedView`).
+
+        The in-process engine is single-threaded state — ``Executor``
+        mutates ``last_stats`` and walks shared list-of-tuples tables —
+        so service workers serialize on one backend-wide lock, each view
+        keeping its own per-query stats.  This is the documented
+        in-memory concurrency mode: correct under any interleaving, no
+        intra-server overlap (use the SQLite backend when concurrent
+        sessions should overlap inside the server itself).
+        """
+        return super().worker_view()
+
     def close(self) -> None:
         """Release the partition worker pool (if one was ever created)."""
         if self._partition_pool is not None:

@@ -52,10 +52,11 @@ from repro.engine.rowblock import (
     DEFAULT_BLOCK_ROWS,
     BlockStream,
     RowBlock,
+    blocks_from_rows,
     rechunk_rows,
 )
 from repro.engine.schema import TableSchema
-from repro.server.backend import ServerBackend
+from repro.server.backend import DelegatingView, ServerBackend
 from repro.sql import ast, to_sql
 from repro.storage.ciphertext_store import CiphertextStore
 from repro.storage.rowcodec import decode_value, encode_value, row_bytes
@@ -305,6 +306,39 @@ def _add_order_tiebreak(query: ast.Select) -> ast.Select:
     return replace(query, order_by=query.order_by + (tiebreak,))
 
 
+def _reads_ciphertext_store(query: ast.Select) -> bool:
+    """Does this query read packed-Paillier bytes (``hom_agg``) anywhere?
+
+    Such reads accrue on the backend-global ciphertext-store counter, so
+    queries that make them must hold the store lock for an exclusive
+    counter window; everything else (DET/OPE scans, ``grp``,
+    ``searchswp``) never touches the counter and runs fully concurrently
+    on per-worker connections.
+    """
+    found = False
+
+    def check(expr: ast.Expr) -> ast.Expr:
+        nonlocal found
+        if isinstance(expr, ast.FuncCall) and expr.name == "hom_agg":
+            found = True
+        for sub in ast.find_subqueries(expr):
+            if _reads_ciphertext_store(sub):
+                found = True
+        return expr
+
+    query.map_expressions(lambda e: ast.transform(e, check))
+    for ref in query.from_items:
+        if isinstance(ref, ast.SubqueryRef) and _reads_ciphertext_store(ref.query):
+            found = True
+        if isinstance(ref, ast.Join):
+            for side in (ref.left, ref.right):
+                if isinstance(side, ast.SubqueryRef) and _reads_ciphertext_store(
+                    side.query
+                ):
+                    found = True
+    return found
+
+
 def _grp_positions(query: ast.Select) -> frozenset[int]:
     """Output positions carrying ``grp()`` results (identity restoration)."""
     return frozenset(
@@ -362,6 +396,12 @@ class SQLiteBackend(ServerBackend):
     _CACHED_STATEMENTS = 256
     #: Blocks each partition worker may buffer ahead of the merge point.
     _PARTITION_QUEUE_BLOCKS = 4
+    #: How long any connection retries a locked database before erroring.
+    #: Shared-cache readers on per-worker connections can hit transient
+    #: lock states while another connection commits; a zero timeout turns
+    #: that into a spurious "database is locked" failure under the
+    #: concurrent service layer.
+    _BUSY_TIMEOUT_MS = 5000
 
     _memory_ids = itertools.count()
 
@@ -389,6 +429,11 @@ class SQLiteBackend(ServerBackend):
         else:
             self._connect_target = path
             self._connect_uri = False
+        # Serializes ciphertext-store reads (hom_agg) across connections:
+        # the store's bytes_read counter is backend-global, so queries
+        # that read packed ciphertexts take this lock for an exclusive
+        # accounting window while plain scans run fully concurrent.
+        self._store_lock = threading.Lock()
         # check_same_thread=False: the plan executor's prefetch pipeline
         # pulls stream cursors from a producer thread.  SQLite itself is
         # compiled serialized (sqlite3.threadsafety), and the executor
@@ -399,7 +444,21 @@ class SQLiteBackend(ServerBackend):
             cached_statements=self._CACHED_STATEMENTS,
             check_same_thread=False,
         )
-        self._register_udfs(self.connection)
+        self._configure_connection(self.connection)
+
+    def _configure_connection(
+        self, conn: sqlite3.Connection, reader: bool = False
+    ) -> None:
+        conn.execute(f"PRAGMA busy_timeout = {self._BUSY_TIMEOUT_MS}")
+        if reader:
+            # Shared-cache table locks are SQLITE_LOCKED, which the busy
+            # handler does *not* retry: a reader overlapping a writer's
+            # commit would fail with "database table is locked" no matter
+            # the timeout.  Worker connections are read-only by contract
+            # (all writes go through the parent), so skipping read locks
+            # is safe and makes readers immune to writer lock states.
+            conn.execute("PRAGMA read_uncommitted = 1")
+        self._register_udfs(conn)
 
     def _register_udfs(self, conn: sqlite3.Connection) -> None:
         store = self.ciphertext_store
@@ -410,14 +469,22 @@ class SQLiteBackend(ServerBackend):
         conn.create_aggregate("sum", 1, lambda: _SqliteSum(store))
 
     def _worker_connection(self) -> sqlite3.Connection:
-        """A per-worker read connection (partition-parallel scans).
+        """A per-worker read connection (partition scans, service views).
 
         Same database, own statement cache and cursor state; the UDF set
         is registered per connection because SQLite functions are
-        connection-scoped.
+        connection-scoped, and ``busy_timeout`` is set so shared-cache
+        lock contention retries instead of failing.
+        ``check_same_thread=False`` because a service worker's view is
+        also driven by the plan executor's prefetch producer thread.
         """
-        conn = sqlite3.connect(self._connect_target, uri=self._connect_uri)
-        self._register_udfs(conn)
+        conn = sqlite3.connect(
+            self._connect_target,
+            uri=self._connect_uri,
+            cached_statements=self._CACHED_STATEMENTS,
+            check_same_thread=False,
+        )
+        self._configure_connection(conn, reader=True)
         return conn
 
     # -- loading ------------------------------------------------------------
@@ -494,12 +561,48 @@ class SQLiteBackend(ServerBackend):
     def execute(
         self, query: ast.Select, params: dict[str, object] | None = None
     ) -> ResultSet:
-        self.last_stats = ExecStats()
+        result, stats = self._execute_on(self.connection, query, params)
+        self.last_stats = stats
+        return result
+
+    def _execute_on(
+        self,
+        conn: sqlite3.Connection,
+        query: ast.Select,
+        params: dict[str, object] | None,
+    ) -> tuple[ResultSet, ExecStats]:
+        """Run one query on ``conn``, returning its result and stats.
+
+        Queries that read the ciphertext store (``hom_agg``) run under
+        the backend's store lock so the global bytes-read window is
+        exclusively theirs; every other query skips both the lock and the
+        window, which is what lets per-worker connections execute
+        concurrently with exact per-query accounting.
+        """
         bound, sql_text, bind = self._prepare(query, params)
+        if _reads_ciphertext_store(bound):
+            with self._store_lock:
+                return self._run_bound(
+                    conn, query, bound, sql_text, bind, window_store=True
+                )
+        return self._run_bound(
+            conn, query, bound, sql_text, bind, window_store=False
+        )
+
+    def _run_bound(
+        self,
+        conn: sqlite3.Connection,
+        query: ast.Select,
+        bound: ast.Select,
+        sql_text: str,
+        bind: dict,
+        window_store: bool,
+    ) -> tuple[ResultSet, ExecStats]:
+        stats = ExecStats()
         store = self.ciphertext_store
-        read_start = store.bytes_read
+        read_start = store.bytes_read if window_store else 0
         try:
-            cursor = self.connection.execute(sql_text, bind)
+            cursor = conn.execute(sql_text, bind)
             raw_rows = cursor.fetchall()
         except sqlite3.Error as exc:
             raise ExecutionError(f"SQLite error: {exc} in {sql_text!r}") from exc
@@ -509,10 +612,11 @@ class SQLiteBackend(ServerBackend):
         rows = _restore_grp_identities(_grp_positions(bound), rows)
         columns = [item.output_name(i) for i, item in enumerate(query.items)]
         scanned = self._static_scan_bytes(bound)
-        scanned += store.bytes_read - read_start
-        self.last_stats.bytes_scanned = scanned
-        self.last_stats.rows_output = len(rows)
-        return ResultSet(columns, rows)
+        if window_store:
+            scanned += store.bytes_read - read_start
+        stats.bytes_scanned = scanned
+        stats.rows_output = len(rows)
+        return ResultSet(columns, rows), stats
 
     def execute_stream(
         self,
@@ -536,19 +640,49 @@ class SQLiteBackend(ServerBackend):
         change of parallelism, never of results.
         """
         if partitions > 1 and self._can_partition(query):
-            return self._execute_stream_partitioned(
+            stream = self._execute_stream_partitioned(
                 query, params, block_rows, partitions
             )
+            self.last_stats = stream.stats
+            return stream
+        if _reads_ciphertext_store(query):
+            # Same policy as the worker views: hom accounting needs an
+            # exclusive store-counter window, which a consumer-paced
+            # cursor cannot hold — materialize under the store lock
+            # (execute takes it) and re-block.  Hom queries are grouped
+            # aggregates, so their results are small either way.
+            result = self.execute(query, params=params)
+            blocks = blocks_from_rows(
+                result.rows, len(result.columns), block_rows
+            )
+            return BlockStream(result.columns, blocks, self.last_stats)
+        stream = self._stream_on(self.connection, query, params, block_rows)
+        self.last_stats = stream.stats
+        return stream
+
+    def _stream_on(
+        self,
+        conn: sqlite3.Connection,
+        query: ast.Select,
+        params: dict[str, object] | None,
+        block_rows: int,
+    ) -> BlockStream:
+        """Serial ``fetchmany`` streaming over an explicit connection.
+
+        Only store-free queries reach this path (hom_agg queries
+        materialize under the store lock in ``execute_stream``), so the
+        global bytes-read counter is never consulted here — concurrent
+        hom readers on other connections can never leak bytes into this
+        stream's accounting.
+        """
         stats = ExecStats()
-        self.last_stats = stats
         bound, sql_text, bind = self._prepare(query, params)
         store = self.ciphertext_store
-        read_start = store.bytes_read
         static_bytes = self._static_scan_bytes(bound)
         stats.bytes_scanned = static_bytes
         grp_positions = _grp_positions(bound)
         columns = [item.output_name(i) for i, item in enumerate(query.items)]
-        cursor = self.connection.cursor()
+        cursor = conn.cursor()
         cursor.arraysize = block_rows
         try:
             cursor.execute(sql_text, bind)
@@ -576,9 +710,6 @@ class SQLiteBackend(ServerBackend):
                     yield RowBlock.from_rows(rows, len(columns))
             finally:
                 cursor.close()
-                stats.bytes_scanned = static_bytes + (
-                    store.bytes_read - read_start
-                )
 
         return BlockStream(columns, blocks(), stats)
 
@@ -611,7 +742,6 @@ class SQLiteBackend(ServerBackend):
         never read ciphertext files.
         """
         stats = ExecStats()
-        self.last_stats = stats
         bound, _, bind = self._prepare(query, params)
         static_bytes = self._static_scan_bytes(bound)
         stats.bytes_scanned = static_bytes
@@ -717,6 +847,75 @@ class SQLiteBackend(ServerBackend):
                     thread.join(timeout=5.0)
 
         return BlockStream(columns, blocks(), stats)
+
+    # -- concurrent service access ---------------------------------------------
+
+    def worker_view(self) -> ServerBackend:
+        """A genuinely concurrent worker view: its own SQLite connection.
+
+        Every view opens a separate connection to the same database
+        (shared-cache URI for ``:memory:``, the path for files), so
+        service workers execute simultaneously inside SQLite itself.
+        Only queries that read the shared ciphertext store (``hom_agg``)
+        serialize, on the backend's store lock, because their byte
+        accounting windows a backend-global counter.
+        """
+        return _SQLiteWorkerView(self)
+
+    def close(self) -> None:
+        self.connection.close()
+
+
+class _SQLiteWorkerView(DelegatingView):
+    """One service worker's view of a :class:`SQLiteBackend`.
+
+    Shares the parent's schemas, logical heap sizes, and ciphertext store
+    (loading and introspection delegate via :class:`DelegatingView`);
+    owns a dedicated connection and its own ``last_stats``.
+    """
+
+    _parent: SQLiteBackend
+
+    def __init__(self, parent: SQLiteBackend) -> None:
+        super().__init__(parent)
+        self.connection = parent._worker_connection()
+
+    def execute(
+        self, query: ast.Select, params: dict[str, object] | None = None
+    ) -> ResultSet:
+        result, stats = self._parent._execute_on(self.connection, query, params)
+        self.last_stats = stats
+        return result
+
+    def execute_stream(
+        self,
+        query: ast.Select,
+        params: dict[str, object] | None = None,
+        block_rows: int = DEFAULT_BLOCK_ROWS,
+        partitions: int = 1,
+    ) -> BlockStream:
+        parent = self._parent
+        if partitions > 1 and parent._can_partition(query):
+            stream = parent._execute_stream_partitioned(
+                query, params, block_rows, partitions
+            )
+            self.last_stats = stream.stats
+            return stream
+        # IN-set inlining only injects literal lists — it can never add or
+        # remove a hom_agg call — so the raw query answers the check.
+        if _reads_ciphertext_store(query):
+            # Exact hom accounting needs an exclusive counter window for
+            # the whole execution, so materialize under the store lock
+            # (holding it for a consumer-paced stream would let one slow
+            # session block every hom reader) and re-block.
+            result = self.execute(query, params=params)
+            blocks = blocks_from_rows(
+                result.rows, len(result.columns), block_rows
+            )
+            return BlockStream(result.columns, blocks, self.last_stats)
+        stream = parent._stream_on(self.connection, query, params, block_rows)
+        self.last_stats = stream.stats
+        return stream
 
     def close(self) -> None:
         self.connection.close()

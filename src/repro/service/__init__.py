@@ -1,0 +1,41 @@
+"""Concurrent query-service layer: sessions, plan cache, prepared statements.
+
+See :mod:`repro.service.service` for the architecture overview.  Typical
+entry point::
+
+    with client.service(workers=8) as service:
+        session = service.open_session()
+        outcome = session.execute("SELECT ...")
+"""
+
+from repro.service.cache import PlanCache, PlanCacheStats, plan_cache_key
+from repro.service.prepared import (
+    PreparedPlan,
+    PreparedStatement,
+    RebindError,
+    rebind_plan,
+    substitution_safety,
+)
+from repro.service.service import (
+    DEFAULT_PLAN_CACHE_SIZE,
+    DEFAULT_WORKERS,
+    MonomiService,
+    ServiceSession,
+    ServiceStats,
+)
+
+__all__ = [
+    "DEFAULT_PLAN_CACHE_SIZE",
+    "DEFAULT_WORKERS",
+    "MonomiService",
+    "PlanCache",
+    "PlanCacheStats",
+    "PreparedPlan",
+    "PreparedStatement",
+    "RebindError",
+    "ServiceSession",
+    "ServiceStats",
+    "plan_cache_key",
+    "rebind_plan",
+    "substitution_safety",
+]

@@ -1,0 +1,142 @@
+"""Thread-safe LRU plan/design cache for the concurrent service layer.
+
+Planning is the client library's most expensive CPU phase after
+decryption: the optimizing planner enumerates a power set of encryption
+units and prices every candidate (§6.3–6.4).  A service pushing many
+sessions' queries through one shared design repeats that work every time
+two analysts ask the same question — so the service memoizes
+:class:`~repro.core.planner.PlannedQuery` objects here.
+
+Keying rule
+-----------
+The cache key is the pair
+
+``(normalized SQL text, physical-design fingerprint)``
+
+* *Normalized SQL text* — the query after
+  :func:`~repro.core.normalize.normalize_query` (parameters bound,
+  ``AVG`` expanded, constants folded), printed back to canonical SQL by
+  :func:`~repro.sql.to_sql`.  Normalization runs **before** keying, so
+  textual variants that plan identically (``avg(x)`` vs
+  ``sum(x)/count(x)``, folded date arithmetic, whitespace) share one
+  entry, while any semantic difference — including different bound
+  parameter values, whose literals the planner encrypts into the plan —
+  keys separately.
+* *Design fingerprint* — :meth:`PhysicalDesign.fingerprint
+  <repro.core.design.PhysicalDesign.fingerprint>`, a digest of every
+  ⟨table, expression, scheme⟩ entry and homomorphic group.  A cached plan
+  embeds server column names and ciphertext constants that only exist
+  under the design it was planned against; fingerprinting the design into
+  the key makes a stale plan unreachable rather than latently wrong.
+
+Cached plans are treated as immutable and shared across sessions; the
+executor never mutates a plan, so concurrent executions of one cached
+plan are safe.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigError
+from repro.core.design import PhysicalDesign
+from repro.core.planner import PlannedQuery
+from repro.sql import ast, to_sql
+
+
+def plan_cache_key(query: ast.Select, design: PhysicalDesign) -> tuple[str, str]:
+    """The cache key for a *normalized* query under ``design``."""
+    return (to_sql(query), design.fingerprint())
+
+
+@dataclass(frozen=True)
+class PlanCacheStats:
+    """Point-in-time counters (consistent snapshot under the cache lock)."""
+
+    hits: int
+    misses: int
+    evictions: int
+    entries: int
+    capacity: int
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class PlanCache:
+    """Bounded LRU over planned queries, safe for concurrent sessions.
+
+    Unlike the provider's lock-free crypto caches (where a racy
+    double-compute re-derives the same ciphertext), a plan-cache miss
+    costs a full planner run — so this cache takes a real lock around
+    every operation and keeps exact hit/miss/eviction counters, which the
+    service exposes for operators to size the cache against their
+    workload.
+    """
+
+    def __init__(self, capacity: int = 128) -> None:
+        if capacity < 1:
+            raise ConfigError(
+                f"plan cache capacity must be >= 1, got {capacity}"
+            )
+        self._capacity = capacity
+        self._lock = threading.Lock()
+        self._data: OrderedDict[tuple[str, str], PlannedQuery] = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    def get(self, key: tuple[str, str]) -> PlannedQuery | None:
+        """Look up a plan, counting the hit or miss."""
+        with self._lock:
+            planned = self._data.get(key)
+            if planned is None:
+                self._misses += 1
+                return None
+            self._data.move_to_end(key)
+            self._hits += 1
+            return planned
+
+    def peek(self, key: tuple[str, str]) -> PlannedQuery | None:
+        """Counter-free, recency-free lookup.
+
+        Used for the single-flight re-check after a counted miss: the
+        thread that waited on the planning lock should not inflate the
+        hit/miss counters a second time for the same logical lookup.
+        """
+        with self._lock:
+            return self._data.get(key)
+
+    def put(self, key: tuple[str, str], planned: PlannedQuery) -> None:
+        with self._lock:
+            self._data[key] = planned
+            self._data.move_to_end(key)
+            while len(self._data) > self._capacity:
+                self._data.popitem(last=False)
+                self._evictions += 1
+
+    def clear(self) -> None:
+        with self._lock:
+            self._data.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._data)
+
+    def stats(self) -> PlanCacheStats:
+        with self._lock:
+            return PlanCacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+                entries=len(self._data),
+                capacity=self._capacity,
+            )

@@ -1,0 +1,384 @@
+"""MonomiService: N concurrent sessions over one shared encrypted database.
+
+The paper's prototype executes one analyst's query at a time; a
+production deployment serves many.  :class:`MonomiService` is the layer
+that makes that safe and fast without touching the trust model — it runs
+entirely on the trusted client side, wrapping one
+:class:`~repro.core.client.MonomiClient`:
+
+* **Thread-pooled execution** — queries submit to a worker pool;
+  :meth:`MonomiService.submit` returns a future,
+  :meth:`MonomiService.execute` blocks for the outcome.
+* **Per-worker backend connections** — each worker thread owns a
+  :meth:`~repro.server.backend.ServerBackend.worker_view`: a dedicated
+  SQLite connection over the shared(-cache) database, or lock-scoped
+  access to the in-memory engine.  Per-query server state (cursors,
+  stats) is never shared between workers.
+* **Per-session cost ledgers** — a :class:`ServiceSession` accumulates
+  its own :class:`~repro.common.ledger.CostLedger`; every query also
+  returns its private per-query ledger, so concurrent sessions never
+  share mutable ledger state.
+* **Plan/design caching** — planned queries memoize in a
+  :class:`~repro.service.cache.PlanCache` keyed on ⟨normalized SQL,
+  design fingerprint⟩; repeat queries skip the rewriter/splitter/planner
+  entirely (hit/miss counters in :meth:`MonomiService.stats`).
+* **Prepared statements** — :meth:`MonomiService.prepare` /
+  :meth:`MonomiService.execute_prepared` re-encrypt only the parameter
+  literals under the cached plan (see :mod:`repro.service.prepared`).
+
+Concurrency contract: results and ledger *byte counts* (transfer bytes,
+scanned bytes, round trips) of every query are identical to running the
+same query serially through the underlying client — the service changes
+scheduling, never semantics.  The stress suite asserts this per query
+across 8 concurrent sessions.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigError
+from repro.common.ledger import CostLedger
+from repro.core.client import MonomiClient, QueryOutcome
+from repro.core.normalize import normalize_for_execution
+from repro.core.pexec import PlanExecutor
+from repro.core.planner import PlannedQuery
+from repro.service.cache import PlanCache, PlanCacheStats
+from repro.service.prepared import (
+    PreparedPlan,
+    PreparedStatement,
+    RebindError,
+    param_sites,
+    rebind_plan,
+    substitution_safety,
+)
+from repro.sql import ast, parse, to_sql
+
+DEFAULT_WORKERS = 4
+DEFAULT_PLAN_CACHE_SIZE = 128
+
+
+class ServiceSession:
+    """One analyst's session: a cumulative ledger over its queries.
+
+    Sessions are cheap handles — all heavy state (connections, caches)
+    lives in the service's workers.  A session may have several queries
+    in flight at once; each query runs on its own per-query ledger and
+    merges into the session total on completion, under the session lock.
+    """
+
+    def __init__(self, service: "MonomiService", session_id: int) -> None:
+        self._service = service
+        self.session_id = session_id
+        self.ledger = CostLedger()
+        self.queries_run = 0
+        self._lock = threading.Lock()
+
+    def submit(
+        self, sql: str | ast.Select, params: dict[str, object] | None = None
+    ) -> Future:
+        return self._service.submit(sql, params=params, session=self)
+
+    def execute(
+        self, sql: str | ast.Select, params: dict[str, object] | None = None
+    ) -> QueryOutcome:
+        return self._service.execute(sql, params=params, session=self)
+
+    def _absorb(self, ledger: CostLedger) -> None:
+        with self._lock:
+            self.ledger.merge(ledger)
+            self.queries_run += 1
+
+
+@dataclass(frozen=True)
+class ServiceStats:
+    """Point-in-time service counters."""
+
+    queries: int
+    sessions_opened: int
+    prepared_statements: int
+    prepared_fast_rebinds: int
+    prepared_replans: int
+    workers: int
+    plan_cache: PlanCacheStats
+
+
+#: Bound on each prepared statement's private plan memo (distinct
+#: parameter bindings kept hot per statement).
+STATEMENT_PLAN_CACHE_SIZE = 64
+
+
+class _StatementState:
+    """Mutable per-prepared-statement state (anchor plan, build lock).
+
+    Prepared plans live in a per-statement cache, *never* in the shared
+    ad-hoc plan cache: a re-bound plan keeps its anchor's split shape,
+    which a fresh optimizer run for the same literals might not pick —
+    publishing it to the ad-hoc cache would let a later ``execute`` of
+    the identical SQL text return different ledger bytes than serial
+    client execution, breaking the service's byte-identical contract.
+    """
+
+    def __init__(self, statement: PreparedStatement) -> None:
+        self.statement = statement
+        self.entry: PreparedPlan | None = None
+        self.lock = threading.Lock()
+        self.plans = PlanCache(STATEMENT_PLAN_CACHE_SIZE)
+
+
+class MonomiService:
+    """Concurrent query service over one client's encrypted database.
+
+    Usually built via :meth:`MonomiClient.service
+    <repro.core.client.MonomiClient.service>`.  Use as a context manager
+    or call :meth:`close` to release the worker pool and per-worker
+    backend connections.
+    """
+
+    def __init__(
+        self,
+        client: MonomiClient,
+        workers: int = DEFAULT_WORKERS,
+        plan_cache_size: int = DEFAULT_PLAN_CACHE_SIZE,
+    ) -> None:
+        if workers < 1:
+            raise ConfigError(f"service needs at least 1 worker, got {workers}")
+        self._client = client
+        self.workers = workers
+        self.plan_cache = PlanCache(plan_cache_size)
+        # The design is immutable once loaded; fingerprint it once.
+        self._design_fp = client.design.fingerprint()
+        # Planning mutates nothing, but the planner/cost-model stack was
+        # written single-threaded; a single-flight lock serializes cache
+        # misses (repeat queries bypass it via the cache entirely).
+        self._plan_lock = threading.Lock()
+        self._pool = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="monomi-service"
+        )
+        self._tls = threading.local()
+        self._state_lock = threading.Lock()
+        self._views: list = []
+        self._session_ids = itertools.count(1)
+        self._statement_ids = itertools.count(1)
+        self._statements: dict[int, _StatementState] = {}
+        self._sessions_opened = 0
+        self._queries = 0
+        self._fast_rebinds = 0
+        self._replans = 0
+        self._closed = False
+        # Internal fallback for session-less submits; not a user session,
+        # so it does not count toward stats().sessions_opened.
+        self._default_session = ServiceSession(self, 0)
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def close(self) -> None:
+        """Drain in-flight queries, then release workers and connections."""
+        if self._closed:
+            return
+        self._closed = True
+        self._pool.shutdown(wait=True)
+        with self._state_lock:
+            views, self._views = self._views, []
+        for view in views:
+            close = getattr(view, "close", None)
+            if close is not None:
+                close()
+
+    def __enter__(self) -> "MonomiService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- sessions -------------------------------------------------------------
+
+    def open_session(self) -> ServiceSession:
+        self._ensure_open()
+        with self._state_lock:
+            self._sessions_opened += 1
+            return ServiceSession(self, next(self._session_ids))
+
+    # -- ad-hoc queries -------------------------------------------------------
+
+    def submit(
+        self,
+        sql: str | ast.Select,
+        params: dict[str, object] | None = None,
+        session: ServiceSession | None = None,
+    ) -> Future:
+        """Queue one query; the future resolves to a
+        :class:`~repro.core.client.QueryOutcome`."""
+        self._ensure_open()
+        query = self._normalize(sql, params)
+        target = session or self._default_session
+        return self._pool.submit(self._run_planned_query, target, query)
+
+    def execute(
+        self,
+        sql: str | ast.Select,
+        params: dict[str, object] | None = None,
+        session: ServiceSession | None = None,
+    ) -> QueryOutcome:
+        return self.submit(sql, params=params, session=session).result()
+
+    # -- prepared statements --------------------------------------------------
+
+    def prepare(self, sql: str | ast.Select) -> PreparedStatement:
+        """Parse a ``:name``-parameterized template into a reusable handle."""
+        self._ensure_open()
+        template = parse(sql) if isinstance(sql, str) else sql
+        names = tuple(sorted(param_sites(template)))
+        text = sql if isinstance(sql, str) else to_sql(sql)
+        with self._state_lock:
+            statement = PreparedStatement(
+                next(self._statement_ids), text, template, names
+            )
+            self._statements[statement.statement_id] = _StatementState(statement)
+        return statement
+
+    def submit_prepared(
+        self,
+        statement: PreparedStatement,
+        params: dict[str, object] | None = None,
+        session: ServiceSession | None = None,
+    ) -> Future:
+        self._ensure_open()
+        state = self._statements.get(statement.statement_id)
+        if state is None:
+            raise ConfigError(
+                f"unknown prepared statement #{statement.statement_id} "
+                "(prepared on another service?)"
+            )
+        target = session or self._default_session
+        return self._pool.submit(
+            self._run_prepared, state, target, dict(params or {})
+        )
+
+    def execute_prepared(
+        self,
+        statement: PreparedStatement,
+        params: dict[str, object] | None = None,
+        session: ServiceSession | None = None,
+    ) -> QueryOutcome:
+        return self.submit_prepared(statement, params=params, session=session).result()
+
+    # -- reporting ------------------------------------------------------------
+
+    def stats(self) -> ServiceStats:
+        with self._state_lock:
+            return ServiceStats(
+                queries=self._queries,
+                sessions_opened=self._sessions_opened,
+                prepared_statements=len(self._statements),
+                prepared_fast_rebinds=self._fast_rebinds,
+                prepared_replans=self._replans,
+                workers=self.workers,
+                plan_cache=self.plan_cache.stats(),
+            )
+
+    # -- internals ------------------------------------------------------------
+
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise ConfigError("service is closed")
+
+    def _normalize(
+        self, sql: str | ast.Select, params: dict[str, object] | None
+    ) -> ast.Select:
+        return normalize_for_execution(sql, params)
+
+    def _cache_key(self, query: ast.Select) -> tuple[str, str]:
+        return (to_sql(query), self._design_fp)
+
+    def _plan_cached(self, query: ast.Select) -> PlannedQuery:
+        """Plan via the cache; misses plan single-flight and populate it."""
+        key = self._cache_key(query)
+        planned = self.plan_cache.get(key)
+        if planned is not None:
+            return planned
+        with self._plan_lock:
+            planned = self.plan_cache.peek(key)
+            if planned is None:
+                planned = self._client.planner.plan(query)
+                self.plan_cache.put(key, planned)
+        return planned
+
+    def _worker_executor(self) -> PlanExecutor:
+        """This worker thread's executor (lazily built, with its own
+        backend view)."""
+        executor = getattr(self._tls, "executor", None)
+        if executor is None:
+            view = self._client.backend.worker_view()
+            executor = self._client.executor.clone_with_backend(view)
+            self._tls.executor = executor
+            with self._state_lock:
+                self._views.append(view)
+        return executor
+
+    def _finish(
+        self, session: ServiceSession, planned: PlannedQuery
+    ) -> QueryOutcome:
+        executor = self._worker_executor()
+        result, ledger = executor.execute(planned.plan)
+        session._absorb(ledger)
+        with self._state_lock:
+            self._queries += 1
+        return QueryOutcome(result, ledger, planned)
+
+    def _run_planned_query(
+        self, session: ServiceSession, query: ast.Select
+    ) -> QueryOutcome:
+        return self._finish(session, self._plan_cached(query))
+
+    def _run_prepared(
+        self,
+        state: _StatementState,
+        session: ServiceSession,
+        params: dict[str, object],
+    ) -> QueryOutcome:
+        normalized = self._normalize(state.statement.template, params)
+        key = self._cache_key(normalized)
+        planned = state.plans.get(key)
+        if planned is not None:
+            return self._finish(session, planned)
+        planned = self._prepared_plan(state, normalized, params)
+        state.plans.put(key, planned)
+        return self._finish(session, planned)
+
+    def _prepared_plan(
+        self,
+        state: _StatementState,
+        normalized: ast.Select,
+        params: dict[str, object],
+    ) -> PlannedQuery:
+        """First execution plans fully and anchors; later ones re-bind."""
+        with state.lock:
+            entry = state.entry
+            if entry is None:
+                with self._plan_lock:
+                    planned = self._client.planner.plan(normalized)
+                state.entry = PreparedPlan(
+                    planned,
+                    dict(params),
+                    substitution_safety(
+                        state.statement.template, normalized, params
+                    ),
+                )
+                return planned
+        try:
+            planned = rebind_plan(entry, self._client.provider, params)
+            with self._state_lock:
+                self._fast_rebinds += 1
+            return planned
+        except RebindError:
+            with self._plan_lock:
+                planned = self._client.planner.plan_with_units(
+                    normalized, entry.planned.chosen_units
+                )
+            with self._state_lock:
+                self._replans += 1
+            return planned

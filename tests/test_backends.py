@@ -333,3 +333,94 @@ def test_in_memory_backend_wraps_database():
     result = backend.execute(normalize_query(parse("SELECT COUNT(a) FROM t")))
     assert result.rows == [(2,)]
     assert backend.table_bytes("t") == db.table("t").total_bytes
+
+
+# ---------------------------------------------------------------------------
+# Shared-cache concurrency (PR 5 regression: busy_timeout on every connection)
+# ---------------------------------------------------------------------------
+
+
+class TestSqliteSharedCacheConcurrency:
+    """Two sessions on one ``:memory:`` shared-cache database must not
+    deadlock or fail with "database (table) is locked".
+
+    Worker views open separate connections over the backend's shared-cache
+    URI; without a busy timeout, transient lock states surface as
+    immediate ``sqlite3.OperationalError`` instead of a short retry.  The
+    backend sets ``PRAGMA busy_timeout`` on the main connection and every
+    worker connection.
+    """
+
+    def _loaded_backend(self):
+        from repro.engine import schema
+
+        backend = SQLiteBackend(name="shared#cache test")
+        backend.create_table(schema("t", ("i", "int"), ("k", "int")))
+        backend.insert_rows("t", [(i, i % 7) for i in range(500)])
+        return backend
+
+    def test_busy_timeout_set_on_all_connections(self):
+        backend = self._loaded_backend()
+        for conn in (backend.connection, backend._worker_connection()):
+            (timeout,) = conn.execute("PRAGMA busy_timeout").fetchone()
+            assert timeout == SQLiteBackend._BUSY_TIMEOUT_MS
+
+    def test_concurrent_shared_cache_readers_do_not_deadlock(self):
+        import threading
+
+        backend = self._loaded_backend()
+        query = normalize_query(parse("SELECT i, k FROM t WHERE k = 3"))
+        expected = backend.execute(query).rows
+        errors: list[Exception] = []
+        barrier = threading.Barrier(4)
+
+        def reader():
+            try:
+                view = backend.worker_view()
+                barrier.wait(timeout=30)
+                for _ in range(20):
+                    assert view.execute(query).rows == expected
+                view.close()
+            except Exception as exc:  # surfaced below
+                errors.append(exc)
+
+        threads = [threading.Thread(target=reader) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120)
+        assert not errors, errors
+
+    def test_reader_concurrent_with_writer_commits(self):
+        """Readers retry through a concurrent bulk insert on the main
+        connection instead of raising "database is locked"."""
+        import threading
+
+        backend = self._loaded_backend()
+        query = normalize_query(parse("SELECT COUNT(*) FROM t WHERE k >= 0"))
+        stop = threading.Event()
+        errors: list[Exception] = []
+
+        def reader():
+            try:
+                view = backend.worker_view()
+                while not stop.is_set():
+                    (count,) = view.execute(query).rows[0]
+                    assert count >= 500
+                view.close()
+            except Exception as exc:
+                errors.append(exc)
+
+        threads = [threading.Thread(target=reader) for _ in range(2)]
+        for thread in threads:
+            thread.start()
+        try:
+            for batch in range(10):
+                backend.insert_rows(
+                    "t", [(1000 + batch * 50 + i, i % 7) for i in range(50)]
+                )
+        finally:
+            stop.set()
+        for thread in threads:
+            thread.join(timeout=120)
+        assert not errors, errors
