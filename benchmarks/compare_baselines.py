@@ -30,7 +30,7 @@ import sys
 FACTOR = 3.0
 ABSOLUTE_FLOOR_SECONDS = 0.05
 
-_IDENTITY_KEYS = ("label", "workers", "backend", "partitions", "table_rows")
+_IDENTITY_KEYS = ("label", "workers", "backend", "partitions", "table_rows", "rate")
 
 
 def _identity(entry: object) -> tuple | None:

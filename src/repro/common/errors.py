@@ -12,6 +12,55 @@ class ReproError(Exception):
     """Base class for all errors raised by this library."""
 
 
+class TransientError(ReproError):
+    """A failure that is expected to succeed if the operation is retried.
+
+    The resilience layer's taxonomy root: anything the stack may retry
+    (with capped exponential backoff, accounted in the ledger's
+    ``retry_bytes``/``retries`` counters) derives from this class.
+    Everything else in the :class:`ReproError` hierarchy is *fatal* —
+    retrying a planning error or a corrupt ciphertext repeats the
+    failure, so those surface to the caller on the first attempt.
+    """
+
+
+class BackendBusyError(TransientError):
+    """The server engine is transiently unavailable (SQLITE_BUSY/LOCKED).
+
+    Raised by backends after their own bounded in-engine retries are
+    exhausted; the query-level retry layer may still re-run the whole
+    statement.
+    """
+
+
+class TruncatedStreamError(TransientError):
+    """A result stream ended before delivering its full result.
+
+    In a networked deployment the wire protocol detects this via
+    framing; here the fault-injection proxy raises it directly.  The
+    plan executor recovers by re-running the (deterministic) server
+    query and fast-forwarding past the rows it already delivered.
+    """
+
+
+class InjectedFaultError(TransientError):
+    """A fault deliberately injected by the chaos harness.
+
+    Never raised in production configurations; exists so tests can tell
+    injected faults from organic ones while exercising the same retry
+    paths.
+    """
+
+
+class DeadlineExceededError(ReproError):
+    """A query ran past its deadline.  Fatal: deadlines are not retried."""
+
+
+class LoadJournalError(ReproError):
+    """A bulk-load journal cannot be used to resume (corrupt, or written
+    for a different design/database than the one being loaded)."""
+
+
 class ConfigError(ReproError):
     """An execution-layer configuration is contradictory or unusable.
 

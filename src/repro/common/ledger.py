@@ -71,6 +71,17 @@ class CostLedger:
     round_trips: int = 0
     notes: list[str] = field(default_factory=list)
 
+    # -- retry accounting ----------------------------------------------------
+    #
+    # The resilience contract: under any fault schedule, the *primary*
+    # totals above are byte-identical to a fault-free run — retried or
+    # abandoned work never leaks into them.  It is accounted here
+    # instead: ``retries`` counts retry attempts anywhere in the stack,
+    # and ``retry_bytes`` the scan/transfer bytes of abandoned attempts
+    # plus re-pulled rows skipped while resuming a truncated stream.
+    retries: int = 0
+    retry_bytes: int = 0
+
     @property
     def total_seconds(self) -> float:
         return self.server_seconds + self.client_seconds + self.transfer_seconds
@@ -106,6 +117,8 @@ class CostLedger:
         self.server_bytes_scanned += other.server_bytes_scanned
         self.round_trips += other.round_trips
         self.notes.extend(other.notes)
+        self.retries += other.retries
+        self.retry_bytes += other.retry_bytes
 
     @contextmanager
     def timing_server(self) -> Iterator[None]:
@@ -124,9 +137,12 @@ class CostLedger:
             self.client_seconds += time.perf_counter() - start
 
     def summary(self) -> str:
-        return (
+        text = (
             f"total={self.total_seconds:.4f}s "
             f"(server={self.server_seconds:.4f}s, "
             f"net={self.transfer_seconds:.4f}s/{self.transfer_bytes}B, "
             f"client={self.client_seconds:.4f}s)"
         )
+        if self.retries:
+            text += f" [retries={self.retries}, retry_bytes={self.retry_bytes}]"
+        return text

@@ -25,6 +25,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
     from repro.service import MonomiService
 
 from repro.common.ledger import CostLedger, DiskModel, NetworkModel
+from repro.common.retry import Deadline
 from repro.core.cost import MonomiCostModel
 from repro.core.design import PhysicalDesign, TechniqueFlags
 from repro.core.designer import Designer, DesignResult
@@ -36,7 +37,7 @@ from repro.core.planner import PlannedQuery, Planner
 from repro.engine.catalog import Database
 from repro.engine.executor import ResultSet
 from repro.engine.rowblock import RowBlock
-from repro.server import ServerBackend, as_backend, make_backend
+from repro.server import ServerBackend, as_backend, make_backend, maybe_wrap_chaos
 from repro.server.inmemory import InMemoryBackend
 from repro.sql import ast, parse
 
@@ -113,7 +114,10 @@ class MonomiClient:
         self.plain_db = plain_db
         self.design = design
         self.provider = provider
-        self.backend = as_backend(server_db)
+        # MONOMI_CHAOS=seed:rate transparently interposes the fault
+        # injection proxy here — after the load, before any query — which
+        # turns every suite driven through a client into a chaos suite.
+        self.backend = maybe_wrap_chaos(as_backend(server_db))
         self.flags = flags
         self.network = network
         self.disk = disk
@@ -262,11 +266,18 @@ class MonomiClient:
     # -- runtime -----------------------------------------------------------------
 
     def execute(
-        self, sql: str | ast.Select, params: dict[str, object] | None = None
+        self,
+        sql: str | ast.Select,
+        params: dict[str, object] | None = None,
+        timeout: float | None = None,
     ) -> QueryOutcome:
+        """Execute one query; ``timeout`` (seconds) arms a deadline that is
+        checked at every block boundary and caps retry backoff — expiry
+        raises :class:`~repro.common.errors.DeadlineExceededError`."""
         query = normalize_for_execution(sql, params)
         planned = self.planner.plan(query)
-        result, ledger = self.executor.execute(planned.plan)
+        deadline = Deadline.after(timeout) if timeout is not None else None
+        result, ledger = self.executor.execute(planned.plan, deadline=deadline)
         return QueryOutcome(result, ledger, planned)
 
     def execute_iter(
@@ -274,6 +285,7 @@ class MonomiClient:
         sql: str | ast.Select,
         params: dict[str, object] | None = None,
         block_rows: int | None = None,
+        timeout: float | None = None,
     ) -> QueryStream:
         """Execute, streaming decrypted RowBlocks instead of materializing.
 
@@ -282,11 +294,16 @@ class MonomiClient:
         decryption to the caller — peak client memory stays O(block) and
         the first block arrives before the server finishes the scan.
         Other plans materialize internally and re-block.  ``execute()``
-        remains the drain-everything wrapper around this path.
+        remains the drain-everything wrapper around this path.  The
+        ``timeout`` deadline covers the whole stream's lifetime, not just
+        its creation — a slow consumer can also run out of time.
         """
         query = normalize_for_execution(sql, params)
         planned = self.planner.plan(query)
-        stream = self.executor.execute_iter(planned.plan, block_rows=block_rows)
+        deadline = Deadline.after(timeout) if timeout is not None else None
+        stream = self.executor.execute_iter(
+            planned.plan, block_rows=block_rows, deadline=deadline
+        )
         return QueryStream(stream, planned)
 
     def explain(

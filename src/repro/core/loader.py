@@ -16,8 +16,13 @@ requested) — MONOMI never stores plaintext on the server (§3).
 
 from __future__ import annotations
 
-from repro.common.errors import DesignError
+import os
+import random
+
+from repro.common.errors import DesignError, LoadJournalError
+from repro.common.retry import RetryPolicy, retry_call
 from repro.core.design import EncEntry, HomGroup, PhysicalDesign, normalize_expr
+from repro.core.loadjournal import LoadJournal
 from repro.core.encdata import CryptoProvider
 from repro.core.schemes import Scheme
 from repro.core.typing import infer_type
@@ -28,6 +33,9 @@ from repro.engine.schema import ColumnDef, TableSchema
 from repro.sql import ast, parse_expression
 
 ROW_ID_COLUMN = "row_id"
+
+#: Rows per committed insert on the journaled (crash-safe) load path.
+DEFAULT_LOAD_BATCH_ROWS = 256
 
 
 def complete_design(design: PhysicalDesign, plain_db: Database) -> PhysicalDesign:
@@ -78,6 +86,11 @@ class EncryptedLoader:
     def __init__(self, plain_db: Database, provider: CryptoProvider) -> None:
         self.plain_db = plain_db
         self.provider = provider
+        # Transient insert faults (SQLITE_BUSY, injected chaos) retry here;
+        # the backend's transactional insert guarantees a failed batch left
+        # no rows behind, so a retry never double-inserts.
+        self.retry_policy = RetryPolicy()
+        self._retry_rng = random.Random(0x5EED)
 
     def load(self, design: PhysicalDesign) -> Database:
         """Encrypt into a fresh in-memory server (pre-backend convention)."""
@@ -87,21 +100,52 @@ class EncryptedLoader:
         self.load_into(backend, design)
         return backend.database
 
-    def load_into(self, backend, design: PhysicalDesign):
+    def load_into(
+        self,
+        backend,
+        design: PhysicalDesign,
+        journal: LoadJournal | str | os.PathLike | None = None,
+        batch_rows: int = DEFAULT_LOAD_BATCH_ROWS,
+    ):
         """Encrypt the database under ``design`` into any backend.
 
-        Each table materializes as one bulk insert (the backend's one write
-        path — ``executemany`` for SQLite, ``insert_many`` in memory), and
-        packed homomorphic groups install as ciphertext files.
+        Without a ``journal``, each table materializes as one bulk insert
+        (the backend's one write path — ``executemany`` for SQLite,
+        ``insert_many`` in memory) and packed homomorphic groups install
+        as ciphertext files.
+
+        With a ``journal`` (a :class:`~repro.core.loadjournal.LoadJournal`
+        or a directory path for one), the load becomes **crash-safe and
+        resumable**: rows commit in ``batch_rows`` batches, progress is
+        journaled after every commit, and packed Paillier files persist to
+        the journal directory the moment they are encrypted.  Re-running
+        the same call over the same journal after a crash encrypts only
+        the rows the backend does not already hold — committed work is
+        never re-encrypted and never double-inserted — and re-installs
+        saved ciphertext files without repeating the Paillier packing.
         """
         design = complete_design(design, self.plain_db)
+        if journal is None:
+            for table_name in sorted(self.plain_db.tables):
+                self._load_table(backend, table_name, design)
+            return backend
+        if not isinstance(journal, LoadJournal):
+            journal = LoadJournal(journal)
+        fingerprint = f"{self.plain_db.name}:{design.fingerprint()}"
+        journal.begin(fingerprint)
         for table_name in sorted(self.plain_db.tables):
-            self._load_table(backend, table_name, design)
+            self._load_table_journaled(
+                backend, table_name, design, journal, batch_rows
+            )
+        journal.note_load_done()
         return backend
 
     # -- per-table -----------------------------------------------------------
 
-    def _load_table(self, backend, table_name: str, design: PhysicalDesign) -> None:
+    def _table_layout(self, table_name: str, design: PhysicalDesign):
+        """Everything the load of one table derives from the design:
+        (plain table, non-HOM entries, parsed exprs, hom groups,
+        encrypted schema, evaluation scope)."""
         plain = self.plain_db.table(table_name)
         schemas = {table_name: plain.schema}
         entries = [
@@ -111,7 +155,6 @@ class EncryptedLoader:
 
         columns: list[ColumnDef] = []
         exprs: list[ast.Expr] = []
-        plain_types: list[str] = []
         for entry in entries:
             expr = parse_expression(entry.expr_sql)
             plain_type = infer_type(expr, schemas)
@@ -119,36 +162,115 @@ class EncryptedLoader:
                 ColumnDef(entry.column_name, server_column_type(entry, plain_type))
             )
             exprs.append(expr)
-            plain_types.append(plain_type)
         if hom_groups:
             columns.append(ColumnDef(ROW_ID_COLUMN, "int"))
 
         enc_schema = TableSchema(name=table_name, columns=tuple(columns))
-        backend.create_table(enc_schema)
-
         scope = Scope([(table_name, c) for c in plain.schema.column_names])
+        return plain, entries, exprs, hom_groups, enc_schema, scope
+
+    def _encrypt_span(
+        self,
+        plain,
+        entries,
+        exprs,
+        scope: Scope,
+        start: int,
+        stop: int,
+        with_row_id: bool,
+    ) -> list[tuple]:
+        """Encrypt rows ``[start, stop)`` of ``plain`` into server tuples.
+
+        Columnar within the span: evaluate each design expression over the
+        span (compiled once), encrypt the resulting plaintext column
+        through the batch crypto APIs (one scheme dispatch per column),
+        then transpose back to rows.  With CryptoProvider(workers=N) each
+        column batch shards across the provider's process pool, so load
+        time scales with cores.
+        """
         ctx = EvalContext()
-        # Columnar load: evaluate each design expression over the whole
-        # table (compiled once), encrypt the resulting plaintext column
-        # through the batch crypto APIs (one scheme dispatch per column),
-        # then transpose back and bulk-insert the encrypted rows.  With
-        # CryptoProvider(workers=N) each column batch shards across the
-        # provider's process pool, so load time scales with cores.
+        span = plain.rows[start:stop]
         enc_columns: list[list] = []
         for entry, expr in zip(entries, exprs):
             fn = compile_expr(expr, scope, ctx)
-            plain_column = [fn(row) for row in plain.rows]
+            plain_column = [fn(row) for row in span]
             enc_columns.append(self._encrypt_column(plain_column, entry.scheme))
-        if hom_groups:
-            enc_columns.append(list(range(plain.num_rows)))
-
+        if with_row_id:
+            enc_columns.append(list(range(start, stop)))
         if enc_columns:
-            backend.insert_rows(table_name, zip(*enc_columns))
-        else:
-            backend.insert_rows(table_name, (() for _ in range(plain.num_rows)))
+            return list(zip(*enc_columns))
+        return [() for _ in span]
 
+    def _insert_with_retry(self, backend, table_name: str, rows: list[tuple]) -> None:
+        retry_call(
+            lambda: backend.insert_rows(table_name, rows),
+            self.retry_policy,
+            rng=self._retry_rng,
+        )
+
+    def _load_table(self, backend, table_name: str, design: PhysicalDesign) -> None:
+        plain, entries, exprs, hom_groups, enc_schema, scope = self._table_layout(
+            table_name, design
+        )
+        backend.create_table(enc_schema)
+        rows = self._encrypt_span(
+            plain, entries, exprs, scope, 0, plain.num_rows, bool(hom_groups)
+        )
+        self._insert_with_retry(backend, table_name, rows)
         for group in hom_groups:
-            self._load_hom_group(backend, group, plain, scope)
+            file = self._build_hom_file(group, plain, scope)
+            backend.add_ciphertext_file(file)
+
+    def _load_table_journaled(
+        self,
+        backend,
+        table_name: str,
+        design: PhysicalDesign,
+        journal: LoadJournal,
+        batch_rows: int,
+    ) -> None:
+        plain, entries, exprs, hom_groups, enc_schema, scope = self._table_layout(
+            table_name, design
+        )
+        # The backend is the source of truth for what survived a crash:
+        # its committed row count, not the journal's watermark, decides
+        # where encryption resumes (the journal may trail by one batch if
+        # the crash hit between commit and journal append — resuming from
+        # the backend count neither re-encrypts nor double-inserts).
+        if backend.has_table(table_name):
+            backend.adopt_table(enc_schema)
+        else:
+            backend.create_table(enc_schema)
+        journal.note_table_created(table_name)
+
+        done = backend.row_count(table_name)
+        if done > plain.num_rows:
+            raise LoadJournalError(
+                f"table {table_name!r} holds {done} rows but the plaintext "
+                f"has only {plain.num_rows} — journal/backend mismatch"
+            )
+        with_row_id = bool(hom_groups)
+        for start in range(done, plain.num_rows, batch_rows):
+            stop = min(start + batch_rows, plain.num_rows)
+            rows = self._encrypt_span(
+                plain, entries, exprs, scope, start, stop, with_row_id
+            )
+            self._insert_with_retry(backend, table_name, rows)
+            journal.note_batch(table_name, stop)
+        journal.note_table_done(table_name)
+
+        # Homomorphic files re-install even for already-done tables: some
+        # backends keep the ciphertext store in process memory, so a fresh
+        # process resuming the load must put the saved files back.
+        store = backend.ciphertext_store
+        for group in hom_groups:
+            if group.file_name in store.names():
+                continue
+            file = journal.load_hom(group.file_name)
+            if file is None:
+                file = self._build_hom_file(group, plain, scope)
+                journal.save_hom(file)
+            backend.add_ciphertext_file(file)
 
     def _encrypt_column(self, values: list, scheme: Scheme) -> list:
         if scheme is Scheme.SEARCH:
@@ -160,7 +282,7 @@ class EncryptedLoader:
 
     # -- homomorphic groups ------------------------------------------------------
 
-    def _load_hom_group(self, backend, group: HomGroup, plain, scope: Scope) -> None:
+    def _build_hom_file(self, group: HomGroup, plain, scope: Scope):
         from repro.storage.ciphertext_store import CiphertextFile
 
         ctx = EvalContext()
@@ -216,4 +338,4 @@ class EncryptedLoader:
         # Bulk Paillier: fixed-base randomness pool instead of a full-width
         # r^n exponentiation per ciphertext (~15x at 2,048-bit keys).
         file.ciphertexts.extend(self.provider.paillier_encrypt_batch(plaintexts))
-        backend.add_ciphertext_file(file)
+        return file

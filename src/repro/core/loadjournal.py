@@ -1,0 +1,185 @@
+"""Crash-safe bulk-load journal: resume an interrupted encrypted load.
+
+Encrypting a database is the most expensive phase of MONOMI setup —
+per-value symmetric encryption plus Paillier packing for homomorphic
+groups (§7).  A crash partway (OOM kill, node preemption, ``kill -9``)
+must not force re-encrypting work the server already holds, and must
+never double-insert rows into the encrypted store.
+
+:class:`LoadJournal` is a directory the loader writes alongside the
+target backend:
+
+``journal.jsonl``
+    One JSON event per line, fsync'd before the loader moves on:
+    ``begin`` (load fingerprint), ``table_created``, ``batch``
+    (cumulative rows committed), ``table_done``, ``hom_saved`` (packed
+    ciphertext file pickled to disk), and ``load_done``.  A crash while
+    appending leaves at most one torn final line, which replay drops;
+    a corrupt *interior* line means the journal itself is damaged and
+    raises :class:`~repro.common.errors.LoadJournalError`.
+
+``hom_*.pkl``
+    Each homomorphic group's packed :class:`CiphertextFile`, written
+    atomically (tmp + rename) once its Paillier encryption finishes —
+    so a crash after the expensive packing step never repeats it, even
+    when the backend keeps its ciphertext store in process memory.
+
+The journal records *progress*, not truth: on resume the loader trusts
+the backend (``row_count``, ``has_table``) for how many rows actually
+committed, because the backend's transaction is what survived the
+crash.  The journal's job is the part the backend cannot answer — which
+load this is (fingerprint check, so a journal is never replayed against
+a different design or database) and where the already-paid Paillier
+ciphertexts live.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+import re
+
+from repro.common.errors import LoadJournalError
+
+JOURNAL_NAME = "journal.jsonl"
+
+_SAFE_NAME = re.compile(r"[^A-Za-z0-9_.-]")
+
+
+def _hom_filename(name: str) -> str:
+    return f"hom_{_SAFE_NAME.sub('_', name)}.pkl"
+
+
+class LoadJournal:
+    """Append-only load progress log rooted at ``directory``."""
+
+    def __init__(self, directory: str | os.PathLike) -> None:
+        self.directory = os.fspath(directory)
+        os.makedirs(self.directory, exist_ok=True)
+        self.path = os.path.join(self.directory, JOURNAL_NAME)
+        self.events: list[dict] = self._replay()
+
+    # -- event log ------------------------------------------------------------
+
+    def _replay(self) -> list[dict]:
+        if not os.path.exists(self.path):
+            return []
+        with open(self.path, "rb") as fh:
+            raw_lines = [line for line in fh.read().split(b"\n") if line.strip()]
+        events: list[dict] = []
+        for index, line in enumerate(raw_lines):
+            try:
+                event = json.loads(line)
+            except ValueError:
+                if index == len(raw_lines) - 1:
+                    break  # torn tail: the crash hit mid-append
+                raise LoadJournalError(
+                    f"corrupt journal line {index + 1} in {self.path}"
+                ) from None
+            if not isinstance(event, dict) or "event" not in event:
+                raise LoadJournalError(
+                    f"malformed journal event at line {index + 1} in {self.path}"
+                )
+            events.append(event)
+        return events
+
+    def _append(self, event: dict) -> None:
+        line = json.dumps(event, sort_keys=True) + "\n"
+        with open(self.path, "a", encoding="utf-8") as fh:
+            fh.write(line)
+            fh.flush()
+            os.fsync(fh.fileno())
+        self.events.append(event)
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def begin(self, fingerprint: str) -> bool:
+        """Open the journal for ``fingerprint``; returns True on resume.
+
+        A non-empty journal must carry the same fingerprint — resuming a
+        load against a different design or database would silently mix
+        two encrypted stores, so that is a hard
+        :class:`~repro.common.errors.LoadJournalError`.
+        """
+        if not self.events:
+            self._append({"event": "begin", "fingerprint": fingerprint})
+            return False
+        head = self.events[0]
+        if head.get("event") != "begin":
+            raise LoadJournalError(f"journal {self.path} does not start with begin")
+        if head.get("fingerprint") != fingerprint:
+            raise LoadJournalError(
+                f"journal {self.path} belongs to a different load "
+                f"(fingerprint {head.get('fingerprint')!r}, expected "
+                f"{fingerprint!r})"
+            )
+        return True
+
+    def note_table_created(self, table: str) -> None:
+        if not self._has("table_created", table):
+            self._append({"event": "table_created", "table": table})
+
+    def note_batch(self, table: str, rows_done: int) -> None:
+        self._append({"event": "batch", "table": table, "rows_done": rows_done})
+
+    def note_table_done(self, table: str) -> None:
+        if not self._has("table_done", table):
+            self._append({"event": "table_done", "table": table})
+
+    def note_load_done(self) -> None:
+        if not any(e["event"] == "load_done" for e in self.events):
+            self._append({"event": "load_done"})
+
+    # -- queries --------------------------------------------------------------
+
+    def _has(self, kind: str, table: str) -> bool:
+        return any(
+            e["event"] == kind and e.get("table") == table for e in self.events
+        )
+
+    def rows_recorded(self, table: str) -> int:
+        """Highest committed-row watermark the journal saw (advisory:
+        the loader trusts ``backend.row_count`` over this)."""
+        return max(
+            (
+                e.get("rows_done", 0)
+                for e in self.events
+                if e["event"] == "batch" and e.get("table") == table
+            ),
+            default=0,
+        )
+
+    @property
+    def complete(self) -> bool:
+        return any(e["event"] == "load_done" for e in self.events)
+
+    # -- homomorphic ciphertext files -----------------------------------------
+
+    def save_hom(self, file) -> None:
+        """Persist a packed ciphertext file atomically, then log it."""
+        target = os.path.join(self.directory, _hom_filename(file.name))
+        tmp = target + ".tmp"
+        with open(tmp, "wb") as fh:
+            pickle.dump(file, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, target)
+        if not any(
+            e["event"] == "hom_saved" and e.get("file") == file.name
+            for e in self.events
+        ):
+            self._append({"event": "hom_saved", "file": file.name})
+
+    def load_hom(self, name: str):
+        """The pickled ciphertext file for ``name``, or None if absent."""
+        target = os.path.join(self.directory, _hom_filename(name))
+        if not os.path.exists(target):
+            return None
+        try:
+            with open(target, "rb") as fh:
+                return pickle.load(fh)
+        except Exception as exc:
+            raise LoadJournalError(
+                f"corrupt saved ciphertext file {target}: {exc}"
+            ) from exc

@@ -46,6 +46,25 @@ Two knobs overlap the split plan's halves across cores:
   seconds alongside each block), so byte counts and row order stay
   byte-identical to the unprefetched stream.
 
+Resilient execution
+-------------------
+Server calls cross the failure boundary, so both execution paths retry
+:class:`~repro.common.errors.TransientError` under the executor's
+:class:`~repro.common.retry.RetryPolicy`.  The materializing path simply
+re-runs ``backend.execute``; the streaming path resumes through
+:class:`_ResilientStream`, which re-opens the (deterministic) server
+stream and fast-forwards past the rows it already delivered — so
+delivered rows are never repeated and never lost.  The invariant, pinned
+by the fault tests: under *any* fault schedule the primary ledger totals
+(transfer bytes, scan bytes, round trips) are byte-identical to a
+fault-free run; retried and abandoned work accrues separately in
+``ledger.retries`` / ``ledger.retry_bytes``.  A
+:class:`~repro.common.retry.Deadline` passed to :meth:`execute` /
+:meth:`execute_iter` is checked at every block boundary (and inside the
+prefetch producer), turning runaway queries into a typed
+:class:`~repro.common.errors.DeadlineExceededError` with all worker
+threads shut down cleanly.
+
 The returned :class:`~repro.common.ledger.CostLedger` carries the paper's
 three cost components (§6.4) for every benchmark to aggregate.
 """
@@ -54,13 +73,20 @@ from __future__ import annotations
 
 import os
 import queue as queue_mod
+import random
 import threading
 import time
-from typing import Iterator
+from typing import Callable, Iterator
 
-from repro.common.errors import ConfigError, ExecutionError
+from repro.common.errors import (
+    ConfigError,
+    DeadlineExceededError,
+    ExecutionError,
+    TransientError,
+)
 from repro.common.ledger import CostLedger, DiskModel, NetworkModel
 from repro.common.parallel import PARTITIONS_ENV, queue_put_bounded, resolve_workers
+from repro.common.retry import Deadline, RetryPolicy, retry_call
 from repro.core.encdata import CryptoProvider
 from repro.core.plan import ClientRelation, DecryptSpec, RemoteRelation, SplitPlan
 from repro.engine.aggregates import HomAggResult
@@ -132,6 +158,187 @@ class PlanStream:
         return ResultSet(self.columns, self._stream.drain_rows())
 
 
+#: How long the consumer waits for the prefetch producer (or the producer
+#: for an abandoned stream) before giving up the join — a stuck backend
+#: must not hang the client indefinitely.  The thread is a daemon either
+#: way; the bound only limits how long close() blocks.
+_PRODUCER_JOIN_SECONDS = 10.0
+
+
+def _deadline_checked(
+    blocks: Iterator[RowBlock], deadline: Deadline
+) -> Iterator[RowBlock]:
+    """Re-yield ``blocks``, raising once ``deadline`` passes."""
+    for block in blocks:
+        deadline.check("query stream")
+        yield block
+
+
+class _ResilientStream:
+    """A re-openable view of one deterministic server block stream.
+
+    Duck-types :class:`~repro.engine.rowblock.BlockStream` (``columns``,
+    ``stats``, iteration, ``close``) so the prefetch/sequential plumbing
+    is oblivious to faults.  When a pull raises a
+    :class:`~repro.common.errors.TransientError`, the abandoned attempt
+    is accounted (its scan bytes plus one result header go to the
+    stream's ``retry_bytes``), the stream re-opens through the same
+    factory, and iteration **fast-forwards** past the ``delivered`` rows
+    the consumer already holds — re-pulled-and-skipped row payloads also
+    go to ``retry_bytes``.  Server scans are deterministic (same query,
+    same snapshot, same order), and block payload bytes are
+    block-boundary-independent, so the blocks the consumer sees — and
+    every primary ledger charge made from them — are byte-identical to a
+    fault-free run.
+
+    The retry budget counts *faults without progress*: any attempt that
+    delivers at least one new row resets it, so a long stream under a
+    constant fault rate still completes — permanent failure needs
+    ``max_attempts`` consecutive faults with zero rows in between.
+
+    Counters (``retries``, ``retry_bytes``) are folded into the ledger by
+    the consuming side once iteration ends; this class never touches the
+    ledger itself (the prefetch producer iterates it from another
+    thread).
+    """
+
+    def __init__(
+        self,
+        open_stream: Callable[[], BlockStream],
+        policy: RetryPolicy,
+        deadline: Deadline | None,
+        rng: random.Random,
+    ) -> None:
+        self._open_stream = open_stream
+        self._policy = policy
+        self._deadline = deadline
+        self._rng = rng
+        self._stream: BlockStream | None = None
+        self._gen: Iterator[RowBlock] | None = None
+        self.columns: list[str] = []
+        self.delivered = 0
+        self.retries = 0
+        self.retry_bytes = 0
+
+    @property
+    def stats(self):
+        """The *final* attempt's stats (abandoned attempts went to
+        ``retry_bytes``); scan accounting is static, so this matches the
+        fault-free charge exactly."""
+        return self._stream.stats if self._stream is not None else None
+
+    def open(self) -> None:
+        """Open the initial stream, retrying transient open failures.
+
+        Failed opens charge no retry bytes: the server produced nothing
+        (pre-call faults and statement errors happen before any scan
+        output exists)."""
+
+        def note(attempt: int, exc: BaseException) -> None:
+            self.retries += 1
+
+        self._stream = retry_call(
+            self._open_stream,
+            self._policy,
+            deadline=self._deadline,
+            rng=self._rng,
+            on_retry=note,
+        )
+        self.columns = list(self._stream.columns)
+
+    def __iter__(self) -> Iterator[RowBlock]:
+        if self._gen is None:
+            self._gen = self._blocks()
+        return self._gen
+
+    def close(self) -> None:
+        if self._gen is not None:
+            self._gen.close()
+        elif self._stream is not None:
+            self._stream.close()
+
+    # -- internals -----------------------------------------------------------
+
+    def _abandon(self) -> None:
+        """Account and drop the current attempt after a mid-stream fault."""
+        stream = self._stream
+        if stream is None:
+            return
+        stream.close()
+        stats = stream.stats
+        if stats is not None:
+            self.retry_bytes += stats.bytes_scanned
+        self.retry_bytes += result_header_bytes(stream.columns)
+        self._stream = None
+
+    def _backoff(self, faults: int, cause: BaseException) -> None:
+        pause = self._policy.delay(faults, self._rng)
+        if self._deadline is not None:
+            remaining = self._deadline.remaining()
+            if remaining <= 0:
+                raise DeadlineExceededError(
+                    "deadline expired while resuming an interrupted stream"
+                ) from cause
+            pause = min(pause, remaining)
+        if pause > 0:
+            time.sleep(pause)
+
+    def _blocks(self) -> Iterator[RowBlock]:
+        faults = 0  # Consecutive faults with zero blocks received in between.
+        skip = 0  # Rows to fast-forward past on the current attempt.
+        try:
+            while True:
+                # Any block received this attempt counts as progress — a
+                # resume replays every delivered row through fresh fault
+                # draws, so judging progress by *new* rows would compound
+                # the failure probability with stream depth.  A block
+                # means the server is alive; the budget guards against a
+                # dead one (max_attempts faults with nothing received,
+                # probability rate**max_attempts per point).
+                received = 0
+                try:
+                    if self._stream is None:
+                        # Re-opens get the same retry budget as the
+                        # initial open: a pre-call fault on the reopen
+                        # request must not burn a stream-resume attempt.
+                        self.open()
+                    for block in self._stream:
+                        received += 1
+                        if self._deadline is not None:
+                            self._deadline.check("query stream")
+                        if skip >= len(block) > 0:
+                            skip -= len(block)
+                            self.retry_bytes += block.payload_bytes()
+                            continue
+                        if skip:
+                            dropped = RowBlock(
+                                [c[:skip] for c in block.columns], skip
+                            )
+                            self.retry_bytes += dropped.payload_bytes()
+                            block = RowBlock(
+                                [c[skip:] for c in block.columns],
+                                len(block) - skip,
+                            )
+                            skip = 0
+                        self.delivered += len(block)
+                        yield block
+                    return
+                except TransientError as exc:
+                    self._abandon()
+                    if received > 0:
+                        faults = 1  # Progress was made: budget resets.
+                    else:
+                        faults += 1
+                    if faults >= self._policy.max_attempts:
+                        raise
+                    self.retries += 1
+                    self._backoff(faults, exc)
+                    skip = self.delivered
+        finally:
+            if self._stream is not None:
+                self._stream.close()
+
+
 class PlanExecutor:
     """Executes split plans for one (server backend, key chain) pair.
 
@@ -151,6 +358,7 @@ class PlanExecutor:
         block_rows: int = DEFAULT_BLOCK_ROWS,
         partitions: int | None = None,
         prefetch_blocks: int | None = None,
+        retry_policy: RetryPolicy | None = None,
     ) -> None:
         self.backend = as_backend(server)
         self.provider = provider
@@ -160,6 +368,11 @@ class PlanExecutor:
         self.block_rows = block_rows
         self.partitions = resolve_workers(partitions, env_name=PARTITIONS_ENV)
         self.prefetch_blocks = _resolve_prefetch(prefetch_blocks)
+        self.retry_policy = retry_policy if retry_policy is not None else RetryPolicy()
+        # Backoff jitter draws from a fixed-seed RNG so a given fault
+        # schedule replays with identical retry timing (and never
+        # perturbs any other randomness in the process).
+        self._retry_rng = random.Random(0x5EED)
         if not streaming and self.partitions > 1:
             if partitions is not None:
                 # An explicit contradiction fails loudly: the caller asked
@@ -197,18 +410,24 @@ class PlanExecutor:
             block_rows=self.block_rows,
             partitions=1,
             prefetch_blocks=self.prefetch_blocks,
+            retry_policy=self.retry_policy,
         )
 
-    def execute(self, plan: SplitPlan) -> tuple[ResultSet, CostLedger]:
+    def execute(
+        self, plan: SplitPlan, deadline: Deadline | None = None
+    ) -> tuple[ResultSet, CostLedger]:
         if self.streaming:
-            stream = self.execute_iter(plan)
+            stream = self.execute_iter(plan, deadline=deadline)
             return stream.drain(), stream.ledger
         ledger = CostLedger()
-        result = self._run(plan, ledger)
+        result = self._run(plan, ledger, deadline)
         return result, ledger
 
     def execute_iter(
-        self, plan: SplitPlan, block_rows: int | None = None
+        self,
+        plan: SplitPlan,
+        block_rows: int | None = None,
+        deadline: Deadline | None = None,
     ) -> PlanStream:
         """Stream the plan's result as decrypted RowBlocks."""
         if block_rows is None:
@@ -224,10 +443,17 @@ class PlanExecutor:
                     item.output_name(i)
                     for i, item in enumerate(plan.residual.items)
                 ]
-            blocks = self._stream_plan(plan, relation, out_names, ledger, block_rows)
+            blocks = self._stream_plan(
+                plan, relation, out_names, ledger, block_rows, deadline
+            )
             return PlanStream(columns, blocks, ledger)
-        result = self._run(plan, ledger)
+        result = self._run(plan, ledger, deadline)
         blocks = blocks_from_rows(result.rows, len(result.columns), block_rows)
+        if deadline is not None:
+            # Materialized fallback: blocks come from memory, but the
+            # timeout contract covers the stream's whole lifetime — a
+            # slow consumer still times out at block granularity.
+            blocks = _deadline_checked(blocks, deadline)
         return PlanStream(list(result.columns), blocks, ledger)
 
     # -- streaming path ------------------------------------------------------
@@ -273,10 +499,11 @@ class PlanExecutor:
         out_names: list[str],
         ledger: CostLedger,
         block_rows: int,
+        deadline: Deadline | None,
     ) -> Iterator[RowBlock]:
-        server_params, residual_params = self._bind_subplans(plan, ledger)
+        server_params, residual_params = self._bind_subplans(plan, ledger, deadline)
         source = self._stream_remote(
-            relation, out_names, server_params, ledger, block_rows
+            relation, out_names, server_params, ledger, block_rows, deadline
         )
         if plan.residual is None:
             yield from source
@@ -319,6 +546,7 @@ class PlanExecutor:
         server_params: dict[str, object],
         ledger: CostLedger,
         block_rows: int,
+        deadline: Deadline | None,
     ) -> Iterator[RowBlock]:
         """Server scan → network → per-block decrypt → per-block unnest."""
         specs = relation.specs
@@ -331,19 +559,25 @@ class PlanExecutor:
         # backends fall back to their serial streaming path internally,
         # and a backend without native streaming raises ConfigError from
         # the base execute_stream — the policy lives in one place.
-        with ledger.timing_server():
+
+        def open_stream() -> BlockStream:
             if partitions > 1:
-                stream = self.backend.execute_stream(
+                return self.backend.execute_stream(
                     relation.query,
                     params=server_params,
                     block_rows=block_rows,
                     partitions=partitions,
                 )
-            else:
-                # Third-party backends may predate the partitions kwarg.
-                stream = self.backend.execute_stream(
-                    relation.query, params=server_params, block_rows=block_rows
-                )
+            # Third-party backends may predate the partitions kwarg.
+            return self.backend.execute_stream(
+                relation.query, params=server_params, block_rows=block_rows
+            )
+
+        stream = _ResilientStream(
+            open_stream, self.retry_policy, deadline, self._retry_rng
+        )
+        with ledger.timing_server():
+            stream.open()
         if len(specs) != len(stream.columns):
             raise ExecutionError(
                 f"decrypt spec count {len(specs)} != result columns "
@@ -354,11 +588,16 @@ class PlanExecutor:
             result_header_bytes(stream.columns), self.network
         )
         if self.prefetch_blocks > 0:
-            produced = self._prefetched_blocks(stream, ledger)
+            produced = self._prefetched_blocks(stream, ledger, deadline)
         else:
             produced = self._sequential_blocks(stream, ledger)
         try:
             for block in produced:
+                if deadline is not None:
+                    # Consumer-side check: with prefetch, the producer may
+                    # have queued every block before expiry — a slow
+                    # consumer must still time out at block granularity.
+                    deadline.check("query stream")
                 ledger.add_block_transfer(block.payload_bytes(), self.network)
                 with ledger.timing_client():
                     out = RowBlock(
@@ -371,14 +610,20 @@ class PlanExecutor:
         finally:
             # Runs on exhaustion AND on early termination (residual LIMIT):
             # scan accounting is static, so the full footprint is charged
-            # either way — identical to the materializing path.
+            # either way — identical to the materializing path.  The
+            # close joins the producer, so the resilient stream's retry
+            # counters are stable when the consumer folds them in here —
+            # the ledger is only ever touched from the consuming side.
             produced.close()
-            scanned = stream.stats.bytes_scanned
+            ledger.retries += stream.retries
+            ledger.retry_bytes += stream.retry_bytes
+            stats = stream.stats
+            scanned = stats.bytes_scanned if stats is not None else 0
             ledger.server_bytes_scanned += scanned
             ledger.server_seconds += self.disk.read_seconds(scanned)
 
     def _sequential_blocks(
-        self, stream: BlockStream, ledger: CostLedger
+        self, stream: "_ResilientStream", ledger: CostLedger
     ) -> Iterator[RowBlock]:
         """Alternating mode: pull each server block inline, then decrypt."""
         blocks = iter(stream)
@@ -393,7 +638,10 @@ class PlanExecutor:
             stream.close()
 
     def _prefetched_blocks(
-        self, stream: BlockStream, ledger: CostLedger
+        self,
+        stream: "_ResilientStream",
+        ledger: CostLedger,
+        deadline: Deadline | None = None,
     ) -> Iterator[RowBlock]:
         """Pipelined mode: a producer thread pulls server blocks into a
         bounded queue while the consumer decrypts.
@@ -420,6 +668,24 @@ class PlanExecutor:
             try:
                 blocks = iter(stream)
                 while not stop.is_set():
+                    if deadline is not None and deadline.expired:
+                        # Deliver the expiry in-band: the consumer is
+                        # blocked on the queue and must be woken to raise
+                        # the typed error (returning silently would
+                        # strand it).
+                        queue_put_bounded(
+                            out,
+                            (
+                                "error",
+                                DeadlineExceededError(
+                                    "query exceeded its deadline while "
+                                    "prefetching server blocks"
+                                ),
+                                0.0,
+                            ),
+                            stop,
+                        )
+                        return
                     start = time.perf_counter()
                     try:
                         block = next(blocks, None)
@@ -453,18 +719,25 @@ class PlanExecutor:
                     out.get_nowait()
                 except queue_mod.Empty:
                     break
-            producer.join()
+            # Bounded: a producer stuck inside a wedged backend call must
+            # not wedge the consumer's close() too (the thread is a
+            # daemon; giving up the join leaks no process resources the
+            # interpreter cannot reclaim at exit).
+            producer.join(timeout=_PRODUCER_JOIN_SECONDS)
 
     # -- internals ----------------------------------------------------------------
 
     def _bind_subplans(
-        self, plan: SplitPlan, ledger: CostLedger
+        self,
+        plan: SplitPlan,
+        ledger: CostLedger,
+        deadline: Deadline | None = None,
     ) -> tuple[dict[str, object], dict[str, object]]:
         """Run subplans (their own round trips); bind their results."""
         server_params: dict[str, object] = {}
         residual_params: dict[str, object] = {}
         for subplan in plan.subplans:
-            sub_result = self._run(subplan.plan, ledger)
+            sub_result = self._run(subplan.plan, ledger, deadline)
             values = [row[0] for row in sub_result.rows]
             if subplan.mode == "in_set_server":
                 with ledger.timing_client():
@@ -486,17 +759,24 @@ class PlanExecutor:
                 raise ExecutionError(f"unknown subplan mode {subplan.mode!r}")
         return server_params, residual_params
 
-    def _run(self, plan: SplitPlan, ledger: CostLedger) -> ResultSet:
-        server_params, residual_params = self._bind_subplans(plan, ledger)
+    def _run(
+        self,
+        plan: SplitPlan,
+        ledger: CostLedger,
+        deadline: Deadline | None = None,
+    ) -> ResultSet:
+        server_params, residual_params = self._bind_subplans(plan, ledger, deadline)
 
         client_db = Database("client_tmp")
         for relation in plan.relations:
+            if deadline is not None:
+                deadline.check()
             if isinstance(relation, RemoteRelation):
                 columns, rows = self._materialize_remote(
-                    relation, server_params, ledger
+                    relation, server_params, ledger, deadline
                 )
             elif isinstance(relation, ClientRelation):
-                inner = self._run(relation.plan, ledger)
+                inner = self._run(relation.plan, ledger, deadline)
                 columns, rows = list(inner.columns), inner.rows
             else:
                 raise ExecutionError(f"unknown relation {relation!r}")
@@ -510,6 +790,8 @@ class PlanExecutor:
         if plan.residual is None:
             only = next(iter(client_db.tables.values()))
             return ResultSet(list(only.schema.column_names), list(only.rows))
+        if deadline is not None:
+            deadline.check()
         executor = Executor(client_db)
         with ledger.timing_client():
             return executor.execute(plan.residual, params=residual_params)
@@ -521,9 +803,24 @@ class PlanExecutor:
         relation: RemoteRelation,
         server_params: dict[str, object],
         ledger: CostLedger,
+        deadline: Deadline | None = None,
     ) -> tuple[list[str], list[tuple]]:
-        with ledger.timing_server():
-            result = self.backend.execute(relation.query, params=server_params)
+        def attempt() -> ResultSet:
+            with ledger.timing_server():
+                return self.backend.execute(relation.query, params=server_params)
+
+        def note(attempt_no: int, exc: BaseException) -> None:
+            # Abandoned materialized attempts charge no retry bytes: a
+            # failed execute produced no result and reports no scan.
+            ledger.retries += 1
+
+        result = retry_call(
+            attempt,
+            self.retry_policy,
+            deadline=deadline,
+            rng=self._retry_rng,
+            on_retry=note,
+        )
         bytes_scanned = self.backend.last_stats.bytes_scanned
         ledger.server_bytes_scanned += bytes_scanned
         ledger.server_seconds += self.disk.read_seconds(bytes_scanned)

@@ -8,6 +8,13 @@ convention (a raw `engine.Database`).
 from __future__ import annotations
 
 from repro.server.backend import ServerBackend, as_backend
+from repro.server.chaos import (
+    CHAOS_ENV,
+    FaultInjectingBackend,
+    chaos_from_env,
+    maybe_wrap_chaos,
+    parse_chaos,
+)
 from repro.server.inmemory import InMemoryBackend
 from repro.server.sqlite import SQLiteBackend
 
@@ -25,9 +32,14 @@ def make_backend(kind: str, name: str = "server", **options) -> ServerBackend:
 
 __all__ = [
     "BACKEND_KINDS",
+    "CHAOS_ENV",
+    "FaultInjectingBackend",
     "InMemoryBackend",
     "SQLiteBackend",
     "ServerBackend",
     "as_backend",
+    "chaos_from_env",
     "make_backend",
+    "maybe_wrap_chaos",
+    "parse_chaos",
 ]

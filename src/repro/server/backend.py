@@ -78,6 +78,39 @@ class ServerBackend(ABC):
         tables = sum(self.table_bytes(n) for n in self.table_names())
         return tables + self.ciphertext_store.total_bytes
 
+    def has_table(self, table_name: str) -> bool:
+        """True when the table already exists on this server."""
+        return table_name in self.table_names()
+
+    # -- resumable load support ----------------------------------------------
+    #
+    # The crash-safe loader (journal-driven resume) needs two extra
+    # capabilities: counting the rows a half-finished load already
+    # committed, and re-registering a table's schema against data that
+    # survived a crash.  They are optional — backends that do not
+    # implement them simply cannot resume (the loader falls back to a
+    # fresh load), so third-party backends written against the older
+    # contract keep working.
+
+    def row_count(self, table_name: str) -> int:
+        """Rows currently stored in one table."""
+        raise ConfigError(
+            f"backend {self.kind!r} does not support resumable loads "
+            "(row_count is not implemented)"
+        )
+
+    def adopt_table(self, schema: TableSchema) -> None:
+        """Re-register ``schema`` for a table whose data already exists.
+
+        Used when resuming a crashed bulk load against durable storage:
+        a fresh backend object must recover the schema registration and
+        logical byte accounting for rows a previous process committed.
+        """
+        raise ConfigError(
+            f"backend {self.kind!r} does not support resumable loads "
+            "(adopt_table is not implemented)"
+        )
+
     # -- query execution ------------------------------------------------------
 
     @abstractmethod
@@ -210,6 +243,15 @@ class DelegatingView(ServerBackend):
 
     def table_bytes(self, table_name: str) -> int:
         return self._parent.table_bytes(table_name)
+
+    def has_table(self, table_name: str) -> bool:
+        return self._parent.has_table(table_name)
+
+    def row_count(self, table_name: str) -> int:
+        return self._parent.row_count(table_name)
+
+    def adopt_table(self, schema: TableSchema) -> None:
+        self._parent.adopt_table(schema)
 
 
 class LockScopedView(DelegatingView):

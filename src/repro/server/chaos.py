@@ -1,0 +1,274 @@
+"""Fault injection: a chaos proxy over any :class:`ServerBackend`.
+
+:class:`FaultInjectingBackend` wraps a real backend and injects the
+failures a networked MONOMI deployment would actually see — transient
+request errors, result streams cut off mid-flight, latency spikes — at
+the seam where the client library talks to the untrusted server.  The
+rest of the stack is untouched: the resilience layer (retries in
+:mod:`repro.common.retry`, stream resume in the plan executor, deadline
+propagation) is exercised by the *same* query paths the production
+configuration runs, which is the point.
+
+Determinism: every injection decision comes from one seeded
+``random.Random`` shared (under a lock) by the wrapper and all of its
+worker views, so a single-threaded run with a given ``(seed, rate)``
+replays the exact same fault schedule.  Concurrent service runs
+interleave draws nondeterministically — there the guarantee under test
+is the *invariant*, not the schedule: whatever faults land, a query
+either returns byte-identical results to a fault-free run or raises a
+typed error.
+
+Enable it globally with ``MONOMI_CHAOS=seed:rate`` (e.g. ``7:0.05``):
+:class:`~repro.core.client.MonomiClient` wraps its backend after
+loading, which turns the whole equivalence suite into a chaos suite.
+
+Failure-probability design note: injection is a Bernoulli draw per
+*point* (one per request, one per streamed block), so long streams see
+more faults than short ones — realistic, and safe because the
+executor's stream resume resets its retry budget whenever an attempt
+receives any block at all (a resume replays already-delivered rows
+through fresh fault draws, so a budget keyed on *new* rows would
+compound with stream depth).  A query fails permanently only after
+``max_attempts`` faults with zero blocks received in between,
+probability ``rate ** max_attempts`` per point — negligible at the
+rates CI runs.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import threading
+import time
+from typing import Iterable, Iterator
+
+from repro.common.errors import (
+    ConfigError,
+    InjectedFaultError,
+    TruncatedStreamError,
+)
+from repro.engine.executor import ResultSet
+from repro.engine.rowblock import DEFAULT_BLOCK_ROWS, BlockStream, RowBlock
+from repro.server.backend import (
+    DelegatingView,
+    ServerBackend,
+    supports_partitions,
+)
+from repro.sql import ast
+
+#: Environment variable that arms chaos globally: ``"seed:rate"``.
+CHAOS_ENV = "MONOMI_CHAOS"
+
+#: Upper bound on one injected latency spike (seconds) — large enough to
+#: perturb scheduling, small enough that chaos CI stays fast.
+_MAX_LATENCY_SPIKE = 0.005
+
+
+def parse_chaos(spec: str) -> tuple[int, float]:
+    """Parse a ``"seed:rate"`` chaos spec into ``(seed, rate)``."""
+    seed_text, sep, rate_text = spec.partition(":")
+    if not sep:
+        raise ConfigError(
+            f"{CHAOS_ENV} must look like 'seed:rate' (e.g. '7:0.05'), "
+            f"got {spec!r}"
+        )
+    try:
+        seed = int(seed_text)
+        rate = float(rate_text)
+    except ValueError:
+        raise ConfigError(
+            f"{CHAOS_ENV} must be 'int:float', got {spec!r}"
+        ) from None
+    if not 0.0 <= rate <= 1.0:
+        raise ConfigError(f"{CHAOS_ENV} rate must be in [0, 1], got {rate}")
+    return seed, rate
+
+
+def chaos_from_env() -> tuple[int, float] | None:
+    """The ``MONOMI_CHAOS`` spec, parsed, or None when chaos is off."""
+    raw = os.environ.get(CHAOS_ENV)
+    if raw is None or raw == "":
+        return None
+    return parse_chaos(raw)
+
+
+class _ChaosCore:
+    """The shared heart of one chaos configuration: RNG, lock, counters.
+
+    One core is shared by a :class:`FaultInjectingBackend` and every
+    worker view it hands out, so the whole service sees one fault
+    schedule and one set of counters.
+    """
+
+    def __init__(self, seed: int, rate: float) -> None:
+        self.seed = seed
+        self.rate = rate
+        self._rng = random.Random(seed)
+        self._lock = threading.Lock()
+        self.draws = 0
+        self.injected_errors = 0
+        self.truncations = 0
+        self.latency_spikes = 0
+
+    def rng_copy(self) -> random.Random:
+        """An independently seeded RNG for retry jitter (not the fault RNG:
+        backoff draws must not shift the fault schedule)."""
+        return random.Random(self.seed ^ 0x5EED)
+
+    def decide_call(self, what: str) -> None:
+        """One injection point before a request: maybe raise, else return."""
+        with self._lock:
+            self.draws += 1
+            if self.rate <= 0.0 or self._rng.random() >= self.rate:
+                return
+            self.injected_errors += 1
+        raise InjectedFaultError(f"injected fault before {what}")
+
+    def decide_stream_point(self) -> tuple[str, float] | None:
+        """One injection point per streamed block.
+
+        Returns ``None`` (no fault), ``("latency", seconds)`` or a
+        ``("error" | "truncate", 0.0)`` verdict the caller turns into the
+        matching exception.  The sleep itself happens outside the lock.
+        """
+        with self._lock:
+            self.draws += 1
+            if self.rate <= 0.0 or self._rng.random() >= self.rate:
+                return None
+            kind_draw = self._rng.random()
+            if kind_draw < 0.4:
+                self.injected_errors += 1
+                return ("error", 0.0)
+            if kind_draw < 0.7:
+                self.truncations += 1
+                return ("truncate", 0.0)
+            self.latency_spikes += 1
+            return ("latency", self._rng.uniform(0.0005, _MAX_LATENCY_SPIKE))
+
+    def stats(self) -> dict[str, int | float]:
+        with self._lock:
+            return {
+                "seed": self.seed,
+                "rate": self.rate,
+                "draws": self.draws,
+                "injected_errors": self.injected_errors,
+                "truncations": self.truncations,
+                "latency_spikes": self.latency_spikes,
+            }
+
+
+class FaultInjectingBackend(DelegatingView):
+    """A chaos proxy: delegates to a real backend, injecting faults.
+
+    Injection points (each a Bernoulli draw at the configured rate):
+
+    * **before** ``execute`` / ``insert_rows`` / ``execute_stream`` — a
+      transient :class:`InjectedFaultError`, as if the request never
+      reached the server (no server work is wasted, matching a
+      connection failure);
+    * **per block** of a streamed result —
+      :class:`InjectedFaultError` (connection dropped),
+      :class:`TruncatedStreamError` (result cut off mid-flight), or a
+      latency spike (the block arrives late but intact).
+
+    Loads through ``create_table`` / ``add_ciphertext_file`` and all
+    introspection pass through untouched — chaos targets the query and
+    bulk-insert paths the resilience layer defends.
+    """
+
+    def __init__(
+        self,
+        parent: ServerBackend,
+        seed: int = 0,
+        rate: float = 0.0,
+        core: _ChaosCore | None = None,
+    ) -> None:
+        super().__init__(parent)
+        self._core = core if core is not None else _ChaosCore(seed, rate)
+
+    @property
+    def kind(self) -> str:  # type: ignore[override]
+        return f"chaos({self._parent.kind})"
+
+    @property
+    def chaos_rng(self) -> random.Random:
+        """Seeded jitter RNG for the retry layer (deterministic runs)."""
+        return self._core.rng_copy()
+
+    def stats(self) -> dict[str, int | float]:
+        """Injection counters so tests can assert chaos actually fired."""
+        return self._core.stats()
+
+    def worker_view(self) -> ServerBackend:
+        """Wrap the parent's worker view; all views share one fault RNG."""
+        return FaultInjectingBackend(self._parent.worker_view(), core=self._core)
+
+    # -- faulted paths -------------------------------------------------------
+
+    def insert_rows(self, table_name: str, rows: Iterable[tuple]) -> None:
+        self._core.decide_call(f"insert_rows({table_name!r})")
+        self._parent.insert_rows(table_name, rows)
+
+    def execute(
+        self, query: ast.Select, params: dict[str, object] | None = None
+    ) -> ResultSet:
+        self._core.decide_call("execute")
+        result = self._parent.execute(query, params=params)
+        self.last_stats = self._parent.last_stats
+        return result
+
+    def execute_stream(
+        self,
+        query: ast.Select,
+        params: dict[str, object] | None = None,
+        block_rows: int = DEFAULT_BLOCK_ROWS,
+        partitions: int = 1,
+    ) -> BlockStream:
+        self._core.decide_call("execute_stream")
+        if supports_partitions(self._parent):
+            parent_stream = self._parent.execute_stream(
+                query,
+                params=params,
+                block_rows=block_rows,
+                partitions=partitions,
+            )
+        else:
+            if partitions > 1:
+                raise ConfigError(
+                    f"backend {self._parent.kind!r} does not accept "
+                    f"partitions; cannot run partitions={partitions}"
+                )
+            parent_stream = self._parent.execute_stream(
+                query, params=params, block_rows=block_rows
+            )
+        blocks = self._faulted_blocks(parent_stream)
+        return BlockStream(parent_stream.columns, blocks, parent_stream.stats)
+
+    def _faulted_blocks(self, parent_stream: BlockStream) -> Iterator[RowBlock]:
+        try:
+            for block in parent_stream:
+                verdict = self._core.decide_stream_point()
+                if verdict is not None:
+                    kind, sleep_for = verdict
+                    if kind == "latency":
+                        time.sleep(sleep_for)
+                    elif kind == "error":
+                        raise InjectedFaultError(
+                            "injected fault while streaming result blocks"
+                        )
+                    else:
+                        raise TruncatedStreamError(
+                            "injected truncation: stream cut off mid-result"
+                        )
+                yield block
+        finally:
+            parent_stream.close()
+
+
+def maybe_wrap_chaos(backend: ServerBackend) -> ServerBackend:
+    """Wrap ``backend`` per ``MONOMI_CHAOS`` (idempotent; no-op when unset)."""
+    spec = chaos_from_env()
+    if spec is None or isinstance(backend, FaultInjectingBackend):
+        return backend
+    seed, rate = spec
+    return FaultInjectingBackend(backend, seed=seed, rate=rate)

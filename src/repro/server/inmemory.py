@@ -66,6 +66,20 @@ class InMemoryBackend(ServerBackend):
     def table_bytes(self, table_name: str) -> int:
         return self.database.table(table_name).total_bytes
 
+    # -- resumable load support ----------------------------------------------
+    #
+    # In-memory tables die with the process, so cross-process resume never
+    # finds data here; these exist for *same-process* resume (a load that
+    # failed transiently partway and is re-driven over the same backend
+    # object), where the catalog still holds everything.
+
+    def row_count(self, table_name: str) -> int:
+        return len(self.database.table(table_name).rows)
+
+    def adopt_table(self, schema: TableSchema) -> None:
+        # The catalog registration *is* the table: nothing to rebuild.
+        self.database.table(schema.name)
+
     # -- query execution ------------------------------------------------------
 
     def execute(

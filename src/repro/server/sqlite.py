@@ -42,7 +42,7 @@ import urllib.parse
 from dataclasses import replace
 from typing import Iterable
 
-from repro.common.errors import EngineError, ExecutionError
+from repro.common.errors import BackendBusyError, EngineError, ExecutionError
 from repro.common.parallel import queue_put_bounded, shard_spans
 from repro.crypto.search import TAG_BYTES
 from repro.engine.aggregates import GrpAgg, HomAgg, HomAggResult
@@ -141,6 +141,26 @@ def _decode_hom(blob: bytes, store: CiphertextStore) -> HomAggResult:
         ciphertext_bytes=file.ciphertext_bytes,
         layout=file.layout,
     )
+
+
+def _is_busy_error(exc: sqlite3.Error) -> bool:
+    """SQLITE_BUSY / SQLITE_LOCKED: transient lock contention, not a bug.
+
+    These surface *after* the connection's own ``busy_timeout`` retries
+    are exhausted, so translating them to
+    :class:`~repro.common.errors.BackendBusyError` hands the decision up
+    to the query-level retry layer instead of failing the query outright.
+    """
+    if not isinstance(exc, sqlite3.OperationalError):
+        return False
+    text = str(exc).lower()
+    return "locked" in text or "busy" in text
+
+
+def _translate_sqlite_error(exc: sqlite3.Error, sql_text: str) -> Exception:
+    if _is_busy_error(exc):
+        return BackendBusyError(f"SQLite busy: {exc} in {sql_text!r}")
+    return ExecutionError(f"SQLite error: {exc} in {sql_text!r}")
 
 
 # ---------------------------------------------------------------------------
@@ -516,11 +536,18 @@ class SQLiteBackend(ServerBackend):
                 )
             total += row_bytes(row)
             encoded.append(tuple(encode_sqlite_value(v) for v in row))
-        self.connection.executemany(
-            f"INSERT INTO {quote_ident(table_name)} VALUES ({placeholders})",
-            encoded,
+        insert_sql = (
+            f"INSERT INTO {quote_ident(table_name)} VALUES ({placeholders})"
         )
-        self.connection.commit()
+        try:
+            self.connection.executemany(insert_sql, encoded)
+            self.connection.commit()
+        except sqlite3.Error as exc:
+            # Roll back the implicit transaction so a retried batch never
+            # double-inserts half-written rows; byte accounting below only
+            # moves on a successful commit for the same reason.
+            self.connection.rollback()
+            raise _translate_sqlite_error(exc, insert_sql) from exc
         self._table_bytes[table_name] += total
 
     # -- introspection -------------------------------------------------------
@@ -533,6 +560,58 @@ class SQLiteBackend(ServerBackend):
             return self._table_bytes[table_name]
         except KeyError:
             raise EngineError(f"unknown table {table_name!r}") from None
+
+    # -- resumable load support ----------------------------------------------
+
+    def has_table(self, table_name: str) -> bool:
+        """True when the table exists — registered here *or* persisted in
+        the database file by a previous process (the resume case)."""
+        if table_name in self.schemas:
+            return True
+        row = self.connection.execute(
+            "SELECT name FROM sqlite_master WHERE type = 'table' AND name = ?",
+            (table_name,),
+        ).fetchone()
+        return row is not None
+
+    def row_count(self, table_name: str) -> int:
+        if not self.has_table(table_name):
+            raise EngineError(f"unknown table {table_name!r}")
+        (count,) = self.connection.execute(
+            f"SELECT COUNT(*) FROM {quote_ident(table_name)}"
+        ).fetchone()
+        return count
+
+    def adopt_table(self, schema: TableSchema) -> None:
+        """Register ``schema`` over rows a previous process committed.
+
+        The crash-resume path: the table lives in the database file but
+        this backend object has never seen it.  Logical byte accounting
+        is recomputed by scanning and decoding the surviving rows, so
+        ``table_bytes`` — and with it every scan charge — is identical
+        to what an uninterrupted load would have recorded.
+        """
+        if schema.name in self.schemas:
+            return  # Already registered (same-process resume): nothing to do.
+        if not self.has_table(schema.name):
+            raise EngineError(
+                f"cannot adopt {schema.name!r}: not present in the database"
+            )
+        store = self.ciphertext_store
+        total = 0
+        cursor = self.connection.execute(
+            f"SELECT * FROM {quote_ident(schema.name)}"
+        )
+        while True:
+            raw = cursor.fetchmany(DEFAULT_BLOCK_ROWS)
+            if not raw:
+                break
+            for row in raw:
+                total += row_bytes(
+                    tuple(decode_sqlite_value(v, store) for v in row)
+                )
+        self.schemas[schema.name] = schema
+        self._table_bytes[schema.name] = total
 
     # -- query execution ------------------------------------------------------
 
@@ -605,7 +684,7 @@ class SQLiteBackend(ServerBackend):
             cursor = conn.execute(sql_text, bind)
             raw_rows = cursor.fetchall()
         except sqlite3.Error as exc:
-            raise ExecutionError(f"SQLite error: {exc} in {sql_text!r}") from exc
+            raise _translate_sqlite_error(exc, sql_text) from exc
         rows = [
             tuple(decode_sqlite_value(v, store) for v in row) for row in raw_rows
         ]
@@ -688,7 +767,7 @@ class SQLiteBackend(ServerBackend):
             cursor.execute(sql_text, bind)
         except sqlite3.Error as exc:
             cursor.close()
-            raise ExecutionError(f"SQLite error: {exc} in {sql_text!r}") from exc
+            raise _translate_sqlite_error(exc, sql_text) from exc
 
         def blocks():
             try:
@@ -696,9 +775,7 @@ class SQLiteBackend(ServerBackend):
                     try:
                         raw = cursor.fetchmany(block_rows)
                     except sqlite3.Error as exc:
-                        raise ExecutionError(
-                            f"SQLite error: {exc} in {sql_text!r}"
-                        ) from exc
+                        raise _translate_sqlite_error(exc, sql_text) from exc
                     if not raw:
                         break
                     rows = [
@@ -796,9 +873,7 @@ class SQLiteBackend(ServerBackend):
                         return  # Consumer closed early; stop scanning.
             except sqlite3.Error as exc:
                 queue_put_bounded(
-                    out,
-                    ("error", ExecutionError(f"SQLite error: {exc} in {sql_text!r}")),
-                    stop,
+                    out, ("error", _translate_sqlite_error(exc, sql_text)), stop
                 )
             except Exception as exc:
                 # Anything else (decode errors on corrupt blobs, store

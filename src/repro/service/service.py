@@ -25,6 +25,11 @@ entirely on the trusted client side, wrapping one
 * **Prepared statements** — :meth:`MonomiService.prepare` /
   :meth:`MonomiService.execute_prepared` re-encrypt only the parameter
   literals under the cached plan (see :mod:`repro.service.prepared`).
+* **Resilience** — ``timeout=`` on submit arms a deadline at *submit*
+  time (queue wait counts against it), and a whole-query retry re-runs a
+  query whose transient fault escaped the executor's in-query recovery
+  (counted in ``stats().query_retries``; each attempt gets a fresh
+  ledger, so byte accounting stays identical to a fault-free run).
 
 Concurrency contract: results and ledger *byte counts* (transfer bytes,
 scanned bytes, round trips) of every query are identical to running the
@@ -36,12 +41,14 @@ across 8 concurrent sessions.
 from __future__ import annotations
 
 import itertools
+import random
 import threading
 from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass
 
 from repro.common.errors import ConfigError
 from repro.common.ledger import CostLedger
+from repro.common.retry import Deadline, RetryPolicy, retry_call
 from repro.core.client import MonomiClient, QueryOutcome
 from repro.core.normalize import normalize_for_execution
 from repro.core.pexec import PlanExecutor
@@ -78,14 +85,24 @@ class ServiceSession:
         self._lock = threading.Lock()
 
     def submit(
-        self, sql: str | ast.Select, params: dict[str, object] | None = None
+        self,
+        sql: str | ast.Select,
+        params: dict[str, object] | None = None,
+        timeout: float | None = None,
     ) -> Future:
-        return self._service.submit(sql, params=params, session=self)
+        return self._service.submit(
+            sql, params=params, session=self, timeout=timeout
+        )
 
     def execute(
-        self, sql: str | ast.Select, params: dict[str, object] | None = None
+        self,
+        sql: str | ast.Select,
+        params: dict[str, object] | None = None,
+        timeout: float | None = None,
     ) -> QueryOutcome:
-        return self._service.execute(sql, params=params, session=self)
+        return self._service.execute(
+            sql, params=params, session=self, timeout=timeout
+        )
 
     def _absorb(self, ledger: CostLedger) -> None:
         with self._lock:
@@ -98,6 +115,7 @@ class ServiceStats:
     """Point-in-time service counters."""
 
     queries: int
+    query_retries: int
     sessions_opened: int
     prepared_statements: int
     prepared_fast_rebinds: int
@@ -143,12 +161,21 @@ class MonomiService:
         client: MonomiClient,
         workers: int = DEFAULT_WORKERS,
         plan_cache_size: int = DEFAULT_PLAN_CACHE_SIZE,
+        retry_policy: RetryPolicy | None = None,
     ) -> None:
         if workers < 1:
             raise ConfigError(f"service needs at least 1 worker, got {workers}")
         self._client = client
         self.workers = workers
         self.plan_cache = PlanCache(plan_cache_size)
+        # Whole-query retry: the executor already retries transient faults
+        # inside a query (stream re-open + fast-forward); this outer policy
+        # re-runs the *entire* query if one still escapes, on a fresh
+        # ledger, so a retried query's primary byte totals stay identical
+        # to a fault-free run.  One retry by default — each attempt is a
+        # full execution, and the inner layer has already burned its budget.
+        self.retry_policy = retry_policy or RetryPolicy(max_attempts=2)
+        self._retry_rng = random.Random(0x5EED)
         # The design is immutable once loaded; fingerprint it once.
         self._design_fp = client.design.fingerprint()
         # Planning mutates nothing, but the planner/cost-model stack was
@@ -166,6 +193,7 @@ class MonomiService:
         self._statements: dict[int, _StatementState] = {}
         self._sessions_opened = 0
         self._queries = 0
+        self._query_retries = 0
         self._fast_rebinds = 0
         self._replans = 0
         self._closed = False
@@ -209,21 +237,32 @@ class MonomiService:
         sql: str | ast.Select,
         params: dict[str, object] | None = None,
         session: ServiceSession | None = None,
+        timeout: float | None = None,
     ) -> Future:
         """Queue one query; the future resolves to a
-        :class:`~repro.core.client.QueryOutcome`."""
+        :class:`~repro.core.client.QueryOutcome`.
+
+        ``timeout`` (seconds) arms a deadline *now*, at submit time — it
+        covers time spent waiting in the worker queue, not just execution,
+        so a saturated service times queries out instead of letting them
+        age silently in the backlog.
+        """
         self._ensure_open()
         query = self._normalize(sql, params)
         target = session or self._default_session
-        return self._pool.submit(self._run_planned_query, target, query)
+        deadline = Deadline.after(timeout) if timeout is not None else None
+        return self._pool.submit(self._run_planned_query, target, query, deadline)
 
     def execute(
         self,
         sql: str | ast.Select,
         params: dict[str, object] | None = None,
         session: ServiceSession | None = None,
+        timeout: float | None = None,
     ) -> QueryOutcome:
-        return self.submit(sql, params=params, session=session).result()
+        return self.submit(
+            sql, params=params, session=session, timeout=timeout
+        ).result()
 
     # -- prepared statements --------------------------------------------------
 
@@ -245,6 +284,7 @@ class MonomiService:
         statement: PreparedStatement,
         params: dict[str, object] | None = None,
         session: ServiceSession | None = None,
+        timeout: float | None = None,
     ) -> Future:
         self._ensure_open()
         state = self._statements.get(statement.statement_id)
@@ -254,8 +294,9 @@ class MonomiService:
                 "(prepared on another service?)"
             )
         target = session or self._default_session
+        deadline = Deadline.after(timeout) if timeout is not None else None
         return self._pool.submit(
-            self._run_prepared, state, target, dict(params or {})
+            self._run_prepared, state, target, dict(params or {}), deadline
         )
 
     def execute_prepared(
@@ -263,8 +304,11 @@ class MonomiService:
         statement: PreparedStatement,
         params: dict[str, object] | None = None,
         session: ServiceSession | None = None,
+        timeout: float | None = None,
     ) -> QueryOutcome:
-        return self.submit_prepared(statement, params=params, session=session).result()
+        return self.submit_prepared(
+            statement, params=params, session=session, timeout=timeout
+        ).result()
 
     # -- reporting ------------------------------------------------------------
 
@@ -272,6 +316,7 @@ class MonomiService:
         with self._state_lock:
             return ServiceStats(
                 queries=self._queries,
+                query_retries=self._query_retries,
                 sessions_opened=self._sessions_opened,
                 prepared_statements=len(self._statements),
                 prepared_fast_rebinds=self._fast_rebinds,
@@ -320,34 +365,61 @@ class MonomiService:
         return executor
 
     def _finish(
-        self, session: ServiceSession, planned: PlannedQuery
+        self,
+        session: ServiceSession,
+        planned: PlannedQuery,
+        deadline: Deadline | None = None,
     ) -> QueryOutcome:
         executor = self._worker_executor()
-        result, ledger = executor.execute(planned.plan)
+
+        def attempt():
+            # Each attempt runs on a fresh ledger inside execute(), so the
+            # outcome's primary byte totals never include abandoned work.
+            return executor.execute(planned.plan, deadline=deadline)
+
+        def note_retry(exc: BaseException, attempts: int) -> None:
+            with self._state_lock:
+                self._query_retries += 1
+
+        result, ledger = retry_call(
+            attempt,
+            self.retry_policy,
+            deadline=deadline,
+            rng=self._retry_rng,
+            on_retry=note_retry,
+        )
         session._absorb(ledger)
         with self._state_lock:
             self._queries += 1
         return QueryOutcome(result, ledger, planned)
 
     def _run_planned_query(
-        self, session: ServiceSession, query: ast.Select
+        self,
+        session: ServiceSession,
+        query: ast.Select,
+        deadline: Deadline | None = None,
     ) -> QueryOutcome:
-        return self._finish(session, self._plan_cached(query))
+        if deadline is not None:
+            deadline.check("query (queued)")
+        return self._finish(session, self._plan_cached(query), deadline)
 
     def _run_prepared(
         self,
         state: _StatementState,
         session: ServiceSession,
         params: dict[str, object],
+        deadline: Deadline | None = None,
     ) -> QueryOutcome:
+        if deadline is not None:
+            deadline.check("prepared query (queued)")
         normalized = self._normalize(state.statement.template, params)
         key = self._cache_key(normalized)
         planned = state.plans.get(key)
         if planned is not None:
-            return self._finish(session, planned)
+            return self._finish(session, planned, deadline)
         planned = self._prepared_plan(state, normalized, params)
         state.plans.put(key, planned)
-        return self._finish(session, planned)
+        return self._finish(session, planned, deadline)
 
     def _prepared_plan(
         self,

@@ -121,7 +121,8 @@ class TestWorkerPoolFallback:
 
     def test_imap_finishes_serially_when_pool_breaks_midstream(self):
         """Workers dying mid-iteration must not surface BrokenProcessPool:
-        the remaining payloads finish in-process, in order."""
+        the remaining payloads finish in-process, in order — and a single
+        break respawns the pool on its next use instead of disabling it."""
         from concurrent.futures.process import BrokenProcessPool
 
         class _DyingExecutor:
@@ -135,7 +136,34 @@ class TestWorkerPoolFallback:
         pool = WorkerPool(2)
         pool._executor = _DyingExecutor()
         assert list(pool.imap_ordered(len, [[1], [1, 2], [1, 2, 3]])) == [1, 2, 3]
-        assert not pool.parallel  # Remembered for subsequent calls.
+        stats = pool.stats()
+        assert stats.breaks == 1 and stats.serial_tasks == 2
+        assert pool.parallel  # One break does not cost parallelism forever.
+        assert pool.map_ordered(len, [[1], [1, 2]]) == [1, 2]  # Respawned.
+        assert pool.stats().respawns == 1
+        pool.close()
+
+    def test_circuit_opens_after_consecutive_breaks(self):
+        """Repeated breaks with no healthy call in between must open the
+        circuit: the pool goes permanently serial after max_respawns."""
+        from concurrent.futures.process import BrokenProcessPool
+
+        class _AlwaysDying:
+            def map(self, fn, payloads):
+                raise BrokenProcessPool("worker died")
+                yield  # pragma: no cover - makes this a generator
+
+            def shutdown(self, **kwargs):
+                pass
+
+        pool = WorkerPool(2, max_respawns=1)
+        for _ in range(3):
+            if pool._ensure() is not None:
+                pool._executor = _AlwaysDying()
+            assert pool.map_ordered(len, [[1], [1, 2]]) == [1, 2]
+        stats = pool.stats()
+        assert stats.circuit_open and not pool.parallel
+        assert stats.breaks == 2  # Break, respawn, break again, open.
         pool.close()
 
     def test_task_errors_propagate_without_disabling_pool(self):

@@ -1,0 +1,129 @@
+"""Mid-stream close: abandoned query streams must release everything.
+
+A consumer that stops pulling (residual LIMIT, application error, user
+cancel) closes the :class:`~repro.core.client.QueryStream`.  That close
+must propagate down the whole pipeline — prefetch producer thread,
+partition scan threads, server cursors — and leave no thread running,
+on every backend and in every parallelism configuration.  The scan-byte
+accounting contract from the streaming PR also holds: the full scan
+footprint is charged whether or not the stream was drained.
+"""
+
+from __future__ import annotations
+
+import gc
+import threading
+import time
+
+import pytest
+
+from repro.core.client import MonomiClient
+
+STREAM_SQL = "SELECT o_orderkey, o_price FROM orders"
+
+
+def _client_with(
+    base: MonomiClient,
+    partitions: int | None,
+    prefetch_blocks: int | None,
+) -> MonomiClient:
+    """A streaming client over ``base``'s backend with explicit knobs."""
+    return MonomiClient(
+        base.plain_db,
+        base.design,
+        base.provider,
+        base.backend,
+        base.flags,
+        base.network,
+        base.disk,
+        streaming=True,
+        partitions=partitions,
+        prefetch_blocks=prefetch_blocks,
+    )
+
+
+def _extra_threads(baseline: set, timeout: float = 5.0) -> list:
+    """Threads alive beyond ``baseline`` after letting shutdown settle."""
+    limit = time.monotonic() + timeout
+    while True:
+        extra = [
+            t
+            for t in threading.enumerate()
+            if t not in baseline and t.is_alive()
+        ]
+        if not extra or time.monotonic() >= limit:
+            return extra
+        time.sleep(0.02)
+
+
+@pytest.fixture(
+    params=[
+        pytest.param((None, 0), id="serial"),
+        pytest.param((None, 2), id="prefetch"),
+        pytest.param((2, 0), id="partitions"),
+        pytest.param((2, 2), id="partitions-prefetch"),
+    ]
+)
+def stream_client(request, each_backend_client):
+    """Both backends crossed with every parallelism configuration."""
+    partitions, prefetch = request.param
+    client = _client_with(each_backend_client, partitions, prefetch)
+    # Warm up pools and caches with one fully drained query, so the
+    # thread baseline each test snapshots includes long-lived pool
+    # machinery but no per-query workers.
+    client.execute(STREAM_SQL)
+    return client
+
+
+class TestMidStreamClose:
+    def test_close_after_two_blocks_leaks_no_threads(self, stream_client):
+        baseline = set(threading.enumerate())
+        stream = stream_client.execute_iter(STREAM_SQL, block_rows=16)
+        blocks = iter(stream)
+        first = next(blocks)
+        next(blocks)
+        assert len(first) == 16
+        stream.close()
+        leaked = _extra_threads(baseline)
+        assert not leaked, f"leaked threads after close: {leaked}"
+
+    def test_close_still_charges_full_scan(self, stream_client):
+        reference = stream_client.execute(STREAM_SQL)
+        stream = stream_client.execute_iter(STREAM_SQL, block_rows=16)
+        next(iter(stream))
+        stream.close()
+        assert (
+            stream.ledger.server_bytes_scanned
+            == reference.ledger.server_bytes_scanned
+        )
+
+    def test_close_is_idempotent(self, stream_client):
+        stream = stream_client.execute_iter(STREAM_SQL, block_rows=16)
+        next(iter(stream))
+        stream.close()
+        stream.close()
+
+    def test_close_before_first_pull(self, stream_client):
+        baseline = set(threading.enumerate())
+        stream = stream_client.execute_iter(STREAM_SQL, block_rows=16)
+        stream.close()
+        leaked = _extra_threads(baseline)
+        assert not leaked, f"leaked threads after close: {leaked}"
+
+    def test_dropped_stream_is_collectable(self, stream_client):
+        baseline = set(threading.enumerate())
+        stream = stream_client.execute_iter(STREAM_SQL, block_rows=16)
+        next(iter(stream))
+        del stream
+        gc.collect()
+        leaked = _extra_threads(baseline)
+        assert not leaked, f"leaked threads after GC: {leaked}"
+
+    def test_drain_after_partial_pull_matches_execute(self, stream_client):
+        reference = stream_client.execute(STREAM_SQL)
+        stream = stream_client.execute_iter(STREAM_SQL, block_rows=16)
+        outcome = stream.drain()
+        assert outcome.rows == reference.rows
+        assert (
+            outcome.ledger.transfer_bytes == reference.ledger.transfer_bytes
+        )
