@@ -1,0 +1,236 @@
+"""Network-layer benchmark: loopback throughput and latency vs connections.
+
+Two phases over one encrypted sales database served by
+:class:`~repro.net.MonomiServer` on TCP loopback, all
+equivalence-asserted against in-process execution (identical plaintext
+rows and primary ledger byte counts at every point — the sweep measures
+transport scheduling, never results):
+
+* **connection_sweep** — N concurrent clients (N = 1, 2, 4, 8), each a
+  separate :class:`RemoteBackend` with its own sockets, replay the sales
+  workload; reports queries/sec plus p50/p99 per-query latency per
+  connection count.
+* **transport_overhead** — the same workload through one in-process
+  client and one loopback client, interleaved; reports the per-query
+  seconds the socket adds over the in-process call path.
+
+Writes ``BENCH_PR7.json`` (repo root by default).  Run:
+
+    PYTHONPATH=src python benchmarks/bench_network.py          # full
+    PYTHONPATH=src python benchmarks/bench_network.py --quick  # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import statistics
+import sys
+import threading
+import time
+
+from repro.core import CryptoProvider, MonomiClient
+from repro.net import MonomiServer, RemoteBackend
+from repro.testkit import MASTER_KEY, SALES_WORKLOAD, build_sales_db, canonical
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+def ledger_bytes(ledger) -> tuple[int, int, int]:
+    return (
+        ledger.transfer_bytes,
+        ledger.server_bytes_scanned,
+        ledger.round_trips,
+    )
+
+
+def percentile(samples: list[float], fraction: float) -> float:
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, round(fraction * (len(ordered) - 1)))
+    return ordered[index]
+
+
+def build_local_client(num_orders: int, paillier_bits: int) -> MonomiClient:
+    db = build_sales_db(num_orders)
+    provider = CryptoProvider(MASTER_KEY, paillier_bits=paillier_bits)
+    return MonomiClient.setup(
+        db,
+        SALES_WORKLOAD,
+        provider=provider,
+        paillier_bits=paillier_bits,
+        space_budget=2.5,
+    )
+
+
+def remote_twin(local: MonomiClient, server: MonomiServer) -> MonomiClient:
+    return MonomiClient.connect(
+        server.address,
+        local.plain_db,
+        design=local.design,
+        provider=local.provider,
+    )
+
+
+def references(local: MonomiClient) -> dict[str, tuple]:
+    return {
+        sql: (canonical(outcome.rows), ledger_bytes(outcome.ledger))
+        for sql, outcome in (
+            (sql, local.execute(sql)) for sql in SALES_WORKLOAD
+        )
+    }
+
+
+def bench_connection_sweep(
+    local: MonomiClient,
+    server: MonomiServer,
+    connection_counts: list[int],
+    repeats: int,
+) -> list[dict]:
+    wants = references(local)
+    points = []
+    for connections in connection_counts:
+        clients = [remote_twin(local, server) for _ in range(connections)]
+        latencies: list[float] = []
+        failures: list[BaseException] = []
+        lock = threading.Lock()
+
+        def run_one(client: MonomiClient) -> None:
+            try:
+                mine = []
+                for _ in range(repeats):
+                    for sql in SALES_WORKLOAD:
+                        begin = time.perf_counter()
+                        outcome = client.execute(sql)
+                        mine.append(time.perf_counter() - begin)
+                        want_rows, want_ledger = wants[sql]
+                        assert canonical(outcome.rows) == want_rows, sql
+                        assert ledger_bytes(outcome.ledger) == want_ledger, sql
+                with lock:
+                    latencies.extend(mine)
+            except BaseException as exc:  # surfaced below
+                with lock:
+                    failures.append(exc)
+
+        threads = [
+            threading.Thread(target=run_one, args=(client,))
+            for client in clients
+        ]
+        start = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        elapsed = time.perf_counter() - start
+        for client in clients:
+            client.close()
+        if failures:
+            raise failures[0]
+        queries = len(latencies)
+        points.append(
+            {
+                "label": f"connections-{connections}",
+                "connections": connections,
+                "queries": queries,
+                "elapsed_seconds": elapsed,
+                "queries_per_second": queries / elapsed,
+                "p50_latency_seconds": percentile(latencies, 0.50),
+                "p99_latency_seconds": percentile(latencies, 0.99),
+            }
+        )
+        print(
+            f"  connections={connections}: "
+            f"{points[-1]['queries_per_second']:8.1f} q/s, "
+            f"p50 {points[-1]['p50_latency_seconds'] * 1e3:6.1f} ms, "
+            f"p99 {points[-1]['p99_latency_seconds'] * 1e3:6.1f} ms "
+            f"({queries} queries in {elapsed:.2f}s)"
+        )
+    return points
+
+
+def bench_transport_overhead(
+    local: MonomiClient, server: MonomiServer, repeats: int
+) -> dict:
+    remote = remote_twin(local, server)
+    local_seconds = remote_seconds = 0.0
+    queries = 0
+    for _ in range(repeats):
+        for sql in SALES_WORKLOAD:
+            begin = time.perf_counter()
+            want = local.execute(sql)
+            local_seconds += time.perf_counter() - begin
+            begin = time.perf_counter()
+            got = remote.execute(sql)
+            remote_seconds += time.perf_counter() - begin
+            queries += 1
+            assert canonical(got.rows) == canonical(want.rows), sql
+            assert ledger_bytes(got.ledger) == ledger_bytes(want.ledger), sql
+    remote.close()
+    result = {
+        "queries": queries,
+        "local_seconds": local_seconds,
+        "remote_seconds": remote_seconds,
+        "overhead_seconds_per_query": (remote_seconds - local_seconds)
+        / queries,
+    }
+    print(
+        f"  transport overhead: in-process {local_seconds:.3f}s -> "
+        f"loopback {remote_seconds:.3f}s over {queries} queries "
+        f"({result['overhead_seconds_per_query'] * 1e3:+.2f} ms/query)"
+    )
+    return result
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="CI smoke mode")
+    parser.add_argument("--out", default=None, help="output JSON path")
+    args = parser.parse_args()
+
+    if args.quick:
+        num_orders, paillier_bits = 120, 256
+        connection_counts, repeats = [1, 2], 1
+    else:
+        num_orders, paillier_bits = 240, 384
+        connection_counts, repeats = [1, 2, 4, 8], 3
+
+    print(
+        f"network benchmark: {num_orders} orders, {paillier_bits}-bit "
+        f"Paillier, cpu_count={os.cpu_count()}"
+    )
+    local = build_local_client(num_orders, paillier_bits)
+    with MonomiServer(local.backend) as server:
+        print(f"serving on {server.address}")
+        print("connection sweep:")
+        sweep = bench_connection_sweep(
+            local, server, connection_counts, repeats
+        )
+        print("transport overhead:")
+        overhead = bench_transport_overhead(local, server, repeats)
+        stats = server.stats()
+    assert stats["errors_sent"] == 0, stats
+
+    payload = {
+        "benchmark": "network",
+        "mode": "quick" if args.quick else "full",
+        "cpu_count": os.cpu_count(),
+        "num_orders": num_orders,
+        "paillier_bits": paillier_bits,
+        "connection_sweep": sweep,
+        "transport_overhead": overhead,
+        "server_stats": {
+            "connections_total": stats["connections_total"],
+            "queries": stats["queries"],
+            "blocks_sent": stats["blocks_sent"],
+            "transfer_bytes": stats["transfer_bytes"],
+        },
+    }
+    out_path = pathlib.Path(args.out) if args.out else REPO_ROOT / "BENCH_PR7.json"
+    out_path.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {out_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

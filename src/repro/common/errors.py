@@ -52,6 +52,17 @@ class InjectedFaultError(TransientError):
     """
 
 
+class ConnectionLostError(TransientError):
+    """The transport connection to the server died mid-request.
+
+    Raised by the network client when a socket closes, resets, or times
+    out idle-side between frames.  Transient: the request is re-sent on a
+    fresh connection (deterministic server queries make the replay safe),
+    and the stream-resume layer fast-forwards past rows already
+    delivered, exactly as it does for :class:`TruncatedStreamError`.
+    """
+
+
 class DeadlineExceededError(ReproError):
     """A query ran past its deadline.  Fatal: deadlines are not retried."""
 
@@ -70,6 +81,32 @@ class ConfigError(ReproError):
     blocks, partitions combined with ``streaming=False``, or a
     ``MONOMI_WORKERS`` / ``MONOMI_PARTITIONS`` value that does not parse.
     """
+
+
+class WireError(ReproError):
+    """Base class for wire-protocol errors.  Fatal: a peer that violates
+    the protocol cannot be negotiated with by retrying."""
+
+
+class FramingError(WireError):
+    """A frame violated the framing layer: bad magic, unknown frame type,
+    an oversized length prefix, or bytes left over where a frame boundary
+    was required."""
+
+
+class UnsupportedVersionError(WireError):
+    """The peer speaks a protocol version this build does not."""
+
+
+class CodecError(WireError):
+    """A frame payload could not be decoded (truncated value, unknown
+    type tag, malformed structure).  The framing was intact — the bytes
+    inside it were not."""
+
+
+class RemoteError(ReproError):
+    """A fatal error relayed from the remote server whose concrete type
+    this client does not know.  Carries the remote message verbatim."""
 
 
 class CryptoError(ReproError):

@@ -24,6 +24,7 @@ from typing import TYPE_CHECKING, Iterator
 if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
     from repro.service import MonomiService
 
+from repro.common.errors import ConfigError
 from repro.common.ledger import CostLedger, DiskModel, NetworkModel
 from repro.common.retry import Deadline
 from repro.core.cost import MonomiCostModel
@@ -262,6 +263,93 @@ class MonomiClient:
             partitions=partitions,
             prefetch_blocks=prefetch_blocks,
         )
+
+    @classmethod
+    def connect(
+        cls,
+        address: str,
+        plain_db: Database,
+        workload: list[str | ast.Select] | None = None,
+        design: PhysicalDesign | None = None,
+        provider: CryptoProvider | None = None,
+        master_key: bytes = b"monomi-master-key",
+        space_budget: float | None = 2.0,
+        flags: TechniqueFlags = TechniqueFlags(),
+        designer_mode: str = "ilp",
+        paillier_bits: int = 512,
+        det_default: bool = True,
+        network: NetworkModel | None = None,
+        disk: DiskModel | None = None,
+        streaming: bool | None = None,
+        partitions: int | None = None,
+        prefetch_blocks: int | None = None,
+        connect_timeout: float = 10.0,
+        socket_timeout: float = 120.0,
+    ) -> "MonomiClient":
+        """Attach to a running :class:`~repro.net.MonomiServer`.
+
+        The network dual of :meth:`setup`: the server already holds the
+        encrypted database (loaded in its process), so this side only
+        needs the trusted state — the key-deriving ``provider`` and the
+        :class:`PhysicalDesign` the data was encrypted under.  Pass them
+        directly, or pass the ``workload`` (plus the same designer
+        settings used at load time) and the design is re-derived: the
+        designer is deterministic given the same plaintext statistics,
+        provider profile, and budget.  Everything downstream —
+        ``execute``/``execute_iter``/``service()``/prepared statements —
+        works unchanged over the wire.
+        """
+        from repro.net.client import RemoteBackend
+
+        backend = RemoteBackend(
+            address,
+            connect_timeout=connect_timeout,
+            socket_timeout=socket_timeout,
+        )
+        network = network or NetworkModel()
+        disk = disk or DiskModel()
+        if provider is None:
+            provider = CryptoProvider(master_key, paillier_bits=paillier_bits)
+        if design is None:
+            if workload is None:
+                raise ConfigError(
+                    "connect() needs design= (the design the server was "
+                    "loaded with) or workload= to re-derive it"
+                )
+            queries = [
+                normalize_query(parse(q) if isinstance(q, str) else q)
+                for q in workload
+            ]
+            designer = Designer(
+                plain_db, provider, flags, network, det_default=det_default
+            )
+            if designer_mode == "ilp" and space_budget is not None:
+                design = designer.design_ilp(queries, space_budget).design
+            elif designer_mode == "space_greedy" and space_budget is not None:
+                design = designer.design_space_greedy(
+                    queries, space_budget
+                ).design
+            else:
+                design = designer.design_greedy(queries).design
+        return cls(
+            plain_db,
+            design,
+            provider,
+            backend,
+            flags,
+            network,
+            disk,
+            streaming=streaming,
+            partitions=partitions,
+            prefetch_blocks=prefetch_blocks,
+        )
+
+    def close(self) -> None:
+        """Release client-held backend resources (network connections for
+        remote backends; a no-op for in-process ones)."""
+        close = getattr(self.backend, "close", None)
+        if close is not None:
+            close()
 
     # -- runtime -----------------------------------------------------------------
 

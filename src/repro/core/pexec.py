@@ -100,7 +100,12 @@ from repro.engine.rowblock import (
     result_header_bytes,
 )
 from repro.engine.schema import ColumnDef, TableSchema
-from repro.server.backend import ServerBackend, as_backend, supports_partitions
+from repro.server.backend import (
+    ServerBackend,
+    as_backend,
+    supports_deadline,
+    supports_partitions,
+)
 from repro.sql import ast
 
 PREFETCH_ENV = "MONOMI_PREFETCH"
@@ -560,6 +565,12 @@ class PlanExecutor:
         # and a backend without native streaming raises ConfigError from
         # the base execute_stream — the policy lives in one place.
 
+        # Deadline-capable backends (the network client) enforce expiry
+        # inside the request itself — pass it through when supported.
+        stream_kwargs: dict[str, object] = {}
+        if deadline is not None and supports_deadline(self.backend):
+            stream_kwargs["deadline"] = deadline
+
         def open_stream() -> BlockStream:
             if partitions > 1:
                 return self.backend.execute_stream(
@@ -567,10 +578,14 @@ class PlanExecutor:
                     params=server_params,
                     block_rows=block_rows,
                     partitions=partitions,
+                    **stream_kwargs,
                 )
             # Third-party backends may predate the partitions kwarg.
             return self.backend.execute_stream(
-                relation.query, params=server_params, block_rows=block_rows
+                relation.query,
+                params=server_params,
+                block_rows=block_rows,
+                **stream_kwargs,
             )
 
         stream = _ResilientStream(
@@ -805,9 +820,15 @@ class PlanExecutor:
         ledger: CostLedger,
         deadline: Deadline | None = None,
     ) -> tuple[list[str], list[tuple]]:
+        execute_kwargs: dict[str, object] = {}
+        if deadline is not None and supports_deadline(self.backend):
+            execute_kwargs["deadline"] = deadline
+
         def attempt() -> ResultSet:
             with ledger.timing_server():
-                return self.backend.execute(relation.query, params=server_params)
+                return self.backend.execute(
+                    relation.query, params=server_params, **execute_kwargs
+                )
 
         def note(attempt_no: int, exc: BaseException) -> None:
             # Abandoned materialized attempts charge no retry bytes: a

@@ -1,0 +1,39 @@
+"""The network layer: MONOMI's trust boundary, actually on a socket.
+
+``wire`` defines the length-prefixed frame protocol and value codec,
+``server`` hosts any :class:`~repro.server.backend.ServerBackend` over
+TCP, and ``client`` provides :class:`RemoteBackend` — the same backend
+seam, dialed instead of imported.  ``MonomiClient.connect(address, ...)``
+is the front door.
+"""
+
+from repro.net.client import RemoteBackend, parse_address
+from repro.net.server import MonomiServer
+from repro.net.wire import (
+    DEFAULT_MAX_FRAME_BYTES,
+    FrameDecoder,
+    VERSION,
+    decode_error,
+    decode_message,
+    decode_value,
+    encode_error,
+    encode_frame,
+    encode_message,
+    encode_value,
+)
+
+__all__ = [
+    "DEFAULT_MAX_FRAME_BYTES",
+    "FrameDecoder",
+    "MonomiServer",
+    "RemoteBackend",
+    "VERSION",
+    "decode_error",
+    "decode_message",
+    "decode_value",
+    "encode_error",
+    "encode_frame",
+    "encode_message",
+    "encode_value",
+    "parse_address",
+]

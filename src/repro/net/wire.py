@@ -1,0 +1,575 @@
+"""Length-prefixed binary wire protocol for the client/server boundary.
+
+The paper's threat model is an untrusted server on the far side of a
+network link; this module defines the one seam everything crosses it
+through.  Three layers, bottom-up:
+
+* **Framing** — every message is one frame: an 8-byte header
+  (``b"MW"`` magic, protocol version, frame type, payload length) plus a
+  length-prefixed payload.  :class:`FrameDecoder` consumes a byte stream
+  incrementally and never over-reads: a frame is surfaced only once its
+  declared payload has fully arrived, and malformed headers (bad magic,
+  unknown type, oversized length, wrong version) raise typed
+  :class:`~repro.common.errors.WireError` subclasses the moment the
+  header is visible — garbage cannot make the decoder hang or allocate
+  unboundedly.
+
+* **Value codec** — a self-describing tagged encoding of exactly the
+  value domain that crosses MONOMI's split-execution boundary: SQL
+  scalars, big OPE/DET integers, ``grp()`` tuples, DET IN-set
+  frozensets, :class:`~repro.engine.aggregates.HomAggResult` and its
+  :class:`~repro.crypto.packing.PackedLayout`, and query ASTs
+  (structural encoding over a class whitelist — never SQL text, which
+  would re-parse).  Decoding preserves the exact Python type of every
+  value (``bool`` is not ``int``, ``tuple`` is not ``frozenset``)
+  because :func:`~repro.storage.rowcodec.value_bytes` sizes them
+  differently and the ledger contract demands byte-identical accounting
+  on both sides of the socket.
+
+* **Error mapping** — exceptions serialize as ``(code, message,
+  transient)`` triples.  Known codes decode to the same class from
+  :mod:`repro.common.errors`, so the PR 6 taxonomy survives the wire:
+  the resume/retry layers see the same types they see in-process.
+  Unknown codes degrade to :class:`~repro.common.errors.TransientError`
+  or :class:`~repro.common.errors.RemoteError` by the ``transient`` bit.
+
+Compatibility rule: the version byte is exact-match (v1 peers reject
+everything else with :class:`UnsupportedVersionError`); within a
+version, message payloads are dicts and receivers ignore unknown keys,
+so additive evolution does not need a version bump.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import socket
+import struct
+from datetime import date
+
+from repro.common import errors as _errors
+from repro.common.errors import (
+    CodecError,
+    ConnectionLostError,
+    FramingError,
+    RemoteError,
+    ReproError,
+    TransientError,
+    UnsupportedVersionError,
+)
+from repro.crypto.packing import PackedLayout
+from repro.engine.aggregates import HomAggResult
+from repro.sql import ast
+
+# -- framing ------------------------------------------------------------------
+
+#: Two magic bytes opening every frame ("Monomi Wire").
+MAGIC = b"MW"
+
+#: Protocol version.  Exact-match: peers speaking any other version are
+#: rejected with :class:`UnsupportedVersionError` at the framing layer.
+VERSION = 1
+
+#: Frame header: magic, version, frame type, payload length (big-endian).
+HEADER = struct.Struct(">2sBBI")
+HEADER_BYTES = HEADER.size
+
+#: Frame types.  One request/response vocabulary, small on purpose.
+HELLO = 1
+EXECUTE = 2
+PREPARE = 3
+BLOCK = 4
+LEDGER = 5
+ERROR = 6
+CANCEL = 7
+
+FRAME_NAMES = {
+    HELLO: "HELLO",
+    EXECUTE: "EXECUTE",
+    PREPARE: "PREPARE",
+    BLOCK: "BLOCK",
+    LEDGER: "LEDGER",
+    ERROR: "ERROR",
+    CANCEL: "CANCEL",
+}
+
+#: Ceiling on one frame's payload.  A 4,096-row block of 2048-bit
+#: Paillier ciphertexts is ~2 MB; 64 MB leaves an order of magnitude of
+#: headroom while bounding what a hostile length prefix can make a
+#: receiver buffer.
+DEFAULT_MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+
+def encode_frame(ftype: int, payload: bytes) -> bytes:
+    """One wire frame: header + payload."""
+    if ftype not in FRAME_NAMES:
+        raise FramingError(f"unknown frame type {ftype}")
+    return HEADER.pack(MAGIC, VERSION, ftype, len(payload)) + payload
+
+
+class FrameDecoder:
+    """Incremental, transport-agnostic frame decoder.
+
+    Feed it bytes as they arrive; :meth:`next_frame` returns one complete
+    ``(frame_type, payload)`` or ``None`` while the buffer holds only a
+    partial frame.  Header validation happens as soon as the 8 header
+    bytes are visible — a bad magic/version/type/length raises before any
+    payload is awaited, so malformed input fails fast instead of making
+    the receiver wait for bytes that will never come.
+    """
+
+    def __init__(self, max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES) -> None:
+        self._buffer = bytearray()
+        self._max = max_frame_bytes
+
+    @property
+    def pending(self) -> int:
+        """Bytes buffered but not yet surfaced as a frame."""
+        return len(self._buffer)
+
+    def feed(self, data: bytes) -> None:
+        self._buffer += data
+
+    def next_frame(self) -> tuple[int, bytes] | None:
+        if len(self._buffer) < HEADER_BYTES:
+            return None
+        magic, version, ftype, length = HEADER.unpack_from(self._buffer)
+        if magic != MAGIC:
+            raise FramingError(
+                f"bad frame magic {bytes(magic)!r} (expected {MAGIC!r})"
+            )
+        if version != VERSION:
+            raise UnsupportedVersionError(
+                f"peer speaks wire protocol v{version}; this build speaks "
+                f"v{VERSION} only"
+            )
+        if ftype not in FRAME_NAMES:
+            raise FramingError(f"unknown frame type {ftype}")
+        if length > self._max:
+            raise FramingError(
+                f"oversized frame: {length} payload bytes exceeds the "
+                f"{self._max}-byte limit"
+            )
+        if len(self._buffer) < HEADER_BYTES + length:
+            return None
+        payload = bytes(self._buffer[HEADER_BYTES : HEADER_BYTES + length])
+        del self._buffer[: HEADER_BYTES + length]
+        return ftype, payload
+
+
+# -- value codec --------------------------------------------------------------
+
+_T_NONE = 0x00
+_T_TRUE = 0x01
+_T_FALSE = 0x02
+_T_INT64 = 0x03
+_T_BIGINT = 0x04
+_T_FLOAT = 0x05
+_T_STR = 0x06
+_T_BYTES = 0x07
+_T_DATE = 0x08
+_T_TUPLE = 0x09
+_T_LIST = 0x0A
+_T_FROZENSET = 0x0B
+_T_DICT = 0x0C
+_T_HOMAGG = 0x0D
+_T_LAYOUT = 0x0E
+_T_NODE = 0x0F
+
+_I64 = struct.Struct(">q")
+_F64 = struct.Struct(">d")
+_U32 = struct.Struct(">I")
+_I64_MIN = -(1 << 63)
+_I64_MAX = (1 << 63) - 1
+
+#: Nesting ceiling for encoded values.  Left-deep AND chains and CASE
+#: arms go a few dozen deep on real workloads; 200 is far past anything
+#: the planner emits while keeping hostile deeply-nested payloads from
+#: exhausting the decoder's stack.
+MAX_DEPTH = 200
+
+# AST whitelist: every dataclass the repro.sql.ast module defines, by
+# name.  Structural encoding over this table round-trips query trees
+# without an SQL-text detour (printing + re-parsing would have to prove
+# itself bijective for huge ciphertext literals and rewritten LIKEs).
+_AST_CLASSES: dict[str, type] = {
+    name: obj
+    for name, obj in vars(ast).items()
+    if isinstance(obj, type) and dataclasses.is_dataclass(obj)
+}
+_AST_FIELDS: dict[str, tuple[str, ...]] = {
+    name: tuple(f.name for f in dataclasses.fields(cls))
+    for name, cls in _AST_CLASSES.items()
+}
+
+
+def _encode_into(out: bytearray, value: object, depth: int) -> None:
+    if depth > MAX_DEPTH:
+        raise CodecError(f"value nesting exceeds {MAX_DEPTH} levels")
+    kind = type(value)
+    if value is None:
+        out.append(_T_NONE)
+    elif kind is bool:
+        out.append(_T_TRUE if value else _T_FALSE)
+    elif kind is int:
+        if _I64_MIN <= value <= _I64_MAX:
+            out.append(_T_INT64)
+            out += _I64.pack(value)
+        else:
+            magnitude = abs(value)
+            raw = magnitude.to_bytes((magnitude.bit_length() + 7) // 8, "big")
+            out.append(_T_BIGINT)
+            out.append(1 if value < 0 else 0)
+            out += _U32.pack(len(raw))
+            out += raw
+    elif kind is float:
+        out.append(_T_FLOAT)
+        out += _F64.pack(value)
+    elif kind is str:
+        raw = value.encode("utf-8")
+        out.append(_T_STR)
+        out += _U32.pack(len(raw))
+        out += raw
+    elif kind is bytes:
+        out.append(_T_BYTES)
+        out += _U32.pack(len(value))
+        out += value
+    elif kind is date:
+        out.append(_T_DATE)
+        out += _U32.pack(value.toordinal())
+    elif kind is tuple or kind is list:
+        out.append(_T_TUPLE if kind is tuple else _T_LIST)
+        out += _U32.pack(len(value))
+        for item in value:
+            _encode_into(out, item, depth + 1)
+    elif kind is frozenset:
+        # Sort by encoded bytes: set iteration order is arbitrary, and a
+        # deterministic wire image keeps captures/replays stable.
+        encoded: list[bytes] = []
+        for item in value:
+            piece = bytearray()
+            _encode_into(piece, item, depth + 1)
+            encoded.append(bytes(piece))
+        encoded.sort()
+        out.append(_T_FROZENSET)
+        out += _U32.pack(len(encoded))
+        for piece in encoded:
+            out += piece
+    elif kind is dict:
+        out.append(_T_DICT)
+        out += _U32.pack(len(value))
+        for key, item in value.items():
+            if type(key) is not str:
+                raise CodecError(
+                    f"dict keys must be str, got {type(key).__name__}"
+                )
+            _encode_into(out, key, depth + 1)
+            _encode_into(out, item, depth + 1)
+    elif kind is HomAggResult:
+        out.append(_T_HOMAGG)
+        _encode_into(out, value.file_name, depth + 1)
+        _encode_into(out, value.column_names, depth + 1)
+        _encode_into(out, value.product, depth + 1)
+        _encode_into(out, value.partials, depth + 1)
+        _encode_into(out, value.multiplications, depth + 1)
+        _encode_into(out, value.ciphertext_bytes, depth + 1)
+        _encode_into(out, value.layout, depth + 1)
+    elif kind is PackedLayout:
+        out.append(_T_LAYOUT)
+        _encode_into(out, value.column_bits, depth + 1)
+        _encode_into(out, value.pad_bits, depth + 1)
+        _encode_into(out, value.plaintext_bits, depth + 1)
+    elif kind.__name__ in _AST_CLASSES and _AST_CLASSES[kind.__name__] is kind:
+        name = kind.__name__
+        raw_name = name.encode("ascii")
+        fields = _AST_FIELDS[name]
+        out.append(_T_NODE)
+        out.append(len(raw_name))
+        out += raw_name
+        out.append(len(fields))
+        for field_name in fields:
+            _encode_into(out, getattr(value, field_name), depth + 1)
+    else:
+        raise CodecError(f"cannot encode value of type {kind.__name__}")
+
+
+def encode_value(value: object) -> bytes:
+    """Encode one value (scalar, container, AST node, message dict)."""
+    out = bytearray()
+    _encode_into(out, value, 0)
+    return bytes(out)
+
+
+class _Reader:
+    """Bounds-checked cursor over an encoded payload."""
+
+    __slots__ = ("data", "pos")
+
+    def __init__(self, data: bytes) -> None:
+        self.data = data
+        self.pos = 0
+
+    def remaining(self) -> int:
+        return len(self.data) - self.pos
+
+    def take(self, count: int) -> bytes:
+        end = self.pos + count
+        if end > len(self.data):
+            raise CodecError(
+                f"truncated value: wanted {count} bytes, "
+                f"{len(self.data) - self.pos} remain"
+            )
+        piece = self.data[self.pos : end]
+        self.pos = end
+        return piece
+
+    def u8(self) -> int:
+        return self.take(1)[0]
+
+    def u32(self) -> int:
+        return _U32.unpack(self.take(4))[0]
+
+    def count(self, per_item_min: int = 1) -> int:
+        """A container length prefix, sanity-bounded by the bytes left:
+        every element needs at least ``per_item_min`` bytes, so a count
+        the payload cannot possibly hold is rejected before allocation."""
+        n = self.u32()
+        if n * per_item_min > self.remaining():
+            raise CodecError(
+                f"container count {n} exceeds the {self.remaining()} "
+                "payload bytes remaining"
+            )
+        return n
+
+
+def _decode_from(reader: _Reader, depth: int) -> object:
+    if depth > MAX_DEPTH:
+        raise CodecError(f"value nesting exceeds {MAX_DEPTH} levels")
+    tag = reader.u8()
+    if tag == _T_NONE:
+        return None
+    if tag == _T_TRUE:
+        return True
+    if tag == _T_FALSE:
+        return False
+    if tag == _T_INT64:
+        return _I64.unpack(reader.take(8))[0]
+    if tag == _T_BIGINT:
+        sign = reader.u8()
+        if sign not in (0, 1):
+            raise CodecError(f"bad bigint sign byte {sign}")
+        magnitude = int.from_bytes(reader.take(reader.u32()), "big")
+        return -magnitude if sign else magnitude
+    if tag == _T_FLOAT:
+        return _F64.unpack(reader.take(8))[0]
+    if tag == _T_STR:
+        raw = reader.take(reader.u32())
+        try:
+            return raw.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise CodecError(f"invalid utf-8 in string value: {exc}") from None
+    if tag == _T_BYTES:
+        return reader.take(reader.u32())
+    if tag == _T_DATE:
+        ordinal = reader.u32()
+        try:
+            return date.fromordinal(ordinal)
+        except (ValueError, OverflowError):
+            raise CodecError(f"bad date ordinal {ordinal}") from None
+    if tag == _T_TUPLE:
+        n = reader.count()
+        return tuple(_decode_from(reader, depth + 1) for _ in range(n))
+    if tag == _T_LIST:
+        n = reader.count()
+        return [_decode_from(reader, depth + 1) for _ in range(n)]
+    if tag == _T_FROZENSET:
+        n = reader.count()
+        try:
+            return frozenset(_decode_from(reader, depth + 1) for _ in range(n))
+        except TypeError as exc:
+            raise CodecError(f"unhashable frozenset member: {exc}") from None
+    if tag == _T_DICT:
+        n = reader.count(per_item_min=2)
+        items = {}
+        for _ in range(n):
+            key = _decode_from(reader, depth + 1)
+            if type(key) is not str:
+                raise CodecError(
+                    f"dict keys must be str, got {type(key).__name__}"
+                )
+            items[key] = _decode_from(reader, depth + 1)
+        return items
+    if tag == _T_HOMAGG:
+        fields = [_decode_from(reader, depth + 1) for _ in range(7)]
+        file_name, column_names, product, partials, mults, ct_bytes, layout = fields
+        if (
+            type(file_name) is not str
+            or type(column_names) is not tuple
+            or not (product is None or type(product) is int)
+            or type(partials) is not tuple
+            or type(mults) is not int
+            or type(ct_bytes) is not int
+            or not (layout is None or type(layout) is PackedLayout)
+        ):
+            raise CodecError("malformed hom_agg result payload")
+        return HomAggResult(
+            file_name, column_names, product, partials, mults, ct_bytes, layout
+        )
+    if tag == _T_LAYOUT:
+        column_bits = _decode_from(reader, depth + 1)
+        pad_bits = _decode_from(reader, depth + 1)
+        plaintext_bits = _decode_from(reader, depth + 1)
+        try:
+            return PackedLayout(column_bits, pad_bits, plaintext_bits)
+        except (ReproError, TypeError) as exc:
+            raise CodecError(f"invalid packed layout: {exc}") from None
+    if tag == _T_NODE:
+        raw_name = reader.take(reader.u8())
+        try:
+            name = raw_name.decode("ascii")
+        except UnicodeDecodeError:
+            raise CodecError(f"bad AST node name {raw_name!r}") from None
+        cls = _AST_CLASSES.get(name)
+        if cls is None:
+            raise CodecError(f"unknown AST node type {name!r}")
+        arity = reader.u8()
+        expected = _AST_FIELDS[name]
+        if arity != len(expected):
+            raise CodecError(
+                f"AST node {name} carries {arity} fields, "
+                f"expected {len(expected)}"
+            )
+        values = [_decode_from(reader, depth + 1) for _ in range(arity)]
+        try:
+            return cls(*values)
+        except (TypeError, ValueError, ReproError) as exc:
+            raise CodecError(f"cannot build AST node {name}: {exc}") from None
+    raise CodecError(f"unknown value tag 0x{tag:02x}")
+
+
+def decode_value(payload: bytes) -> object:
+    """Decode one encoded value; the payload must be exactly one value."""
+    reader = _Reader(payload)
+    value = _decode_from(reader, 0)
+    if reader.remaining():
+        raise CodecError(
+            f"{reader.remaining()} trailing bytes after the encoded value"
+        )
+    return value
+
+
+def encode_message(ftype: int, message: dict) -> bytes:
+    """One complete frame whose payload is an encoded message dict."""
+    return encode_frame(ftype, encode_value(message))
+
+
+def decode_message(payload: bytes) -> dict:
+    message = decode_value(payload)
+    if type(message) is not dict:
+        raise CodecError(
+            f"frame payload must be a message dict, "
+            f"got {type(message).__name__}"
+        )
+    return message
+
+
+# -- error mapping ------------------------------------------------------------
+
+# Every concrete error class the taxonomy exports, by name.  Both sides
+# share this table, so a typed error raised server-side re-raises as the
+# *same type* client-side and the retry/resume layers behave as they do
+# in-process.
+_ERROR_CLASSES: dict[str, type] = {
+    name: obj
+    for name, obj in vars(_errors).items()
+    if isinstance(obj, type) and issubclass(obj, ReproError)
+}
+
+
+def encode_error(exc: BaseException, bytes_scanned: int | None = None) -> dict:
+    """The ERROR frame body for one exception."""
+    name = type(exc).__name__
+    if name not in _ERROR_CLASSES:
+        name = "TransientError" if isinstance(exc, TransientError) else "RemoteError"
+    body: dict = {
+        "code": name,
+        "message": str(exc),
+        "transient": isinstance(exc, TransientError),
+    }
+    if bytes_scanned is not None:
+        body["bytes_scanned"] = bytes_scanned
+    return body
+
+
+def decode_error(message: dict) -> ReproError:
+    """Rebuild the typed exception an ERROR frame carries."""
+    code = message.get("code")
+    text = str(message.get("message", "remote error"))
+    cls = _ERROR_CLASSES.get(code) if type(code) is str else None
+    if cls is not None:
+        try:
+            return cls(text)
+        except TypeError:
+            pass  # Non-standard constructor (LexError): fall through.
+    if message.get("transient"):
+        return TransientError(text)
+    return RemoteError(f"{code}: {text}" if code else text)
+
+
+# -- socket helpers -----------------------------------------------------------
+
+
+def send_message(sock: socket.socket, ftype: int, message: dict) -> None:
+    """Send one frame.  ``sendall`` blocks until the kernel accepts every
+    byte — that synchronous push **is** the protocol's backpressure: a
+    server streaming blocks to a slow consumer parks here once the TCP
+    window fills, holding O(1) blocks in memory, and resumes exactly as
+    fast as the client drains (the PR 3 bounded-queue contract, enforced
+    by the transport instead of a queue)."""
+    try:
+        sock.sendall(encode_message(ftype, message))
+    except (BrokenPipeError, ConnectionResetError, OSError) as exc:
+        raise ConnectionLostError(f"connection lost while sending: {exc}") from exc
+
+
+def recv_frame(
+    sock: socket.socket, decoder: FrameDecoder, eof_ok: bool = False
+) -> tuple[int, bytes] | None:
+    """Read bytes until ``decoder`` surfaces one frame.
+
+    Returns ``None`` on a clean EOF at a frame boundary when ``eof_ok``
+    (how idle peers hang up); EOF anywhere else is
+    :class:`ConnectionLostError` — the transport's version of a
+    truncated stream, and transient for the same reason.
+    """
+    while True:
+        frame = decoder.next_frame()
+        if frame is not None:
+            return frame
+        try:
+            data = sock.recv(1 << 16)
+        except TimeoutError as exc:
+            raise ConnectionLostError(
+                "timed out waiting for a frame"
+            ) from exc
+        except (ConnectionResetError, OSError) as exc:
+            raise ConnectionLostError(f"connection lost: {exc}") from exc
+        if not data:
+            if eof_ok and decoder.pending == 0:
+                return None
+            raise ConnectionLostError(
+                "connection closed mid-frame"
+                if decoder.pending
+                else "connection closed before a response arrived"
+            )
+        decoder.feed(data)
+
+
+def recv_message(
+    sock: socket.socket, decoder: FrameDecoder, eof_ok: bool = False
+) -> tuple[int, dict] | None:
+    """One frame, payload decoded to its message dict."""
+    frame = recv_frame(sock, decoder, eof_ok=eof_ok)
+    if frame is None:
+        return None
+    ftype, payload = frame
+    return ftype, decode_message(payload)

@@ -328,6 +328,29 @@ def supports_partitions(backend: ServerBackend) -> bool:
     )
 
 
+def supports_deadline(backend: ServerBackend) -> bool:
+    """True when both ``execute`` and ``execute_stream`` accept a
+    ``deadline`` kwarg.
+
+    Deadline-capable backends (the network client) enforce the expiry
+    inside the request itself — socket-timeout capping, server-side
+    block-boundary checks — instead of only between blocks on the caller
+    side.  The executor checks here and passes the deadline through when
+    it can; backends without the parameter keep the caller-side checks
+    only, same as before.
+    """
+    for method_name in ("execute", "execute_stream"):
+        signature = inspect.signature(getattr(type(backend), method_name))
+        if "deadline" in signature.parameters:
+            continue
+        if not any(
+            p.kind is inspect.Parameter.VAR_KEYWORD
+            for p in signature.parameters.values()
+        ):
+            return False
+    return True
+
+
 def as_backend(server: object) -> ServerBackend:
     """Adapt a raw :class:`~repro.engine.catalog.Database` (the pre-backend
     calling convention) or pass a backend through unchanged."""

@@ -203,6 +203,18 @@ class FaultInjectingBackend(DelegatingView):
         """Wrap the parent's worker view; all views share one fault RNG."""
         return FaultInjectingBackend(self._parent.worker_view(), core=self._core)
 
+    def close(self) -> None:
+        """Release the wrapped view/backend's resources, when it has any.
+
+        Without this delegation, closing a service whose worker views are
+        chaos-wrapped would silently leak the underlying views' SQLite
+        connections (and a remote backend's sockets): the service looks
+        for ``close`` on the view it was handed, which is the wrapper.
+        """
+        close = getattr(self._parent, "close", None)
+        if close is not None:
+            close()
+
     # -- faulted paths -------------------------------------------------------
 
     def insert_rows(self, table_name: str, rows: Iterable[tuple]) -> None:

@@ -11,6 +11,8 @@ from __future__ import annotations
 import datetime
 import math
 import random
+import threading
+import time
 
 from repro.engine import Database, schema
 
@@ -98,6 +100,26 @@ def canonical(rows) -> list[str]:
             tuple(round(v, 6) if isinstance(v, float) else v for v in row)
         )
     return sorted(str(r) for r in out)
+
+
+def extra_threads(baseline: set, timeout: float = 5.0) -> list:
+    """Threads alive beyond ``baseline`` after letting shutdown settle.
+
+    Leak assertions snapshot ``set(threading.enumerate())`` before the
+    work under test, then assert this returns ``[]`` afterwards; the
+    polling window absorbs the scheduling delay between closing a
+    resource and its worker threads actually exiting.
+    """
+    limit = time.monotonic() + timeout
+    while True:
+        extra = [
+            t
+            for t in threading.enumerate()
+            if t not in baseline and t.is_alive()
+        ]
+        if not extra or time.monotonic() >= limit:
+            return extra
+        time.sleep(0.02)
 
 
 def geometric_mean(values: list[float]) -> float:

@@ -75,3 +75,34 @@ def each_backend_client(request, sales_client, sales_client_sqlite) -> MonomiCli
 @pytest.fixture(scope="session")
 def plain_executor(sales_db) -> Executor:
     return Executor(sales_db)
+
+
+@pytest.fixture(scope="session")
+def sales_server(sales_client):
+    """A live TCP loopback server hosting ``sales_client``'s backend.
+
+    The in-process client and the network client below share one
+    encrypted database, so rows *and* ledger byte counts must be
+    byte-identical between them — that is the invariant most of the
+    network suite asserts.
+    """
+    from repro.net import MonomiServer
+
+    with MonomiServer(sales_client.backend) as server:
+        yield server
+
+
+@pytest.fixture(scope="session")
+def sales_client_remote(sales_db, provider, sales_client, sales_server):
+    """``sales_client``'s twin, across the wire: same design, same
+    provider (hence the same key chain and plan choices), but every
+    server request crosses a real TCP socket."""
+    client = MonomiClient.connect(
+        sales_server.address,
+        sales_db,
+        design=sales_client.design,
+        provider=provider,
+        streaming=STREAMING,
+    )
+    yield client
+    client.close()

@@ -229,6 +229,38 @@ def test_random_select_differential_through_service(
     assert canonical(repeat.rows) == canonical(outcome.rows), sql
 
 
+@given(sql=random_selects)
+@settings(
+    max_examples=8,
+    deadline=None,
+    derandomize=True,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_random_select_differential_over_network(
+    sql, sales_client, sales_client_remote, plain_executor
+):
+    """The network transport joins the differential: generated queries
+    through a live TCP loopback server must match the plaintext oracle
+    and charge exactly the in-process client's ledger byte counts.
+    (Reduced example budget: each example crosses a real socket.)"""
+    oracle = _oracle(plain_executor, sql)
+    local_outcome = _run_encrypted(sales_client, sql)
+    remote_outcome = _run_encrypted(sales_client_remote, sql)
+    # Feasibility must agree: same design, same shared provider.
+    assert (local_outcome is None) == (remote_outcome is None), sql
+    assume(local_outcome is not None)
+    assert canonical(remote_outcome.rows) == canonical(oracle.rows), sql
+    assert (
+        remote_outcome.ledger.transfer_bytes,
+        remote_outcome.ledger.server_bytes_scanned,
+        remote_outcome.ledger.round_trips,
+    ) == (
+        local_outcome.ledger.transfer_bytes,
+        local_outcome.ledger.server_bytes_scanned,
+        local_outcome.ledger.round_trips,
+    ), sql
+
+
 def test_fixed_regression_corpus(
     sales_client, sales_client_sqlite, plain_executor
 ):

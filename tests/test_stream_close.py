@@ -13,11 +13,11 @@ from __future__ import annotations
 
 import gc
 import threading
-import time
 
 import pytest
 
 from repro.core.client import MonomiClient
+from repro.testkit import extra_threads as _extra_threads
 
 STREAM_SQL = "SELECT o_orderkey, o_price FROM orders"
 
@@ -40,20 +40,6 @@ def _client_with(
         partitions=partitions,
         prefetch_blocks=prefetch_blocks,
     )
-
-
-def _extra_threads(baseline: set, timeout: float = 5.0) -> list:
-    """Threads alive beyond ``baseline`` after letting shutdown settle."""
-    limit = time.monotonic() + timeout
-    while True:
-        extra = [
-            t
-            for t in threading.enumerate()
-            if t not in baseline and t.is_alive()
-        ]
-        if not extra or time.monotonic() >= limit:
-            return extra
-        time.sleep(0.02)
 
 
 @pytest.fixture(
