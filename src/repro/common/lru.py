@@ -1,0 +1,109 @@
+"""Bounded LRU cache with amortization counters.
+
+One implementation backs every crypto-side memoization cache: the
+provider's DET/OPE value caches (:mod:`repro.core.encdata`) and the OPE
+pivot caches (:mod:`repro.crypto.ope`).  It is deliberately lock-free —
+see :class:`LRUCache` — which is also why its counters are *advisory*:
+they can undercount slightly under thread contention, but they never
+affect results, only the ``cache_stats()`` reporting that benchmarks use
+to explain amortization (mirroring the service layer's exact
+``PlanCacheStats``, which sits behind a real lock because a plan-cache
+miss is expensive enough to pay for one).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.common.errors import CryptoError
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Point-in-time cache counters (advisory under concurrency)."""
+
+    hits: int
+    misses: int
+    evictions: int
+    entries: int
+    capacity: int
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class LRUCache:
+    """Minimal bounded LRU used for the DET/OPE memoization caches.
+
+    Lock-free but thread-tolerant: every operation is a single atomic
+    dict/OrderedDict call under the GIL, and the two places a concurrent
+    eviction can invalidate a key between calls (``move_to_end`` after a
+    hit, ``popitem`` after an insert) tolerate the ``KeyError`` instead of
+    locking the hot path.  Recency order may be slightly stale under
+    contention; cached *values* are deterministic encryptions, so a racy
+    double-compute returns the identical ciphertext either way — exactly
+    the property the concurrent service layer relies on.  The hit/miss/
+    eviction counters are plain int increments and share that tolerance:
+    approximate under contention, never wrong by more than the race width.
+    """
+
+    __slots__ = ("_data", "_capacity", "hits", "misses", "evictions")
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise CryptoError(f"cache capacity must be positive, got {capacity}")
+        self._data: OrderedDict = OrderedDict()
+        self._capacity = capacity
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get(self, key: object) -> object | None:
+        data = self._data
+        value = data.get(key)
+        if value is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        try:
+            data.move_to_end(key)
+        except KeyError:  # Evicted by a concurrent put.
+            pass
+        return value
+
+    def put(self, key: object, value: object) -> None:
+        data = self._data
+        data[key] = value
+        try:
+            data.move_to_end(key)
+        except KeyError:  # Evicted by a concurrent put.
+            pass
+        while len(data) > self._capacity:
+            try:
+                data.popitem(last=False)
+                self.evictions += 1
+            except KeyError:  # Another thread already evicted.
+                break
+
+    def clear(self) -> None:
+        """Drop entries (counters survive — they describe lifetime traffic)."""
+        self._data.clear()
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    def stats(self) -> CacheStats:
+        return CacheStats(
+            hits=self.hits,
+            misses=self.misses,
+            evictions=self.evictions,
+            entries=len(self._data),
+            capacity=self._capacity,
+        )

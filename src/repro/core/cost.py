@@ -60,7 +60,12 @@ class DecryptionProfile:
 
 
 class DecryptionProfiler:
-    """Times each scheme's decryption on a small batch (done once).
+    """Times each scheme's **batch** decryption throughput (done once).
+
+    Costs are measured through the same column-batch APIs the executor
+    uses (shared-tree OPE descent, FFX round loops, per-batch dedup), on
+    cold caches — the planner prices first-touch decryption, and
+    encryption warms the value and pivot caches that decryption shares.
 
     The profile is stored on the provider instance itself (not a registry
     keyed by ``id()``, which a garbage-collected provider's address could
@@ -87,12 +92,22 @@ class DecryptionProfiler:
 
     @classmethod
     def _measure(cls, provider: CryptoProvider, batch: int) -> DecryptionProfile:
-        det_int_cts = [provider.det_encrypt(i * 7919) for i in range(batch)]
-        det_text_cts = [provider.det_encrypt(f"value-{i:06d}") for i in range(batch)]
-        ope_cts = [provider.ope_encrypt(i * 104729 % 100000) for i in range(batch)]
-        rnd_cts = [provider.rnd_encrypt(i) for i in range(batch)]
+        det_int_cts = provider.det_encrypt_batch([i * 7919 for i in range(batch)])
+        det_text_cts = provider.det_encrypt_batch(
+            [f"value-{i:06d}" for i in range(batch)]
+        )
+        ope_cts = provider.ope_encrypt_batch([i * 104729 % 100000 for i in range(batch)])
+        rnd_cts = provider.rnd_encrypt_batch(list(range(batch)))
         pub = provider.paillier_public
         hom_cts = [pub.encrypt(i + 1) for i in range(max(4, batch // 4))]
+
+        def timed_batch(fn, cts) -> float:
+            # Encryption above warmed the shared value and pivot caches;
+            # first-touch decryption is what the planner must price.
+            provider.reset_crypto_caches()
+            start = time.perf_counter()
+            fn(cts)
+            return (time.perf_counter() - start) / len(cts)
 
         def timed(fn, items) -> float:
             start = time.perf_counter()
@@ -108,10 +123,16 @@ class DecryptionProfiler:
         hom_mul = (time.perf_counter() - start) / (64 * len(hom_cts))
 
         return DecryptionProfile(
-            det_int=timed(lambda c: provider.det_decrypt(c, "int"), det_int_cts),
-            det_text=timed(lambda c: provider.det_decrypt(c, "text"), det_text_cts),
-            ope=timed(lambda c: provider.ope_decrypt(c, "int"), ope_cts),
-            rnd=timed(provider.rnd_decrypt, rnd_cts),
+            det_int=timed_batch(
+                lambda cts: provider.det_decrypt_batch(cts, "int"), det_int_cts
+            ),
+            det_text=timed_batch(
+                lambda cts: provider.det_decrypt_batch(cts, "text"), det_text_cts
+            ),
+            ope=timed_batch(
+                lambda cts: provider.ope_decrypt_batch(cts, "int"), ope_cts
+            ),
+            rnd=timed_batch(provider.rnd_decrypt_batch, rnd_cts),
             paillier=timed(provider.paillier_private.decrypt, hom_cts),
             hom_multiply=hom_mul,
         )

@@ -36,10 +36,11 @@ def init_worker(
     ope_expansion_bits: int,
     cache_size: int,
     paillier_keys: tuple,
+    pivot_cache_size: int | None = None,
 ) -> None:
     """Build this process' serial provider (runs once per worker)."""
     global _PROVIDER
-    from repro.core.encdata import CryptoProvider
+    from repro.core.encdata import DEFAULT_PIVOT_CACHE, CryptoProvider
 
     _PROVIDER = CryptoProvider(
         master_key,
@@ -48,6 +49,9 @@ def init_worker(
         cache_size=cache_size,
         workers=1,
         paillier_keys=paillier_keys,
+        pivot_cache_size=(
+            DEFAULT_PIVOT_CACHE if pivot_cache_size is None else pivot_cache_size
+        ),
     )
 
 

@@ -29,6 +29,16 @@ paths are element-wise identical to the scalar ones (property-tested),
 including ``None`` passthrough; they exist because columnar loading and
 client-side result decryption are throughput-bound (§8, Fig. 7).
 
+The OPE and FFX batch paths go further than loop hoisting: LRU misses are
+**deduplicated per batch** (a low-cardinality column decrypts each value
+once per RowBlock) and handed to the ciphers' own column APIs —
+:meth:`~repro.crypto.ope.OpeCipher.decrypt_batch`'s shared-tree descent
+computes every shared tree pivot once per batch, and
+:meth:`~repro.crypto.ffx.FFXInteger.decrypt_batch` loops Feistel rounds
+over the whole column.  ``cache_stats()`` exposes hit/miss/eviction
+counters for every value cache and OPE pivot cache so benchmarks can
+report the amortization.
+
 Multicore batches
 -----------------
 ``CryptoProvider(workers=N)`` (default from ``MONOMI_WORKERS``, serial
@@ -51,15 +61,15 @@ from __future__ import annotations
 
 import datetime
 import threading
-from collections import OrderedDict
 from typing import Sequence
 
 from repro.common.errors import CryptoError, DomainError
+from repro.common.lru import CacheStats, LRUCache
 from repro.common.parallel import WorkerPool, resolve_workers, shard_spans
 from repro.core import cryptoworker
 from repro.crypto.det import DetCipher
 from repro.crypto.ffx import FFXInteger
-from repro.crypto.ope import OpeCipher
+from repro.crypto.ope import DEFAULT_PIVOT_CACHE, OpeCipher
 from repro.crypto.paillier import EncryptionPool, generate_keypair
 from repro.crypto.prf import derive_key
 from repro.crypto.rnd import RndCipher
@@ -95,57 +105,8 @@ PARALLEL_MIN_BATCH = 512
 PAILLIER_MIN_BATCH = 8
 
 
-class LRUCache:
-    """Minimal bounded LRU used for the DET/OPE memoization caches.
-
-    Lock-free but thread-tolerant: every operation is a single atomic
-    dict/OrderedDict call under the GIL, and the two places a concurrent
-    eviction can invalidate a key between calls (``move_to_end`` after a
-    hit, ``popitem`` after an insert) tolerate the ``KeyError`` instead of
-    locking the hot path.  Recency order may be slightly stale under
-    contention; cached *values* are deterministic encryptions, so a racy
-    double-compute returns the identical ciphertext either way — exactly
-    the property the concurrent service layer relies on.
-    """
-
-    __slots__ = ("_data", "_capacity")
-
-    def __init__(self, capacity: int) -> None:
-        if capacity < 1:
-            raise CryptoError(f"cache capacity must be positive, got {capacity}")
-        self._data: OrderedDict = OrderedDict()
-        self._capacity = capacity
-
-    def get(self, key: object) -> object | None:
-        data = self._data
-        value = data.get(key)
-        if value is not None:
-            try:
-                data.move_to_end(key)
-            except KeyError:  # Evicted by a concurrent put.
-                pass
-        return value
-
-    def put(self, key: object, value: object) -> None:
-        data = self._data
-        data[key] = value
-        try:
-            data.move_to_end(key)
-        except KeyError:  # Evicted by a concurrent put.
-            pass
-        while len(data) > self._capacity:
-            try:
-                data.popitem(last=False)
-            except KeyError:  # Another thread already evicted.
-                break
-
-    def __len__(self) -> int:
-        return len(self._data)
-
-    @property
-    def capacity(self) -> int:
-        return self._capacity
-
+# LRUCache lives in repro.common.lru (the OPE pivot caches share it); it
+# stays importable from this module because callers and tests use it here.
 
 # Exact-type tag lookup: dict hit on type() beats the isinstance chain in
 # hot loops; _type_tag remains the fallback for subclasses.
@@ -163,17 +124,21 @@ class CryptoProvider:
         cache_size: int = DEFAULT_CACHE_SIZE,
         workers: int | None = None,
         paillier_keys: tuple | None = None,
+        pivot_cache_size: int = DEFAULT_PIVOT_CACHE,
     ) -> None:
         """``workers``: process count for sharded batch crypto (``None``
         consults ``MONOMI_WORKERS``, ``0`` means one per core, ``1`` is
         serial).  ``paillier_keys`` injects a pre-generated key pair —
         the worker-startup path, where re-deriving every symmetric key is
-        cheap but re-generating Paillier primes is not."""
+        cheap but re-generating Paillier primes is not.
+        ``pivot_cache_size`` bounds each OPE cipher's pivot LRU (0
+        disables pivot caching; descent still shares pivots per batch)."""
         if len(master_key) < 16:
             raise CryptoError("master key must be at least 16 bytes")
         self.master_key = master_key
         self.paillier_bits = paillier_bits
         self.ope_expansion_bits = ope_expansion_bits
+        self.pivot_cache_size = pivot_cache_size
         self.workers = resolve_workers(workers)
         self._pool: WorkerPool | None = None
         self._pool_lock = threading.Lock()
@@ -203,18 +168,21 @@ class CryptoProvider:
             -INT_BOUND,
             INT_BOUND - 1,
             expansion_bits=ope_expansion_bits,
+            pivot_cache_size=pivot_cache_size,
         )
         self._ope_date = OpeCipher(
             derive_key(master_key, "ope", "date"),
             0,
             DATE_DAYS - 1,
             expansion_bits=ope_expansion_bits,
+            pivot_cache_size=pivot_cache_size,
         )
         self._ope_str = OpeCipher(
             derive_key(master_key, "ope", "str"),
             0,
             (1 << (8 * _STR_PREFIX_BYTES)) - 1,
             expansion_bits=8,
+            pivot_cache_size=pivot_cache_size,
         )
         self._rnd = RndCipher(derive_key(master_key, "rnd"))
         self._search = SearchCipher(derive_key(master_key, "search"))
@@ -247,6 +215,7 @@ class CryptoProvider:
                             self.ope_expansion_bits,
                             self.cache_size,
                             (self.paillier_public, self.paillier_private),
+                            self.pivot_cache_size,
                         ),
                     )
         return self._pool
@@ -287,6 +256,38 @@ class CryptoProvider:
         if self._pool is not None:
             self._pool.close()
 
+    # -- cache introspection -----------------------------------------------------
+
+    def cache_stats(self) -> dict[str, CacheStats]:
+        """Hit/miss/eviction counters for every crypto-side cache.
+
+        Mirrors the service layer's ``PlanCache.stats()`` so benchmarks
+        and operators can see how much work the value caches and the OPE
+        pivot caches absorb.  Counters are advisory under concurrency
+        (see :mod:`repro.common.lru`); entries/capacity are exact.
+        """
+        return {
+            "det_encrypt": self._det_cache.stats(),
+            "ope_encrypt": self._ope_cache.stats(),
+            "ope_decrypt": self._ope_dec_cache.stats(),
+            "ope_pivots_int": self._ope_int.cache_stats(),
+            "ope_pivots_date": self._ope_date.cache_stats(),
+            "ope_pivots_text": self._ope_str.cache_stats(),
+        }
+
+    def reset_crypto_caches(self) -> None:
+        """Empty every value cache and OPE pivot cache.
+
+        Results are unaffected — caches are transparent — so this exists
+        for cold-path measurement (the decryption profiler) and tests.
+        Counters survive the reset.
+        """
+        self._det_cache.clear()
+        self._ope_cache.clear()
+        self._ope_dec_cache.clear()
+        for cipher in (self._ope_int, self._ope_date, self._ope_str):
+            cipher.clear_pivot_cache()
+
     def __getstate__(self) -> dict:
         """Pickle without live pool handles (both re-create lazily) and
         without the unpicklable pool-creation lock."""
@@ -316,7 +317,12 @@ class CryptoProvider:
         return cached
 
     def det_encrypt_batch(self, values: Sequence) -> list:
-        """Element-wise :meth:`det_encrypt` over a column."""
+        """Element-wise :meth:`det_encrypt` over a column.
+
+        LRU misses bucket by type and ride the FFX column APIs (ints,
+        dates, short texts loop Feistel rounds over the whole batch);
+        wide texts fall back to the per-value CMC-style path.
+        """
         if not isinstance(values, list):
             values = list(values)
         sharded = self._sharded("det_encrypt", values)
@@ -324,21 +330,59 @@ class CryptoProvider:
             return sharded
         get = self._det_cache.get
         put = self._det_cache.put
-        uncached = self._det_encrypt_uncached
         tags = _TYPE_TAGS
-        out: list = []
-        append = out.append
-        for value in values:
+        out: list = [None] * len(values)
+        int_misses: list[tuple[int, tuple, int]] = []
+        date_misses: list[tuple[int, tuple, int]] = []
+        text_misses: dict[int, list[tuple[int, tuple, int]]] = {}
+        for idx, value in enumerate(values):
             if value is None:
-                append(None)
                 continue
             tag = tags.get(type(value))
-            key = ("e", tag if tag is not None else _type_tag(value), value)
+            if tag is None:
+                tag = _type_tag(value)
+            key = ("e", tag, value)
             cached = get(key)
-            if cached is None:
-                cached = uncached(value)
-                put(key, cached)
-            append(cached)
+            if cached is not None:
+                out[idx] = cached
+                continue
+            if tag == "int" or tag == "bool":
+                int_misses.append((idx, key, int(value)))
+            elif tag == "date":
+                date_misses.append((idx, key, (value - _EPOCH).days))
+            elif tag == "str":
+                raw = value.encode("utf-8")
+                if 0 < len(raw) <= _SHORT_TEXT_BYTES:
+                    text_misses.setdefault(len(raw), []).append(
+                        (idx, key, int.from_bytes(raw, "big"))
+                    )
+                else:
+                    ciphertext = self._det_str.encrypt(raw)
+                    put(key, ciphertext)
+                    out[idx] = ciphertext
+            else:
+                # Floats and unknown types: same errors as the scalar path.
+                ciphertext = self._det_encrypt_uncached(value)
+                put(key, ciphertext)
+                out[idx] = ciphertext
+        for cipher, misses in (
+            (self._det_int, int_misses),
+            (self._det_date, date_misses),
+        ):
+            if misses:
+                cts = cipher.encrypt_batch([plain for _, _, plain in misses])
+                for (idx, key, _), ciphertext in zip(misses, cts):
+                    put(key, ciphertext)
+                    out[idx] = ciphertext
+        for length, misses in text_misses.items():
+            offset = _OFFSETS[length]
+            inners = self._det_short_text[length].encrypt_batch(
+                [plain for _, _, plain in misses]
+            )
+            for (idx, key, _), inner in zip(misses, inners):
+                ciphertext = offset + inner
+                put(key, ciphertext)
+                out[idx] = ciphertext
         return out
 
     def _det_encrypt_uncached(self, value: object) -> object:
@@ -385,29 +429,63 @@ class CryptoProvider:
         return self._det_str.decrypt(ciphertext).decode("utf-8")
 
     def det_decrypt_batch(self, ciphertexts: Sequence, sql_type: str) -> list:
-        """Element-wise :meth:`det_decrypt` with one type dispatch."""
+        """Element-wise :meth:`det_decrypt` with one type dispatch.
+
+        Integer-backed types ride the FFX column APIs (distinct values
+        decrypt once per batch); text partitions into per-length FFX
+        columns plus the wide-block fallback, deduplicated per batch.
+        """
         if not isinstance(ciphertexts, list):
             ciphertexts = list(ciphertexts)
         sharded = self._sharded("det_decrypt", ciphertexts, sql_type)
         if sharded is not None:
             return sharded
         if sql_type in ("int", "bool"):
-            dec = self._det_int.decrypt
+            plains = self._det_int.decrypt_batch(ciphertexts)
             if sql_type == "bool":
-                return [None if c is None else bool(dec(c)) for c in ciphertexts]
-            return [None if c is None else dec(c) for c in ciphertexts]
+                return [None if p is None else bool(p) for p in plains]
+            return plains
         if sql_type == "date":
-            dec = self._det_date.decrypt
             epoch = _EPOCH
             delta = datetime.timedelta
             return [
-                None if c is None else epoch + delta(days=dec(c))
-                for c in ciphertexts
+                None if p is None else epoch + delta(days=p)
+                for p in self._det_date.decrypt_batch(ciphertexts)
             ]
         if sql_type == "text":
-            dec_text = self._det_decrypt_text
-            return [None if c is None else dec_text(c) for c in ciphertexts]
+            return self._det_decrypt_text_batch(ciphertexts)
         raise DomainError(f"DET cannot decrypt type {sql_type!r}")
+
+    def _det_decrypt_text_batch(self, ciphertexts: list) -> list:
+        out: list = [None] * len(ciphertexts)
+        # length -> inner FFX ciphertext -> indices holding it
+        short_groups: dict[int, dict[int, list[int]]] = {}
+        wide_groups: dict[bytes, list[int]] = {}
+        for idx, ciphertext in enumerate(ciphertexts):
+            if ciphertext is None:
+                continue
+            if isinstance(ciphertext, int):
+                length = 1
+                while ciphertext >= _OFFSETS[length + 1]:
+                    length += 1
+                short_groups.setdefault(length, {}).setdefault(
+                    ciphertext - _OFFSETS[length], []
+                ).append(idx)
+            else:
+                wide_groups.setdefault(ciphertext, []).append(idx)
+        for length, groups in short_groups.items():
+            distinct = list(groups)
+            inners = self._det_short_text[length].decrypt_batch(distinct)
+            for inner_ct, plain_int in zip(distinct, inners):
+                text = plain_int.to_bytes(length, "big").decode("utf-8")
+                for idx in groups[inner_ct]:
+                    out[idx] = text
+        decrypt_wide = self._det_str.decrypt
+        for ciphertext, idxs in wide_groups.items():
+            text = decrypt_wide(ciphertext).decode("utf-8")
+            for idx in idxs:
+                out[idx] = text
+        return out
 
     # -- OPE ---------------------------------------------------------------------
 
@@ -422,7 +500,12 @@ class CryptoProvider:
         return cached
 
     def ope_encrypt_batch(self, values: Sequence) -> list:
-        """Element-wise :meth:`ope_encrypt` over a column."""
+        """Element-wise :meth:`ope_encrypt` over a column.
+
+        LRU misses bucket by type and descend the shared OPE tree once
+        per batch via :meth:`OpeCipher.encrypt_batch`, so repeated and
+        clustered values pay for their common tree prefix once.
+        """
         if not isinstance(values, list):
             values = list(values)
         sharded = self._sharded("ope_encrypt", values)
@@ -430,21 +513,42 @@ class CryptoProvider:
             return sharded
         get = self._ope_cache.get
         put = self._ope_cache.put
-        uncached = self._ope_encrypt_uncached
         tags = _TYPE_TAGS
-        out: list = []
-        append = out.append
-        for value in values:
+        out: list = [None] * len(values)
+        int_misses: list[tuple[int, tuple, int]] = []
+        date_misses: list[tuple[int, tuple, int]] = []
+        str_misses: list[tuple[int, tuple, int]] = []
+        for idx, value in enumerate(values):
             if value is None:
-                append(None)
                 continue
             tag = tags.get(type(value))
-            key = ("e", tag if tag is not None else _type_tag(value), value)
+            if tag is None:
+                tag = _type_tag(value)
+            key = ("e", tag, value)
             cached = get(key)
-            if cached is None:
-                cached = uncached(value)
-                put(key, cached)
-            append(cached)
+            if cached is not None:
+                out[idx] = cached
+                continue
+            if tag == "int" or tag == "bool":
+                int_misses.append((idx, key, int(value)))
+            elif tag == "date":
+                date_misses.append((idx, key, (value - _EPOCH).days))
+            elif tag == "str":
+                prefix = value.encode("utf-8")[:_STR_PREFIX_BYTES]
+                prefix = prefix + b"\x00" * (_STR_PREFIX_BYTES - len(prefix))
+                str_misses.append((idx, key, int.from_bytes(prefix, "big")))
+            else:
+                raise DomainError(f"OPE cannot encrypt {type(value).__name__}")
+        for cipher, misses in (
+            (self._ope_int, int_misses),
+            (self._ope_date, date_misses),
+            (self._ope_str, str_misses),
+        ):
+            if misses:
+                cts = cipher.encrypt_batch([plain for _, _, plain in misses])
+                for (idx, key, _), ciphertext in zip(misses, cts):
+                    put(key, ciphertext)
+                    out[idx] = ciphertext
         return out
 
     def _ope_encrypt_uncached(self, value: object) -> int:
@@ -486,7 +590,12 @@ class CryptoProvider:
         return plain
 
     def ope_decrypt_batch(self, ciphertexts: Sequence, sql_type: str) -> list:
-        """Element-wise :meth:`ope_decrypt` with hoisted cache accessors."""
+        """Element-wise :meth:`ope_decrypt` over a column.
+
+        Cache misses deduplicate per batch and ride the shared-tree
+        :meth:`OpeCipher.decrypt_batch`, the client-side hot path for
+        range-query post-processing.
+        """
         if not isinstance(ciphertexts, list):
             ciphertexts = list(ciphertexts)
         sharded = self._sharded("ope_decrypt", ciphertexts, sql_type)
@@ -494,19 +603,43 @@ class CryptoProvider:
             return sharded
         get = self._ope_dec_cache.get
         put = self._ope_dec_cache.put
-        uncached = self._ope_decrypt_uncached
-        out: list = []
-        append = out.append
-        for ciphertext in ciphertexts:
+        out: list = [None] * len(ciphertexts)
+        miss_idx: list[int] = []
+        miss_cts: list[int] = []
+        for idx, ciphertext in enumerate(ciphertexts):
             if ciphertext is None:
-                append(None)
                 continue
-            key = (sql_type, ciphertext)
-            cached = get(key)
-            if cached is None:
-                cached = uncached(ciphertext, sql_type)
-                put(key, cached)
-            append(cached)
+            cached = get((sql_type, ciphertext))
+            if cached is not None:
+                out[idx] = cached
+                continue
+            miss_idx.append(idx)
+            miss_cts.append(ciphertext)
+        if not miss_idx:
+            return out
+        if sql_type in ("int", "bool"):
+            plains: list = self._ope_int.decrypt_batch(miss_cts)
+            if sql_type == "bool":
+                plains = [bool(p) for p in plains]
+        elif sql_type == "date":
+            epoch = _EPOCH
+            delta = datetime.timedelta
+            plains = [
+                epoch + delta(days=p)
+                for p in self._ope_date.decrypt_batch(miss_cts)
+            ]
+        elif sql_type == "text":
+            plains = [
+                raw_int.to_bytes(_STR_PREFIX_BYTES, "big")
+                .rstrip(b"\x00")
+                .decode("utf-8", errors="replace")
+                for raw_int in self._ope_str.decrypt_batch(miss_cts)
+            ]
+        else:
+            raise DomainError(f"OPE cannot decrypt type {sql_type!r}")
+        for idx, ciphertext, plain in zip(miss_idx, miss_cts, plains):
+            put((sql_type, ciphertext), plain)
+            out[idx] = plain
         return out
 
     # -- RND ---------------------------------------------------------------------

@@ -893,16 +893,29 @@ class PlanExecutor:
         if spec.kind in ("det", "ope", "rnd"):
             return [self.provider.decrypt_batch(values, spec.kind, spec.sql_type)]
         if spec.kind == "grp":
-            decrypt_batch = self.provider.decrypt_batch
-            elem_kind, sql_type = spec.elem_kind, spec.sql_type
-            return [
-                [
-                    []
-                    if value is None
-                    else decrypt_batch(value, elem_kind, sql_type)
-                    for value in values
-                ]
-            ]
+            # Flatten every group's list into one column-wide batch so the
+            # crypto layer dedups and shares tree descents across groups,
+            # then split back by the recorded group lengths.
+            flat: list = []
+            lengths: list[int | None] = []
+            for value in values:
+                if value is None:
+                    lengths.append(None)
+                else:
+                    lengths.append(len(value))
+                    flat.extend(value)
+            decrypted = self.provider.decrypt_batch(
+                flat, spec.elem_kind, spec.sql_type
+            )
+            out: list = []
+            pos = 0
+            for length in lengths:
+                if length is None:
+                    out.append([])
+                else:
+                    out.append(decrypted[pos : pos + length])
+                    pos += length
+            return [out]
         if spec.kind == "hom":
             return self._decrypt_hom_column(spec, values)
         raise ExecutionError(f"unknown decrypt spec kind {spec.kind!r}")

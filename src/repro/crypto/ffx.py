@@ -17,6 +17,8 @@ Signed values are handled by an order-agnostic shift into ``[0, domain)``
 
 from __future__ import annotations
 
+from typing import Sequence
+
 from repro.common.errors import CryptoError, DomainError
 from repro.crypto.feistel import IntegerPRP
 
@@ -55,6 +57,44 @@ class FFXInteger:
                 return self.lo + walked
             walked = self._prp.decrypt(walked)
         raise CryptoError("FFX cycle walk failed to terminate")  # pragma: no cover
+
+    def encrypt_batch(self, values: Sequence) -> list:
+        """Column-wise :meth:`encrypt`: distinct values encrypt once and the
+        cycle walk re-permutes all out-of-domain stragglers per Feistel
+        round sweep (``None`` passes through)."""
+        return self._walk_batch(values, self._prp.encrypt_batch)
+
+    def decrypt_batch(self, values: Sequence) -> list:
+        """Column-wise :meth:`decrypt` (``None`` passes through)."""
+        return self._walk_batch(values, self._prp.decrypt_batch)
+
+    def _walk_batch(self, values: Sequence, permute_batch) -> list:
+        out: list = [None] * len(values)
+        groups: dict[int, list[int]] = {}
+        for idx, value in enumerate(values):
+            if value is None:
+                continue
+            groups.setdefault(self._to_offset(value), []).append(idx)
+        if not groups:
+            return out
+        distinct = list(groups)
+        walked = permute_batch(distinct)
+        size = self._size
+        for _ in range(_MAX_WALK):
+            pending = [i for i, w in enumerate(walked) if w >= size]
+            if not pending:
+                break
+            redone = permute_batch([walked[i] for i in pending])
+            for i, w in zip(pending, redone):
+                walked[i] = w
+        else:  # pragma: no cover
+            raise CryptoError("FFX cycle walk failed to terminate")
+        lo = self.lo
+        for offset, w in zip(distinct, walked):
+            result = lo + w
+            for idx in groups[offset]:
+                out[idx] = result
+        return out
 
     def _to_offset(self, value: int) -> int:
         if not self.lo <= value <= self.hi:

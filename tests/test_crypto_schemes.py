@@ -10,7 +10,7 @@ from repro.common.errors import CryptoError, DomainError
 from repro.crypto.det import DetCipher
 from repro.crypto.ffx import FFXInteger
 from repro.crypto.ope import OpeCipher, _sample_hypergeometric
-from repro.crypto.prf import PRFStream
+from repro.crypto.prf import KeyedPRF
 from repro.crypto.rnd import RndCipher
 from repro.crypto.search import SearchCipher, parse_like_pattern
 
@@ -139,19 +139,17 @@ class TestHypergeometricSampler:
     def test_support(self, marked, total):
         marked = min(marked, total)
         draws = total // 2
-        stream = PRFStream(KEY, b"hg")
-        x = _sample_hypergeometric(marked, total, draws, stream)
+        x = _sample_hypergeometric(marked, total, draws, KeyedPRF(KEY), b"hg")
         assert max(0, marked - (total - draws)) <= x <= min(marked, draws)
 
     def test_large_instance_uses_normal_path(self):
-        stream = PRFStream(KEY, b"hg2")
-        x = _sample_hypergeometric(10_000, 1_000_000, 500_000, stream)
+        x = _sample_hypergeometric(10_000, 1_000_000, 500_000, KeyedPRF(KEY), b"hg2")
         # Mean is 5000; the draw should land within a plausible window.
         assert 4000 <= x <= 6000
 
     def test_deterministic(self):
-        a = _sample_hypergeometric(50, 1000, 500, PRFStream(KEY, b"d"))
-        b = _sample_hypergeometric(50, 1000, 500, PRFStream(KEY, b"d"))
+        a = _sample_hypergeometric(50, 1000, 500, KeyedPRF(KEY), b"d")
+        b = _sample_hypergeometric(50, 1000, 500, KeyedPRF(KEY), b"d")
         assert a == b
 
 
