@@ -1,0 +1,238 @@
+"""Shard scale-out benchmark: scatter-gather over N backend stores.
+
+One encrypted design per dataset (sales, TPC-H, SSB), loaded behind a
+:class:`~repro.server.ShardedBackend` at every shard count in the sweep,
+replayed in-process and over N loopback TCP shard servers.  Every point
+is equivalence-asserted against the serial reference — identical
+plaintext rows and identical primary ledger byte counts (transfer bytes,
+server bytes scanned, round trips) at every shard count and transport;
+the sweep measures scatter-gather scheduling, never results.  N=1 runs
+the same coordinator code over one shard, so the merge layer itself is
+in the baseline.
+
+Writes ``BENCH_PR9.json`` (repo root by default).  Run:
+
+    PYTHONPATH=src python benchmarks/bench_shards.py          # full
+    PYTHONPATH=src python benchmarks/bench_shards.py --quick  # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import sys
+import time
+
+from repro.common.ledger import DiskModel, NetworkModel
+from repro.core import (
+    CryptoProvider,
+    EncryptedLoader,
+    MonomiClient,
+    TechniqueFlags,
+    normalize_query,
+)
+from repro.net.sharded import serve_shards
+from repro.server import make_sharded_backend
+from repro.sql import parse
+from repro.ssb import generate as ssb_generate, ssb_queries
+from repro.testkit import MASTER_KEY, SALES_WORKLOAD, build_sales_db, canonical
+from repro.tpch import generate as tpch_generate, tpch_queries
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+def ledger_bytes(ledger) -> tuple[int, int, int]:
+    return (
+        ledger.transfer_bytes,
+        ledger.server_bytes_scanned,
+        ledger.round_trips,
+    )
+
+
+class Dataset:
+    """One plain database + workload + shared design and key chain."""
+
+    def __init__(self, name: str, db, workload: list[str], paillier_bits: int):
+        self.name = name
+        self.db = db
+        self.workload = [normalize_query(parse(sql)) for sql in workload]
+        self.provider = CryptoProvider(MASTER_KEY, paillier_bits=paillier_bits)
+        reference = MonomiClient.setup(
+            db,
+            workload,
+            master_key=MASTER_KEY,
+            paillier_bits=paillier_bits,
+            space_budget=2.5,
+            provider=self.provider,
+        )
+        self.design = reference.design
+        self.flags = TechniqueFlags()
+        self.network, self.disk = NetworkModel(), DiskModel()
+        # Serial reference outcomes: the oracle every point must match.
+        self.wants = {
+            index: (canonical(out.rows), ledger_bytes(out.ledger))
+            for index, out in (
+                (i, reference.execute(q)) for i, q in enumerate(self.workload)
+            )
+        }
+
+    def sharded_client(self, shards: int) -> MonomiClient:
+        backend = make_sharded_backend(
+            "memory", shards, name=f"{self.db.name}_enc"
+        )
+        EncryptedLoader(self.db, self.provider).load_into(backend, self.design)
+        return MonomiClient(
+            self.db,
+            self.design,
+            self.provider,
+            backend,
+            self.flags,
+            self.network,
+            self.disk,
+        )
+
+    def replay_and_assert(self, client: MonomiClient, repeats: int) -> dict:
+        elapsed = 0.0
+        queries = 0
+        for _ in range(repeats):
+            for index, query in enumerate(self.workload):
+                begin = time.perf_counter()
+                outcome = client.execute(query)
+                elapsed += time.perf_counter() - begin
+                queries += 1
+                want_rows, want_ledger = self.wants[index]
+                assert canonical(outcome.rows) == want_rows, (
+                    f"{self.name} query {index} rows diverged"
+                )
+                assert ledger_bytes(outcome.ledger) == want_ledger, (
+                    f"{self.name} query {index} ledger diverged: "
+                    f"{ledger_bytes(outcome.ledger)} != {want_ledger}"
+                )
+        return {
+            "queries": queries,
+            "elapsed_seconds": elapsed,
+            "queries_per_second": queries / elapsed if elapsed else 0.0,
+        }
+
+
+def bench_scale_out(
+    dataset: Dataset, shard_counts: list[int], repeats: int
+) -> tuple[list[dict], list[dict]]:
+    inproc_points: list[dict] = []
+    tcp_points: list[dict] = []
+    for shards in shard_counts:
+        client = dataset.sharded_client(shards)
+        point = {
+            "label": f"{dataset.name}-inproc-shards-{shards}",
+            "dataset": dataset.name,
+            "shards": shards,
+            "transport": "inproc",
+            **dataset.replay_and_assert(client, repeats),
+        }
+        inproc_points.append(point)
+        print(
+            f"  {dataset.name:6s} inproc N={shards}: "
+            f"{point['queries_per_second']:7.1f} q/s "
+            f"({point['elapsed_seconds']:.3f}s / {point['queries']} queries)"
+        )
+        backend = client.backend
+        while hasattr(backend, "_parent"):  # Unwrap chaos, if armed.
+            backend = backend._parent
+        with serve_shards(backend) as cluster:
+            remote = MonomiClient(
+                dataset.db,
+                dataset.design,
+                dataset.provider,
+                cluster.backend,
+                dataset.flags,
+                dataset.network,
+                dataset.disk,
+            )
+            point = {
+                "label": f"{dataset.name}-tcp-shards-{shards}",
+                "dataset": dataset.name,
+                "shards": shards,
+                "transport": "tcp",
+                **dataset.replay_and_assert(remote, repeats),
+            }
+            tcp_points.append(point)
+            print(
+                f"  {dataset.name:6s} tcp    N={shards}: "
+                f"{point['queries_per_second']:7.1f} q/s "
+                f"({point['elapsed_seconds']:.3f}s)"
+            )
+        client.close()
+    return inproc_points, tcp_points
+
+
+def build_datasets(quick: bool) -> list[Dataset]:
+    if quick:
+        num_orders, paillier_bits = 100, 256
+        tpch_scale, tpch_numbers = 0.0002, (1, 6)
+        ssb_scale, ssb_numbers = 0.0002, ("1.1", "2.1")
+    else:
+        num_orders, paillier_bits = 240, 384
+        tpch_scale, tpch_numbers = 0.0003, (1, 3, 6, 12)
+        ssb_scale, ssb_numbers = 0.0002, ("1.1", "2.1", "3.1", "4.1")
+    tpch = tpch_queries(tpch_scale)
+    ssb = ssb_queries()
+    return [
+        Dataset(
+            "sales", build_sales_db(num_orders), SALES_WORKLOAD, paillier_bits
+        ),
+        Dataset(
+            "tpch",
+            tpch_generate(scale=tpch_scale, seed=5),
+            [tpch[n].sql for n in tpch_numbers],
+            paillier_bits,
+        ),
+        Dataset(
+            "ssb",
+            ssb_generate(scale=ssb_scale, seed=13),
+            [ssb[n].sql for n in ssb_numbers],
+            paillier_bits,
+        ),
+    ]
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="CI smoke mode")
+    parser.add_argument("--out", default=None, help="output JSON path")
+    args = parser.parse_args()
+
+    if args.quick:
+        shard_counts, repeats = [1, 2], 1
+    else:
+        shard_counts, repeats = [1, 2, 4, 8], 2
+
+    print(
+        f"shard scale-out benchmark: N ∈ {shard_counts}, "
+        f"cpu_count={os.cpu_count()}"
+    )
+    scale_out: list[dict] = []
+    tcp_scale_out: list[dict] = []
+    for dataset in build_datasets(args.quick):
+        print(f"{dataset.name}: {len(dataset.workload)} queries")
+        inproc, tcp = bench_scale_out(dataset, shard_counts, repeats)
+        scale_out.extend(inproc)
+        tcp_scale_out.extend(tcp)
+
+    payload = {
+        "benchmark": "shards",
+        "mode": "quick" if args.quick else "full",
+        "cpu_count": os.cpu_count(),
+        "shard_counts": shard_counts,
+        "scale_out": scale_out,
+        "tcp_scale_out": tcp_scale_out,
+    }
+    out_path = pathlib.Path(args.out) if args.out else REPO_ROOT / "BENCH_PR9.json"
+    out_path.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {out_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -19,6 +19,13 @@ phases without breaking older baselines.
 Usage:
 
     python benchmarks/compare_baselines.py smoke.json=BENCH_PR4.json ...
+    python benchmarks/compare_baselines.py --auto
+
+``--auto`` discovers every ``bench_*_smoke.json`` in the working
+directory and pairs it with its checked-in baseline via ``BASELINES``
+(keyed by benchmark script stem).  A smoke file whose stem is not
+registered fails the run — adding a benchmark means registering its
+baseline here, so the tripwire can never silently skip one.
 """
 
 from __future__ import annotations
@@ -31,6 +38,40 @@ FACTOR = 3.0
 ABSOLUTE_FLOOR_SECONDS = 0.05
 
 _IDENTITY_KEYS = ("label", "workers", "backend", "partitions", "table_rows", "rate")
+
+#: Benchmark script stem -> checked-in full-mode baseline (repo root).
+BASELINES = {
+    "bench_batch_pipeline": "BENCH_PR1.json",
+    "bench_backends": "BENCH_PR2.json",
+    "bench_streaming": "BENCH_PR3.json",
+    "bench_parallel": "BENCH_PR4.json",
+    "bench_service": "BENCH_PR5.json",
+    "bench_faults": "BENCH_PR6.json",
+    "bench_network": "BENCH_PR7.json",
+    "bench_ope": "BENCH_PR8.json",
+    "bench_shards": "BENCH_PR9.json",
+}
+
+_REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+def discover_pairs() -> list[str] | None:
+    """smoke=baseline pairs for every bench_*_smoke.json in the cwd."""
+    pairs: list[str] = []
+    for smoke_path in sorted(pathlib.Path.cwd().glob("bench_*_smoke.json")):
+        stem = smoke_path.name[: -len("_smoke.json")]
+        baseline = BASELINES.get(stem)
+        if baseline is None:
+            print(
+                f"unregistered smoke output {smoke_path.name}: add "
+                f"{stem!r} to BASELINES in compare_baselines.py"
+            )
+            return None
+        pairs.append(f"{smoke_path.name}={_REPO_ROOT / baseline}")
+    if not pairs:
+        print("no bench_*_smoke.json files found — did the benchmarks run?")
+        return None
+    return pairs
 
 
 def _identity(entry: object) -> tuple | None:
@@ -82,8 +123,13 @@ def compare(smoke: object, baseline: object, path: str, failures: list[str]) -> 
 
 
 def main(argv: list[str]) -> int:
+    if argv == ["--auto"]:
+        discovered = discover_pairs()
+        if discovered is None:
+            return 2
+        argv = discovered
     if not argv:
-        print("usage: compare_baselines.py smoke.json=baseline.json ...")
+        print("usage: compare_baselines.py [--auto] smoke.json=baseline.json ...")
         return 2
     failures: list[str] = []
     compared = 0

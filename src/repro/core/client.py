@@ -38,7 +38,14 @@ from repro.core.planner import PlannedQuery, Planner
 from repro.engine.catalog import Database
 from repro.engine.executor import ResultSet
 from repro.engine.rowblock import RowBlock
-from repro.server import ServerBackend, as_backend, make_backend, maybe_wrap_chaos
+from repro.server import (
+    ServerBackend,
+    as_backend,
+    make_backend,
+    make_sharded_backend,
+    maybe_wrap_chaos,
+    resolve_shards,
+)
 from repro.server.inmemory import InMemoryBackend
 from repro.sql import ast, parse
 
@@ -207,6 +214,8 @@ class MonomiClient:
         workers: int | None = None,
         partitions: int | None = None,
         prefetch_blocks: int | None = None,
+        shards: int | None = None,
+        shard_keys: dict[str, str | None] | None = None,
     ) -> "MonomiClient":
         """Design (unless ``design`` is given), encrypt, and load.
 
@@ -224,6 +233,14 @@ class MonomiClient:
         ``partitions`` requests partition-parallel server scans, and
         ``prefetch_blocks`` sizes the server→client pipeline queue.  All
         three default from their ``MONOMI_*`` environment variables.
+
+        ``shards`` (default from ``MONOMI_SHARDS``) partitions the
+        encrypted tables across that many fresh backends of the chosen
+        kind behind a :class:`~repro.server.ShardedBackend`; rows and
+        ledger byte counts are shard-count-invariant.  ``shard_keys``
+        overrides the per-table routing column (``None`` value =
+        replicate that table to the coordinator).  Both are ignored when
+        a pre-built backend instance is passed.
         """
         network = network or NetworkModel()
         disk = disk or DiskModel()
@@ -248,7 +265,16 @@ class MonomiClient:
             design = design_result.design
         loader = EncryptedLoader(plain_db, provider)
         if isinstance(backend, str):
-            backend = make_backend(backend, name=f"{plain_db.name}_enc")
+            shard_count = resolve_shards(shards)
+            if shard_count > 1 or shard_keys:
+                backend = make_sharded_backend(
+                    backend,
+                    shard_count,
+                    name=f"{plain_db.name}_enc",
+                    shard_keys=shard_keys,
+                )
+            else:
+                backend = make_backend(backend, name=f"{plain_db.name}_enc")
         loader.load_into(backend, design)
         return cls(
             plain_db,

@@ -9,6 +9,7 @@ is the front door.
 
 from repro.net.client import RemoteBackend, parse_address
 from repro.net.server import MonomiServer
+from repro.net.sharded import ShardCluster, serve_shards
 from repro.net.wire import (
     DEFAULT_MAX_FRAME_BYTES,
     FrameDecoder,
@@ -27,6 +28,7 @@ __all__ = [
     "FrameDecoder",
     "MonomiServer",
     "RemoteBackend",
+    "ShardCluster",
     "VERSION",
     "decode_error",
     "decode_message",
@@ -36,4 +38,5 @@ __all__ = [
     "encode_message",
     "encode_value",
     "parse_address",
+    "serve_shards",
 ]

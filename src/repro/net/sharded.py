@@ -1,0 +1,84 @@
+"""Sharded execution over TCP: N shard servers behind one coordinator.
+
+The deployment dual of :class:`~repro.server.sharded.ShardedBackend`:
+load in-process (``RemoteBackend`` is deliberately load-read-only), then
+host each shard with its own :class:`~repro.net.MonomiServer` and
+re-point the coordinator at N ``RemoteBackend`` connections via
+``with_shards``.  The coordinator state — routing registry, logical byte
+counts, replicated tables, ciphertext store — stays local and shared, so
+query plans, merge behavior, and the ledger are identical to the
+in-process topology.
+"""
+
+from __future__ import annotations
+
+from repro.net.client import RemoteBackend
+from repro.net.server import MonomiServer
+from repro.server.sharded import ShardedBackend
+
+
+class ShardCluster:
+    """N running shard servers plus the re-pointed coordinator.
+
+    Context manager: closing stops every server and closes the remote
+    connections (the loaded in-process backend is left untouched).
+    """
+
+    def __init__(
+        self, servers: list[MonomiServer], backend: ShardedBackend
+    ) -> None:
+        self.servers = servers
+        self.backend = backend
+
+    @property
+    def addresses(self) -> list[str]:
+        return [server.address for server in self.servers]
+
+    def __enter__(self) -> "ShardCluster":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def close(self) -> None:
+        self.backend.close()  # Closes the RemoteBackend connections.
+        for server in self.servers:
+            server.close()
+
+
+def serve_shards(
+    sharded: ShardedBackend,
+    host: str = "127.0.0.1",
+    connect_timeout: float = 10.0,
+    socket_timeout: float = 120.0,
+) -> ShardCluster:
+    """Host every shard of a loaded ``ShardedBackend`` over TCP loopback.
+
+    Each shard gets its own :class:`MonomiServer` (ephemeral port) and a
+    fresh :class:`RemoteBackend` dialed to it; the returned cluster's
+    ``backend`` is ``sharded.with_shards(remotes)`` — the same loaded
+    coordinator, scatter-gathering over sockets.
+    """
+    servers: list[MonomiServer] = []
+    remotes: list[RemoteBackend] = []
+    try:
+        for shard in sharded.shards:
+            server = MonomiServer(shard, host=host).start()
+            servers.append(server)
+            remotes.append(
+                RemoteBackend(
+                    server.address,
+                    connect_timeout=connect_timeout,
+                    socket_timeout=socket_timeout,
+                )
+            )
+    except BaseException:
+        for remote in remotes:
+            remote.close()
+        for server in servers:
+            server.close()
+        raise
+    return ShardCluster(servers, sharded.with_shards(remotes))
+
+
+__all__ = ["ShardCluster", "serve_shards"]

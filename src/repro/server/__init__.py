@@ -2,7 +2,8 @@
 
 `make_backend("memory" | "sqlite")` builds a fresh backend;
 `as_backend(database_or_backend)` adapts the pre-backend calling
-convention (a raw `engine.Database`).
+convention (a raw `engine.Database`); `make_sharded_backend` puts N
+fresh backends behind the scatter-gather coordinator.
 """
 
 from __future__ import annotations
@@ -16,6 +17,13 @@ from repro.server.chaos import (
     parse_chaos,
 )
 from repro.server.inmemory import InMemoryBackend
+from repro.server.sharded import (
+    SHARDS_ENV,
+    ShardedBackend,
+    make_sharded_backend,
+    resolve_shards,
+    shards_from_env,
+)
 from repro.server.sqlite import SQLiteBackend
 
 BACKEND_KINDS = ("memory", "sqlite")
@@ -33,13 +41,18 @@ def make_backend(kind: str, name: str = "server", **options) -> ServerBackend:
 __all__ = [
     "BACKEND_KINDS",
     "CHAOS_ENV",
+    "SHARDS_ENV",
     "FaultInjectingBackend",
     "InMemoryBackend",
     "SQLiteBackend",
     "ServerBackend",
+    "ShardedBackend",
     "as_backend",
     "chaos_from_env",
     "make_backend",
+    "make_sharded_backend",
     "maybe_wrap_chaos",
     "parse_chaos",
+    "resolve_shards",
+    "shards_from_env",
 ]

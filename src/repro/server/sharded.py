@@ -1,0 +1,1324 @@
+"""Sharded scatter-gather execution: N backends behind one seam (PR 9).
+
+One backend store is the scale ceiling of the split architecture: every
+query drains a single :class:`~repro.server.backend.ServerBackend`.  The
+paper's encryption schemes make scatter-gather natural — DET equality,
+OPE order, and Paillier addition all survive partitioning, so partial
+results combine commutatively above N independent stores (the same
+observation that lets MRV split one logical value over many physical
+records: the combine op commutes).
+
+:class:`ShardedBackend` implements the existing ``ServerBackend`` seam
+over N inner backends plus a local *coordinator*
+(:class:`~repro.engine.catalog.Database`) that holds replicated tables,
+the packed-Paillier ciphertext store, and the merge engine.  Because it
+is just another backend, it composes for free with streaming, chaos
+wrapping, the service layer's worker views, and
+:class:`~repro.net.client.RemoteBackend` shards (N TCP servers).
+
+Row routing happens at load time: ``insert_rows`` assigns each row a
+global ordinal (a hidden ``__shard_ord`` column appended to every shard
+table) and routes it by the hash of its DET shard key — or by ordinal
+when the schema has no DET column.  The ordinal is the merge fence:
+every gather path re-establishes the exact serial row order by merging
+on it, so plaintext rows, block boundaries, and ledger byte counts are
+**shard-count-invariant** (N=1 is byte-identical to the serial
+reference).
+
+Query execution classifies the server query into four gather modes:
+
+* **scan** — streamable scan: fan out with per-shard LIMIT, k-way merge
+  on ordinal (`heapq.merge`), trim the global LIMIT;
+* **ordered** — ORDER BY (OPE keys): per-shard top-k with the ordinal as
+  final tiebreak, k-way sorted merge with the engine's exact NULL
+  ordering per direction;
+* **partial aggregation** — GROUP BY / aggregates: shards compute
+  partial states (counts, OPE min/max, ``grp`` value lists, ``hom_agg``
+  row-id lists), the coordinator merges groups by DET key in global
+  first-encounter order and re-aggregates — Paillier partial sums
+  recombine by ciphertext multiplication inside
+  :class:`~repro.engine.aggregates.HomAgg` over the merged row ids;
+* **general** — joins, DISTINCT, subqueries: gather the referenced
+  partitioned tables (ordinal-merged, so relation order is serial) into
+  the coordinator and run the unmodified engine there.
+
+Scan-byte accounting is computed by the coordinator from the logical
+(pre-ordinal) table sizes — one heap read per table occurrence plus the
+ciphertext-store read window, exactly the serial engine's static
+accounting — so the ledger never sees the shard topology.
+
+Faults on one shard retry per the PR 6 taxonomy without disturbing the
+others: materialized fan-out retries each shard's request independently
+(:func:`~repro.common.retry.retry_call`), and the streaming fan-out
+re-opens only the faulted shard's stream, fast-forwarding past rows it
+already delivered.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import heapq
+import os
+import queue
+import random
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Sequence
+
+from repro.common.errors import ConfigError, TransientError
+from repro.common.retry import Deadline, RetryPolicy, retry_call
+from repro.engine.aggregates import HomAgg
+from repro.engine.catalog import Database
+from repro.engine.executor import ExecStats, Executor, ResultSet
+from repro.engine.rowblock import (
+    DEFAULT_BLOCK_ROWS,
+    BlockStream,
+    blocks_from_rows,
+    rechunk_rows,
+)
+from repro.engine.schema import ColumnDef, TableSchema
+from repro.server.backend import (
+    ServerBackend,
+    supports_deadline,
+    supports_partitions,
+)
+from repro.sql import ast
+from repro.storage.rowcodec import encode_value, row_bytes
+
+#: Environment variable: shard count applied by ``MonomiClient.setup``.
+SHARDS_ENV = "MONOMI_SHARDS"
+
+#: Hidden per-row global ordinal appended to every shard table: the merge
+#: fence that re-establishes serial row order above the shards.
+ORDINAL_COLUMN = "__shard_ord"
+
+#: Scratch table name the partial-aggregation finalizer materializes
+#: merged groups into (lives in a throwaway scratch Database).
+_GROUPS_TABLE = "__sharded_groups"
+
+#: Per-shard bounded prefetch queue depth for the streaming fan-out.
+_STREAM_QUEUE_BLOCKS = 4
+
+
+def shards_from_env() -> int:
+    """The ``MONOMI_SHARDS`` count (>= 1), or 1 when unset."""
+    raw = os.environ.get(SHARDS_ENV)
+    if raw is None or raw == "":
+        return 1
+    try:
+        count = int(raw)
+    except ValueError:
+        raise ConfigError(f"{SHARDS_ENV} must be an integer, got {raw!r}") from None
+    if count < 1:
+        raise ConfigError(f"{SHARDS_ENV} must be >= 1, got {count}")
+    return count
+
+
+def resolve_shards(shards: int | None) -> int:
+    """Explicit count wins; otherwise ``MONOMI_SHARDS``; otherwise 1."""
+    if shards is None:
+        return shards_from_env()
+    if shards < 1:
+        raise ConfigError(f"shards must be >= 1, got {shards}")
+    return shards
+
+
+def route_hash(value: object) -> int:
+    """Deterministic shard-routing hash of one (ciphertext) cell value.
+
+    Python's built-in ``hash`` is per-process salted; routing must be
+    stable across processes (a TCP redeploy must find its rows), so the
+    hash is SHA-256 over the rowcodec's canonical value encoding.
+    """
+    digest = hashlib.sha256(encode_value(value)).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+# ---------------------------------------------------------------------------
+# Ordered-merge key: the engine's exact sort semantics, per direction
+# ---------------------------------------------------------------------------
+
+
+class DirectedKey:
+    """One ORDER BY key value under the engine's comparison semantics.
+
+    The serial engine sorts with repeated stable passes of
+    ``_SortKey`` (NULLs last) and ``reverse=not ascending`` — equivalent
+    to one lexicographic comparison where each key compares ascending
+    with NULLs last, or descending with NULLs first.  This wrapper is
+    that per-key comparison, so ``heapq.merge`` over per-shard sorted
+    streams reproduces the serial order exactly (ties fall through to
+    the ordinal tiebreak the caller appends).
+    """
+
+    __slots__ = ("value", "ascending")
+
+    def __init__(self, value: object, ascending: bool) -> None:
+        self.value = value
+        self.ascending = ascending
+
+    def __lt__(self, other: "DirectedKey") -> bool:
+        a, b = self.value, other.value
+        if a is None or b is None:
+            if a is None and b is None:
+                return False
+            # Ascending: NULLs last (a None is never less).  Descending
+            # inverts the serial pass, putting NULLs first.
+            return (a is None) != self.ascending
+        return a < b if self.ascending else b < a
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, DirectedKey) and self.value == other.value
+
+    def __hash__(self) -> int:  # pragma: no cover - keys are never hashed
+        return hash((self.value, self.ascending))
+
+
+def merge_sorted_rows(
+    shard_rows: Sequence[Iterable[tuple]],
+    key_slots: Sequence[tuple[int, bool]],
+    ordinal_slot: int,
+    limit: int | None = None,
+) -> Iterator[tuple]:
+    """K-way merge of per-shard sorted rows into the serial total order.
+
+    ``key_slots`` is ``[(column_index, ascending), ...]``; the ordinal at
+    ``ordinal_slot`` breaks every remaining tie (it is globally unique),
+    which makes the merge exact, not merely stable.  Each input must
+    already be sorted by the same composite — true by construction, the
+    shard query ends with an ascending ordinal ORDER BY key.
+    """
+
+    def sort_key(row: tuple) -> tuple:
+        directed = tuple(
+            DirectedKey(row[slot], ascending) for slot, ascending in key_slots
+        )
+        return directed + (row[ordinal_slot],)
+
+    merged = heapq.merge(*shard_rows, key=sort_key)
+    if limit is None:
+        yield from merged
+        return
+    for count, row in enumerate(merged):
+        if count >= limit:
+            return
+        yield row
+
+
+def merge_scan_rows(
+    shard_rows: Sequence[Iterable[tuple]],
+    ordinal_slot: int,
+    limit: int | None = None,
+) -> Iterator[tuple]:
+    """Ordinal-only merge: the serial scan order of a partitioned table."""
+    return merge_sorted_rows(shard_rows, (), ordinal_slot, limit)
+
+
+# ---------------------------------------------------------------------------
+# Partial-aggregation plan (mode 3)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _AggSpec:
+    """How one aggregate call is partialized and merged.
+
+    ``kind`` selects the merge rule; ``slots`` maps the shard query's
+    partial columns (by alias) feeding this aggregate.
+    """
+
+    call: ast.FuncCall
+    kind: str  # count | sum | min | max | avg | grp | hom | distinct
+    slots: dict[str, str] = field(default_factory=dict)
+
+
+@dataclass
+class _PartialPlan:
+    """A mode-3 execution recipe: shard query + merge + finalize query."""
+
+    shard_query: ast.Select
+    key_count: int
+    specs: list[_AggSpec]
+    final_query: ast.Select
+    needs_pairs: bool  # Any spec consuming the shared grp(ordinal) column.
+
+
+class _Unsupported(Exception):
+    """Internal: this query shape has no partial-aggregation recipe."""
+
+
+def _subqueries_anywhere(query: ast.Select) -> bool:
+    exprs: list[ast.Expr] = [item.expr for item in query.items]
+    exprs.extend(query.group_by)
+    exprs.extend(o.expr for o in query.order_by)
+    if query.where is not None:
+        exprs.append(query.where)
+    if query.having is not None:
+        exprs.append(query.having)
+    if any(ast.find_subqueries(e) for e in exprs):
+        return True
+    return any(
+        not isinstance(ref, ast.TableName) for ref in query.from_items
+    )
+
+
+def _resolve_aliases(query: ast.Select, expr: ast.Expr) -> ast.Expr:
+    """Replace bare output-alias references with the aliased expression
+    (HAVING / ORDER BY may name an item alias; partializing needs the
+    underlying expression)."""
+    aliases = {
+        item.alias: item.expr for item in query.items if item.alias is not None
+    }
+
+    def sub(node: ast.Expr) -> ast.Expr:
+        if isinstance(node, ast.Column) and node.table is None:
+            replacement = aliases.get(node.name)
+            if replacement is not None:
+                return replacement
+        return node
+
+    return ast.transform(expr, sub)
+
+
+class ShardedBackend(ServerBackend):
+    """N independent ``ServerBackend`` shards behind the single-server seam."""
+
+    kind = "sharded"
+
+    def __init__(
+        self,
+        shards: Sequence[ServerBackend],
+        name: str = "server",
+        shard_keys: dict[str, str | None] | None = None,
+        retry_policy: RetryPolicy | None = None,
+        _shared: "ShardedBackend | None" = None,
+    ) -> None:
+        if not shards:
+            raise ConfigError("ShardedBackend needs at least one shard")
+        self.shards = list(shards)
+        self.last_stats = ExecStats()
+        self.retry_policy = (
+            retry_policy if retry_policy is not None else RetryPolicy()
+        )
+        if _shared is not None:
+            # A re-pointed topology (e.g. the same loaded data served by
+            # RemoteBackend shards): share every piece of coordinator
+            # state so introspection, routing, and planning are
+            # unchanged — only where queries are sent differs.
+            self._db = _shared._db
+            self._tables = _shared._tables
+            self._shard_keys = _shared._shard_keys
+            self._gather_lock = _shared._gather_lock
+        else:
+            self._db = Database(f"{name}_coordinator")
+            self._tables: dict[str, _ShardedTable] = {}
+            self._shard_keys = dict(shard_keys or {})
+            self._gather_lock = threading.Lock()
+        self._executor = Executor(self._db)
+        self._shard_deadline = [supports_deadline(s) for s in self.shards]
+        self._shard_partitions = [supports_partitions(s) for s in self.shards]
+
+    # -- topology ------------------------------------------------------------
+
+    def with_shards(self, shards: Sequence[ServerBackend]) -> "ShardedBackend":
+        """The same loaded coordinator state over a different shard set.
+
+        The TCP deployment path: load in-process, serve each shard with
+        its own :class:`~repro.net.MonomiServer`, then re-point the
+        coordinator at N :class:`RemoteBackend` connections.  The shard
+        count and per-table routing must match the loaded topology.
+        """
+        if len(shards) != len(self.shards):
+            raise ConfigError(
+                f"shard topology mismatch: loaded {len(self.shards)} "
+                f"shards, got {len(shards)}"
+            )
+        return ShardedBackend(
+            shards, retry_policy=self.retry_policy, _shared=self
+        )
+
+    @property
+    def ciphertext_store(self):
+        # Packed-Paillier files live on the coordinator only: the grp()
+        # rewrite ships row-id lists, never ciphertexts, so shards hold
+        # table heaps and nothing else.
+        return self._db.ciphertext_store
+
+    def _retry_rng(self) -> random.Random:
+        # Fixed-seed jitter, same discipline as the plan executor: fault
+        # schedules replay with identical retry timing.
+        return random.Random(0x5EED)
+
+    # -- loading -------------------------------------------------------------
+
+    def _route_column(self, schema: TableSchema) -> int | None:
+        """Schema position of the DET shard key, or None (ordinal routing).
+
+        The designer chooses by name: an explicit ``shard_keys`` entry
+        wins; otherwise the first DET column in schema order (its
+        deterministic ciphertexts make equal plaintexts co-resident, the
+        leakage already in the DET budget).
+        """
+        choice = self._shard_keys.get(schema.name, "")
+        if choice is None:
+            raise ConfigError(
+                f"table {schema.name!r} is marked replicated; it has no "
+                "shard route"
+            )
+        if choice:
+            try:
+                return schema.column_index(choice)
+            except Exception:
+                raise ConfigError(
+                    f"shard key {choice!r} is not a column of "
+                    f"{schema.name!r}"
+                ) from None
+        for index, column in enumerate(schema.columns):
+            if column.name.endswith("_det"):
+                return index
+        return None
+
+    def _is_replicated(self, table_name: str) -> bool:
+        return (
+            table_name in self._shard_keys
+            and self._shard_keys[table_name] is None
+        )
+
+    def create_table(self, schema: TableSchema) -> None:
+        if self._is_replicated(schema.name):
+            self._db.create_table(schema)
+            return
+        shard_schema = TableSchema(
+            name=schema.name,
+            columns=tuple(schema.columns) + (ColumnDef(ORDINAL_COLUMN, "int"),),
+        )
+        for shard in self.shards:
+            shard.create_table(shard_schema)
+        self._tables[schema.name] = _ShardedTable(
+            schema=schema,
+            shard_schema=shard_schema,
+            route_index=self._route_column(schema),
+        )
+
+    def insert_rows(self, table_name: str, rows: Iterable[tuple]) -> None:
+        meta = self._tables.get(table_name)
+        if meta is None:
+            self._db.table(table_name).insert_many(rows)
+            return
+        count = len(self.shards)
+        buckets: list[list[tuple]] = [[] for _ in range(count)]
+        added_bytes = 0
+        ordinal = meta.next_ordinal
+        for row in rows:
+            if meta.route_index is None:
+                target = ordinal % count
+            else:
+                target = route_hash(row[meta.route_index]) % count
+            added_bytes += row_bytes(row)
+            buckets[target].append(tuple(row) + (ordinal,))
+            ordinal += 1
+        # Per-shard inserts retry independently so a transient fault on
+        # one shard never leaves the batch half-routed: by the time this
+        # method returns (or raises a fatal error on first attempt), no
+        # sibling shard holds rows a caller-level retry would duplicate.
+        for index, bucket in enumerate(buckets):
+            if not bucket:
+                continue
+            shard = self.shards[index]
+            retry_call(
+                lambda shard=shard, bucket=bucket: shard.insert_rows(
+                    table_name, bucket
+                ),
+                self.retry_policy,
+                rng=self._retry_rng(),
+            )
+        meta.next_ordinal = ordinal
+        meta.logical_bytes += added_bytes
+
+    # -- introspection -------------------------------------------------------
+
+    def table_names(self) -> list[str]:
+        return sorted(set(self._tables) | set(self._db.tables))
+
+    def table_bytes(self, table_name: str) -> int:
+        meta = self._tables.get(table_name)
+        if meta is not None:
+            return meta.logical_bytes
+        return self._db.table(table_name).total_bytes
+
+    def has_table(self, table_name: str) -> bool:
+        return table_name in self._tables or self._db.has_table(table_name)
+
+    def row_count(self, table_name: str) -> int:
+        meta = self._tables.get(table_name)
+        if meta is None:
+            return len(self._db.table(table_name).rows)
+        return sum(shard.row_count(table_name) for shard in self.shards)
+
+    def adopt_table(self, schema: TableSchema) -> None:
+        """Resume support: re-register a partitioned table against shard
+        data a previous load committed, recovering the logical byte count
+        and the ordinal watermark by scanning the shards once."""
+        if self._is_replicated(schema.name):
+            self._db.table(schema.name)
+            return
+        if schema.name in self._tables:
+            return
+        shard_schema = TableSchema(
+            name=schema.name,
+            columns=tuple(schema.columns) + (ColumnDef(ORDINAL_COLUMN, "int"),),
+        )
+        meta = _ShardedTable(
+            schema=schema,
+            shard_schema=shard_schema,
+            route_index=self._route_column(schema),
+        )
+        for shard in self.shards:
+            shard.adopt_table(shard_schema)
+            if shard.row_count(schema.name) == 0:
+                continue
+            scan = ast.Select(
+                items=tuple(
+                    ast.SelectItem(ast.Column(c.name))
+                    for c in shard_schema.columns
+                ),
+                from_items=(ast.TableName(schema.name),),
+            )
+            for row in shard.execute(scan).rows:
+                meta.logical_bytes += row_bytes(row[:-1])
+                meta.next_ordinal = max(meta.next_ordinal, row[-1] + 1)
+        self._tables[schema.name] = meta
+
+    # -- query execution -----------------------------------------------------
+
+    def _partitioned_in(self, query: ast.Select) -> list[str]:
+        seen: list[str] = []
+        for name in ast.table_occurrences(query):
+            if name in self._tables and name not in seen:
+                seen.append(name)
+        return seen
+
+    def _classify(
+        self, query: ast.Select
+    ) -> tuple[str, _PartialPlan | None]:
+        """Pick the gather mode for one server query."""
+        partitioned = self._partitioned_in(query)
+        if not partitioned:
+            return "local", None
+        simple = (
+            len(query.from_items) == 1
+            and isinstance(query.from_items[0], ast.TableName)
+            and query.from_items[0].name in self._tables
+            and not _subqueries_anywhere(query)
+        )
+        if not simple:
+            return "general", None
+        has_aggregates = query.group_by or any(
+            ast.contains_aggregate(item.expr) for item in query.items
+        )
+        if has_aggregates:
+            try:
+                return "partial", self._plan_partial(query)
+            except _Unsupported:
+                return "general", None
+        if query.distinct or query.having is not None:
+            return "general", None
+        if query.order_by:
+            return "ordered", None
+        return "scan", None
+
+    def execute(
+        self,
+        query: ast.Select,
+        params: dict[str, object] | None = None,
+        deadline: Deadline | None = None,
+    ) -> ResultSet:
+        mode, plan = self._classify(query)
+        if mode == "local":
+            result = self._executor.execute(query, params=params)
+            self.last_stats = self._executor.last_stats
+            return result
+        stats = ExecStats()
+        columns = [item.output_name(i) for i, item in enumerate(query.items)]
+        store = self._db.ciphertext_store
+        store_start = store.bytes_read
+        if mode == "general":
+            result = self._execute_general(query, params, deadline)
+            self.last_stats = self._executor.last_stats
+            return result
+        # Static scan accounting, identical to the serial engine: one
+        # logical heap read per table occurrence, charged up front, plus
+        # whatever the merge reads from the ciphertext store.
+        for name in ast.table_occurrences(query):
+            if self.has_table(name):
+                stats.bytes_scanned += self.table_bytes(name)
+        if mode == "partial":
+            rows = self._execute_partial(plan, params, deadline)
+        elif mode == "ordered":
+            rows = self._execute_ordered(query, params, deadline)
+        else:
+            rows = self._execute_scan(query, params, deadline)
+        stats.bytes_scanned += store.bytes_read - store_start
+        stats.rows_output = len(rows)
+        self.last_stats = stats
+        return ResultSet(columns, rows)
+
+    # -- fan-out primitives --------------------------------------------------
+
+    def _shard_execute(
+        self,
+        index: int,
+        query: ast.Select,
+        params: dict[str, object] | None,
+        deadline: Deadline | None,
+    ) -> ResultSet:
+        shard = self.shards[index]
+
+        def attempt() -> ResultSet:
+            if deadline is not None and self._shard_deadline[index]:
+                return shard.execute(query, params=params, deadline=deadline)
+            return shard.execute(query, params=params)
+
+        return retry_call(
+            attempt, self.retry_policy, deadline=deadline, rng=self._retry_rng()
+        )
+
+    def _fan_execute(
+        self,
+        query: ast.Select,
+        params: dict[str, object] | None,
+        deadline: Deadline | None,
+    ) -> list[ResultSet]:
+        """Run one query on every shard concurrently; per-shard retries."""
+        count = len(self.shards)
+        if count == 1:
+            return [self._shard_execute(0, query, params, deadline)]
+        results: list[ResultSet | None] = [None] * count
+        errors: list[BaseException] = []
+        lock = threading.Lock()
+
+        def run(index: int) -> None:
+            try:
+                results[index] = self._shard_execute(
+                    index, query, params, deadline
+                )
+            except BaseException as exc:
+                with lock:
+                    errors.append(exc)
+
+        threads = [
+            threading.Thread(
+                target=run, args=(i,), name=f"shard-exec-{i}", daemon=True
+            )
+            for i in range(count)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        if errors:
+            raise errors[0]
+        return results  # type: ignore[return-value]
+
+    # -- mode: scan ----------------------------------------------------------
+
+    def _scan_query(self, query: ast.Select) -> ast.Select:
+        items = tuple(query.items) + (
+            ast.SelectItem(ast.Column(ORDINAL_COLUMN), ORDINAL_COLUMN),
+        )
+        return ast.Select(
+            items=items,
+            from_items=query.from_items,
+            where=query.where,
+            limit=query.limit,
+        )
+
+    def _execute_scan(
+        self,
+        query: ast.Select,
+        params: dict[str, object] | None,
+        deadline: Deadline | None,
+    ) -> list[tuple]:
+        shard_query = self._scan_query(query)
+        results = self._fan_execute(shard_query, params, deadline)
+        merged = merge_scan_rows(
+            [r.rows for r in results], len(query.items), query.limit
+        )
+        return [row[:-1] for row in merged]
+
+    # -- mode: ordered -------------------------------------------------------
+
+    def _ordered_query(
+        self, query: ast.Select
+    ) -> tuple[ast.Select, list[tuple[int, bool]]]:
+        """Shard query for an ORDER BY scan plus merge-key column slots.
+
+        ORDER BY keys that already are items (by structural equality or
+        output alias) reuse the item's column; anything else rides along
+        as an extra projected item.  The shard-side ORDER BY appends the
+        ordinal ascending, making each shard's output a total order the
+        k-way merge can consume exactly.
+        """
+        items = list(query.items)
+        key_slots: list[tuple[int, bool]] = []
+        extra = 0
+        for order in query.order_by:
+            slot = None
+            for index, item in enumerate(query.items):
+                alias_match = (
+                    isinstance(order.expr, ast.Column)
+                    and order.expr.table is None
+                    and item.alias == order.expr.name
+                )
+                if item.expr == order.expr or alias_match:
+                    slot = index
+                    break
+            if slot is None:
+                slot = len(items)
+                items.append(ast.SelectItem(order.expr, f"__okey{extra}"))
+                extra += 1
+            key_slots.append((slot, order.ascending))
+        ordinal_slot = len(items)
+        items.append(ast.SelectItem(ast.Column(ORDINAL_COLUMN), ORDINAL_COLUMN))
+        shard_query = ast.Select(
+            items=tuple(items),
+            from_items=query.from_items,
+            where=query.where,
+            order_by=tuple(query.order_by)
+            + (ast.OrderItem(ast.Column(ORDINAL_COLUMN)),),
+            limit=query.limit,
+        )
+        return shard_query, key_slots
+
+    def _execute_ordered(
+        self,
+        query: ast.Select,
+        params: dict[str, object] | None,
+        deadline: Deadline | None,
+    ) -> list[tuple]:
+        shard_query, key_slots = self._ordered_query(query)
+        results = self._fan_execute(shard_query, params, deadline)
+        width = len(query.items)
+        merged = merge_sorted_rows(
+            [r.rows for r in results],
+            key_slots,
+            len(shard_query.items) - 1,
+            query.limit,
+        )
+        return [row[:width] for row in merged]
+
+    # -- mode: partial aggregation ------------------------------------------
+
+    def _plan_partial(self, query: ast.Select) -> _PartialPlan:
+        """Build the shard partial query + merge plan, or raise
+        :class:`_Unsupported` (the general gather handles anything)."""
+        key_exprs = list(query.group_by)
+        key_index = {expr: j for j, expr in enumerate(key_exprs)}
+        having = (
+            _resolve_aliases(query, query.having)
+            if query.having is not None
+            else None
+        )
+        order_by = tuple(
+            ast.OrderItem(_resolve_aliases(query, o.expr), o.ascending)
+            for o in query.order_by
+        )
+
+        aggregates: list[ast.FuncCall] = []
+        agg_index: dict[ast.FuncCall, int] = {}
+        sources: list[ast.Expr] = [item.expr for item in query.items]
+        if having is not None:
+            sources.append(having)
+        sources.extend(o.expr for o in order_by)
+        for expr in sources:
+            for call in ast.find_aggregates(expr):
+                if call not in agg_index:
+                    agg_index[call] = len(aggregates)
+                    aggregates.append(call)
+
+        shard_items: list[ast.SelectItem] = [
+            ast.SelectItem(expr, f"__k{j}") for j, expr in enumerate(key_exprs)
+        ]
+        specs: list[_AggSpec] = []
+        needs_pairs = False
+
+        def add_item(expr: ast.Expr, alias: str) -> str:
+            shard_items.append(ast.SelectItem(expr, alias))
+            return alias
+
+        for position, call in enumerate(aggregates):
+            label = f"__a{position}"
+            arg = call.args[0] if call.args else None
+            if call.name in ("hom_agg", "paillier_sum"):
+                if call.distinct or len(call.args) != 2:
+                    raise _Unsupported()
+                file_expr = call.args[0]
+                if not isinstance(file_expr, ast.Literal):
+                    raise _Unsupported()
+                spec = _AggSpec(call, "hom")
+                spec.slots["ids"] = add_item(
+                    ast.FuncCall("grp", (call.args[1],)), label
+                )
+            elif call.name == "count":
+                if call.distinct:
+                    if call.star or arg is None:
+                        raise _Unsupported()
+                    spec = _AggSpec(call, "count_distinct")
+                    spec.slots["values"] = add_item(
+                        ast.FuncCall("grp", (arg,)), label
+                    )
+                else:
+                    spec = _AggSpec(call, "count")
+                    spec.slots["partial"] = add_item(call, label)
+            elif call.name in ("min", "max"):
+                spec = _AggSpec(call, call.name)
+                spec.slots["partial"] = add_item(
+                    ast.FuncCall(call.name, call.args), label
+                )
+            elif call.name in ("sum", "avg") and call.distinct:
+                # Exact distinct-order semantics: dedupe over the merged
+                # (ordinal, value) pairs in global first-encounter order,
+                # then feed the serial aggregate.
+                if arg is None:
+                    raise _Unsupported()
+                spec = _AggSpec(call, "distinct")
+                spec.slots["values"] = add_item(
+                    ast.FuncCall("grp", (arg,)), label
+                )
+                needs_pairs = True
+            elif call.name == "sum":
+                spec = _AggSpec(call, "sum")
+                spec.slots["partial"] = add_item(call, label)
+            elif call.name == "avg":
+                if arg is None:
+                    raise _Unsupported()
+                spec = _AggSpec(call, "avg")
+                spec.slots["sum"] = add_item(
+                    ast.FuncCall("sum", (arg,)), f"{label}s"
+                )
+                spec.slots["count"] = add_item(
+                    ast.FuncCall("count", (arg,)), f"{label}c"
+                )
+            elif call.name == "grp":
+                if call.distinct or arg is None:
+                    raise _Unsupported()
+                spec = _AggSpec(call, "grp")
+                spec.slots["values"] = add_item(
+                    ast.FuncCall("grp", (arg,)), label
+                )
+                needs_pairs = True
+            else:  # pragma: no cover - AGGREGATE_FUNCTIONS is closed
+                raise _Unsupported()
+            specs.append(spec)
+
+        gmin_alias = add_item(
+            ast.FuncCall("min", (ast.Column(ORDINAL_COLUMN),)), "__gmin"
+        )
+        del gmin_alias
+        if needs_pairs:
+            add_item(ast.FuncCall("grp", (ast.Column(ORDINAL_COLUMN),)), "__gord")
+
+        shard_query = ast.Select(
+            items=tuple(shard_items),
+            from_items=query.from_items,
+            where=query.where,
+            group_by=tuple(key_exprs),
+        )
+
+        # Finalize query over the merged-groups scratch table: replace
+        # aggregate calls with their merged columns and group-key
+        # expressions with their key columns; any other column reference
+        # means the value is not derivable from partials -> unsupported.
+        def rewrite(expr: ast.Expr) -> ast.Expr:
+            if expr in key_index:
+                return ast.Column(f"__k{key_index[expr]}")
+            if ast.is_aggregate_call(expr) and expr in agg_index:
+                return ast.Column(f"__a{agg_index[expr]}")
+            if isinstance(
+                expr, (ast.ScalarSubquery, ast.InSubquery, ast.Exists)
+            ):
+                raise _Unsupported()
+            if isinstance(expr, ast.Column):
+                raise _Unsupported()
+            return ast._rebuild_children(expr, rewrite)
+
+        final_query = ast.Select(
+            items=tuple(
+                ast.SelectItem(rewrite(item.expr), item.output_name(i))
+                for i, item in enumerate(query.items)
+            ),
+            from_items=(ast.TableName(_GROUPS_TABLE),),
+            where=rewrite(having) if having is not None else None,
+            order_by=tuple(
+                ast.OrderItem(rewrite(o.expr), o.ascending) for o in order_by
+            ),
+            limit=query.limit,
+        )
+        return _PartialPlan(
+            shard_query=shard_query,
+            key_count=len(key_exprs),
+            specs=specs,
+            final_query=final_query,
+            needs_pairs=needs_pairs,
+        )
+
+    def _execute_partial(
+        self,
+        plan: _PartialPlan,
+        params: dict[str, object] | None,
+        deadline: Deadline | None,
+    ) -> list[tuple]:
+        results = self._fan_execute(plan.shard_query, params, deadline)
+        key_count = plan.key_count
+        groups: dict[tuple, list[list[tuple]]] = {}
+        order: list[tuple] = []
+        for result in results:
+            for row in result.rows:
+                marker = tuple(
+                    tuple(v) if isinstance(v, list) else v
+                    for v in row[:key_count]
+                )
+                partials = groups.get(marker)
+                if partials is None:
+                    partials = []
+                    groups[marker] = partials
+                    order.append(marker)
+                partials.append(row)
+
+        # Global first-encounter order == ascending min-ordinal.  The
+        # min(ordinal) column sits right after the per-aggregate slots;
+        # it is None only for the empty-input identity row (at most one
+        # group exists then, so the sort is vacuous).
+        gmin_slot = key_count + sum(len(s.slots) for s in plan.specs)
+        pairs_slot = gmin_slot + 1
+
+        def group_min(marker: tuple) -> int:
+            values = [
+                row[gmin_slot]
+                for row in groups[marker]
+                if row[gmin_slot] is not None
+            ]
+            return min(values) if values else -1
+
+        order.sort(key=group_min)
+
+        # Slot layout of one shard partial row mirrors add_item order.
+        slot_of: dict[tuple[int, str], int] = {}
+        cursor = key_count
+        for position, spec in enumerate(plan.specs):
+            for slot_name in spec.slots:
+                slot_of[(position, slot_name)] = cursor
+                cursor += 1
+
+        merged_rows: list[tuple] = []
+        store = self._db.ciphertext_store
+        for marker in order:
+            partials = groups[marker]
+            values: list[object] = list(partials[0][:key_count])
+            for position, spec in enumerate(plan.specs):
+                values.append(
+                    self._merge_aggregate(
+                        spec, position, partials, slot_of, pairs_slot, store
+                    )
+                )
+            gmin = group_min(marker)
+            merged_rows.append(tuple(values) + (gmin,))
+
+        scratch = Database("sharded_merge")
+        columns = [
+            ColumnDef(f"__k{j}", "any") for j in range(key_count)
+        ] + [ColumnDef(f"__a{i}", "any") for i in range(len(plan.specs))]
+        columns.append(ColumnDef("__gmin", "any"))
+        table = scratch.create_table(
+            TableSchema(name=_GROUPS_TABLE, columns=tuple(columns))
+        )
+        table.rows = merged_rows  # Bypass sizing: scratch is never charged.
+        final = Executor(scratch).execute(plan.final_query, params=params)
+        return final.rows
+
+    def _merge_aggregate(
+        self,
+        spec: _AggSpec,
+        position: int,
+        partials: list[tuple],
+        slot_of: dict[tuple[int, str], int],
+        pairs_slot: int,
+        store,
+    ) -> object:
+        def column(slot_name: str) -> list[object]:
+            slot = slot_of[(position, slot_name)]
+            return [row[slot] for row in partials]
+
+        kind = spec.kind
+        if kind == "count":
+            return sum(v for v in column("partial") if v is not None)
+        if kind == "sum":
+            values = [v for v in column("partial") if v is not None]
+            return sum(values) if values else None
+        if kind in ("min", "max"):
+            values = [v for v in column("partial") if v is not None]
+            if not values:
+                return None
+            return min(values) if kind == "min" else max(values)
+        if kind == "avg":
+            sums = [v for v in column("sum") if v is not None]
+            count = sum(v for v in column("count") if v is not None)
+            if not count:
+                return None
+            return sum(sums) / count
+        if kind == "count_distinct":
+            seen: set = set()
+            for values in column("values"):
+                seen.update(v for v in values if v is not None)
+            return len(seen)
+        if kind == "hom":
+            agg = HomAgg(store)
+            file_name = spec.call.args[0].value
+            for ids in column("ids"):
+                for row_id in ids:
+                    agg.update([file_name, row_id])
+            return agg.finalize()
+        # Order-sensitive merges: interleave per-shard grp() lists by the
+        # shared grp(ordinal) column back into the serial scan order.
+        ordered = self._ordered_values(
+            spec, position, partials, slot_of, pairs_slot
+        )
+        if kind == "grp":
+            return tuple(ordered)
+        if kind == "distinct":
+            unique: dict = {}
+            for value in ordered:
+                key = tuple(value) if isinstance(value, list) else value
+                if key not in unique:
+                    unique[key] = value
+            values = [v for v in unique.values() if v is not None]
+            if spec.call.name == "sum":
+                return sum(values) if values else None
+            if not values:
+                return None
+            return sum(values) / len(values)
+        raise ConfigError(f"unknown merge kind {kind!r}")  # pragma: no cover
+
+    def _ordered_values(
+        self,
+        spec: _AggSpec,
+        position: int,
+        partials: list[tuple],
+        slot_of: dict[tuple[int, str], int],
+        pairs_slot: int,
+    ) -> list[object]:
+        slot = slot_of[(position, "values")]
+        pairs: list[tuple[int, object]] = []
+        for row in partials:
+            ordinals = row[pairs_slot]
+            values = row[slot]
+            pairs.extend(zip(ordinals, values))
+        pairs.sort(key=lambda pair: pair[0])
+        return [value for _, value in pairs]
+
+    # -- mode: general gather ------------------------------------------------
+
+    def _gather_rows(
+        self,
+        table_name: str,
+        deadline: Deadline | None,
+    ) -> list[tuple]:
+        """All rows of one partitioned table, in serial (ordinal) order,
+        ordinal stripped."""
+        meta = self._tables[table_name]
+        scan = ast.Select(
+            items=tuple(
+                ast.SelectItem(ast.Column(c.name))
+                for c in meta.shard_schema.columns
+            ),
+            from_items=(ast.TableName(table_name),),
+        )
+        results = self._fan_execute(scan, None, deadline)
+        merged = merge_scan_rows(
+            [r.rows for r in results], len(meta.shard_schema.columns) - 1
+        )
+        return [row[:-1] for row in merged]
+
+    def _execute_general(
+        self,
+        query: ast.Select,
+        params: dict[str, object] | None,
+        deadline: Deadline | None,
+    ) -> ResultSet:
+        """Gather referenced partitioned tables into the coordinator and
+        run the unmodified engine there — exact for every query shape,
+        at full-gather cost (joins, DISTINCT, subqueries are rare in
+        server halves; the planner pushes selective work down first)."""
+        names = self._partitioned_in(query)
+        with self._gather_lock:
+            created: list[str] = []
+            try:
+                for name in names:
+                    rows = self._gather_rows(name, deadline)
+                    table = self._db.create_table(self._tables[name].schema)
+                    created.append(name)
+                    table.rows = rows
+                    table.total_bytes = self._tables[name].logical_bytes
+                result = self._executor.execute(query, params=params)
+                return result
+            finally:
+                for name in created:
+                    self._db.drop_table(name)
+
+    # -- streaming -----------------------------------------------------------
+
+    def execute_stream(
+        self,
+        query: ast.Select,
+        params: dict[str, object] | None = None,
+        block_rows: int = DEFAULT_BLOCK_ROWS,
+        partitions: int = 1,
+        deadline: Deadline | None = None,
+    ) -> BlockStream:
+        mode, plan = self._classify(query)
+        if mode in ("scan", "ordered"):
+            return self._stream_merged(
+                query, params, block_rows, partitions, deadline, mode
+            )
+        # Blocking gathers materialize and re-block — the native-backend
+        # fallback contract: partition requests degrade to serial on
+        # shapes that cannot stream, they never error.
+        result = self.execute(query, params=params, deadline=deadline)
+        blocks = blocks_from_rows(result.rows, len(result.columns), block_rows)
+        return BlockStream(result.columns, blocks, self.last_stats)
+
+    def _stream_merged(
+        self,
+        query: ast.Select,
+        params: dict[str, object] | None,
+        block_rows: int,
+        partitions: int,
+        deadline: Deadline | None,
+        mode: str,
+    ) -> BlockStream:
+        """True scatter-gather streaming: one bounded-queue prefetch
+        producer per shard, k-way merge in the consumer, serial block
+        boundaries via :func:`rechunk_rows`."""
+        if mode == "ordered":
+            shard_query, key_slots = self._ordered_query(query)
+        else:
+            shard_query, key_slots = self._scan_query(query), []
+        width = len(query.items)
+        ordinal_slot = len(shard_query.items) - 1
+        stats = ExecStats()
+        self.last_stats = stats
+        for name in ast.table_occurrences(query):
+            if self.has_table(name):
+                stats.bytes_scanned += self.table_bytes(name)
+        columns = [item.output_name(i) for i, item in enumerate(query.items)]
+        stop = threading.Event()
+
+        def producer(index: int, out: queue.Queue) -> None:
+            try:
+                for chunk in self._resilient_shard_rows(
+                    index, shard_query, params, block_rows, partitions,
+                    deadline, stop,
+                ):
+                    if not queue_put(out, ("rows", chunk), stop):
+                        return
+                queue_put(out, ("end", None), stop)
+            except BaseException as exc:
+                queue_put(out, ("error", exc), stop)
+
+        queues: list[queue.Queue] = []
+        threads: list[threading.Thread] = []
+        for index in range(len(self.shards)):
+            out: queue.Queue = queue.Queue(maxsize=_STREAM_QUEUE_BLOCKS)
+            thread = threading.Thread(
+                target=producer,
+                args=(index, out),
+                name=f"shard-stream-{index}",
+                daemon=True,
+            )
+            queues.append(out)
+            threads.append(thread)
+
+        def queue_rows(out: queue.Queue) -> Iterator[tuple]:
+            while True:
+                kind, payload = out.get()
+                if kind == "end":
+                    return
+                if kind == "error":
+                    raise payload
+                yield from payload
+
+        def merged_chunks() -> Iterator[list[tuple]]:
+            try:
+                for thread in threads:
+                    thread.start()
+                merged = merge_sorted_rows(
+                    [queue_rows(out) for out in queues],
+                    key_slots,
+                    ordinal_slot,
+                    query.limit,
+                )
+                chunk: list[tuple] = []
+                for row in merged:
+                    chunk.append(row[:width])
+                    if len(chunk) >= block_rows:
+                        if deadline is not None:
+                            deadline.check("sharded stream")
+                        yield chunk
+                        chunk = []
+                if chunk:
+                    yield chunk
+            finally:
+                stop.set()
+                for out in queues:  # Unblock producers stuck on put().
+                    while True:
+                        try:
+                            out.get_nowait()
+                        except queue.Empty:
+                            break
+
+        blocks = rechunk_rows(merged_chunks(), width, block_rows, stats)
+        return BlockStream(columns, blocks, stats)
+
+    def _resilient_shard_rows(
+        self,
+        index: int,
+        shard_query: ast.Select,
+        params: dict[str, object] | None,
+        block_rows: int,
+        partitions: int,
+        deadline: Deadline | None,
+        stop: threading.Event,
+    ) -> Iterator[list[tuple]]:
+        """One shard's rows as chunks, resuming through transient faults.
+
+        Mirrors the plan executor's stream-resume discipline: a fault
+        re-opens this shard's stream (the others are untouched), skips
+        the rows already delivered downstream, and the attempt budget
+        counts only consecutive faults with zero blocks received.
+        """
+        shard = self.shards[index]
+        policy = self.retry_policy
+        rng = self._retry_rng()
+        delivered = 0
+        failures = 0
+        while True:
+            got_block = False
+            try:
+                stream = self._open_shard_stream(
+                    index, shard_query, params, block_rows, partitions,
+                    deadline,
+                )
+                try:
+                    skip = delivered
+                    for block in stream:
+                        got_block = True
+                        rows = block.rows()
+                        if skip:
+                            if skip >= len(rows):
+                                skip -= len(rows)
+                                continue
+                            rows = rows[skip:]
+                            skip = 0
+                        delivered += len(rows)
+                        yield rows
+                        if stop.is_set():
+                            return
+                finally:
+                    stream.close()
+                return
+            except TransientError:
+                failures = 0 if got_block else failures + 1
+                if failures >= policy.max_attempts:
+                    raise
+                pause = policy.delay(failures, rng)
+                if deadline is not None:
+                    deadline.check(f"shard {index} stream retry")
+                    pause = min(pause, max(0.0, deadline.remaining()))
+                if pause > 0:
+                    time.sleep(pause)
+
+    def _open_shard_stream(
+        self,
+        index: int,
+        shard_query: ast.Select,
+        params: dict[str, object] | None,
+        block_rows: int,
+        partitions: int,
+        deadline: Deadline | None,
+    ) -> BlockStream:
+        shard = self.shards[index]
+        kwargs: dict[str, object] = {}
+        if deadline is not None and self._shard_deadline[index]:
+            kwargs["deadline"] = deadline
+        if partitions > 1 and self._shard_partitions[index]:
+            return shard.execute_stream(
+                shard_query,
+                params=params,
+                block_rows=block_rows,
+                partitions=partitions,
+                **kwargs,
+            )
+        return shard.execute_stream(
+            shard_query, params=params, block_rows=block_rows, **kwargs
+        )
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        """Release shard resources (pools, sockets) when shards have any."""
+        for shard in self.shards:
+            close = getattr(shard, "close", None)
+            if close is not None:
+                close()
+
+
+@dataclass
+class _ShardedTable:
+    """Coordinator-side metadata for one partitioned table."""
+
+    schema: TableSchema
+    shard_schema: TableSchema
+    route_index: int | None
+    logical_bytes: int = 0
+    next_ordinal: int = 0
+
+
+def queue_put(out: queue.Queue, item: object, stop: threading.Event) -> bool:
+    """Bounded put that gives up when the consumer stopped (PR 4 shape)."""
+    from repro.common.parallel import queue_put_bounded
+
+    return queue_put_bounded(out, item, stop)
+
+
+def make_sharded_backend(
+    kind: str,
+    shards: int,
+    name: str = "server",
+    shard_keys: dict[str, str | None] | None = None,
+    **options,
+) -> ShardedBackend:
+    """N fresh single-kind shards behind one :class:`ShardedBackend`."""
+    from repro.server import make_backend
+
+    if shards < 1:
+        raise ConfigError(f"shards must be >= 1, got {shards}")
+    backends = [
+        make_backend(kind, name=f"{name}_shard{i}", **options)
+        for i in range(shards)
+    ]
+    return ShardedBackend(backends, name=name, shard_keys=shard_keys)
+
+
+__all__ = [
+    "ORDINAL_COLUMN",
+    "SHARDS_ENV",
+    "DirectedKey",
+    "ShardedBackend",
+    "make_sharded_backend",
+    "merge_scan_rows",
+    "merge_sorted_rows",
+    "resolve_shards",
+    "route_hash",
+    "shards_from_env",
+]
