@@ -50,6 +50,7 @@ BASELINES = {
     "bench_network": "BENCH_PR7.json",
     "bench_ope": "BENCH_PR8.json",
     "bench_shards": "BENCH_PR9.json",
+    "bench_htap": "BENCH_PR10.json",
 }
 
 _REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent

@@ -9,9 +9,11 @@ from repro.core.design import (
     normalize_expr,
 )
 from repro.core.designer import Designer, DesignResult
+from repro.core.dml import DmlExecutor
 from repro.core.encdata import CryptoProvider
+from repro.core.incagg import MaintainedAggregates
 from repro.core.loader import EncryptedLoader, complete_design
-from repro.core.normalize import normalize_query
+from repro.core.normalize import normalize_dml, normalize_query
 from repro.core.pexec import PlanExecutor, PlanStream
 from repro.core.plan import RemoteRelation, SplitPlan
 from repro.core.planner import Planner
@@ -24,9 +26,11 @@ __all__ = [
     "DesignResult",
     "DesignSizer",
     "Designer",
+    "DmlExecutor",
     "EncEntry",
     "EncryptedLoader",
     "HomGroup",
+    "MaintainedAggregates",
     "MonomiClient",
     "PhysicalDesign",
     "PlanExecutor",
@@ -41,6 +45,7 @@ __all__ = [
     "TechniqueFlags",
     "complete_design",
     "generate_query_plan",
+    "normalize_dml",
     "normalize_expr",
     "normalize_query",
     "weakest",

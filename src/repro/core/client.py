@@ -24,7 +24,7 @@ from typing import TYPE_CHECKING, Iterator
 if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
     from repro.service import MonomiService
 
-from repro.common.errors import ConfigError
+from repro.common.errors import ConfigError, UnsupportedQueryError
 from repro.common.ledger import CostLedger, DiskModel, NetworkModel
 from repro.common.retry import Deadline
 from repro.core.cost import MonomiCostModel
@@ -32,7 +32,11 @@ from repro.core.design import PhysicalDesign, TechniqueFlags
 from repro.core.designer import Designer, DesignResult
 from repro.core.encdata import CryptoProvider
 from repro.core.loader import EncryptedLoader
-from repro.core.normalize import normalize_for_execution, normalize_query
+from repro.core.normalize import (
+    normalize_dml,
+    normalize_for_execution,
+    normalize_query,
+)
 from repro.core.pexec import PlanExecutor, PlanStream
 from repro.core.planner import PlannedQuery, Planner
 from repro.engine.catalog import Database
@@ -47,7 +51,7 @@ from repro.server import (
     resolve_shards,
 )
 from repro.server.inmemory import InMemoryBackend
-from repro.sql import ast, parse
+from repro.sql import ast, parse, parse_statement
 
 
 def _default_streaming() -> bool:
@@ -58,11 +62,15 @@ def _default_streaming() -> bool:
 
 @dataclass
 class QueryOutcome:
-    """Everything one encrypted query execution produced."""
+    """Everything one encrypted query execution produced.
+
+    ``planned`` is ``None`` for DML statements — they execute through the
+    :class:`~repro.core.dml.DmlExecutor`, not the split-query planner.
+    """
 
     result: ResultSet
     ledger: CostLedger
-    planned: PlannedQuery
+    planned: PlannedQuery | None
 
     @property
     def rows(self) -> list[tuple]:
@@ -132,8 +140,30 @@ class MonomiClient:
         self.design_result = design_result
         self.schemas = {name: t.schema for name, t in plain_db.tables.items()}
         self._designer = Designer(plain_db, provider, flags, network)
-        # Runtime cost model: plaintext statistics, but scan sizes and
-        # packing facts from what is actually loaded on the server.
+        self._dml = None
+        self._refresh_planner()
+        if streaming is None:
+            streaming = _default_streaming()
+        self.streaming = streaming
+        self.executor = PlanExecutor(
+            self.backend,
+            provider,
+            network,
+            disk,
+            streaming=streaming,
+            partitions=partitions,
+            prefetch_blocks=prefetch_blocks,
+        )
+
+    def _refresh_planner(self) -> None:
+        """(Re)build the runtime cost model and planner.
+
+        Plaintext statistics come from the mirror, but scan sizes and
+        packing facts from what is actually loaded on the server — so this
+        re-runs after every DML statement, which changes table byte counts
+        and hom-file row counts.  Plans themselves never go stale (they
+        re-scan live tables); only their cost *estimates* would.
+        """
         from repro.engine.cost import HomFileInfo
 
         table_bytes = {
@@ -150,33 +180,30 @@ class MonomiClient:
             for name in store.names()
         }
         cost_model = MonomiCostModel(
-            plain_db,
-            provider,
-            network=network,
+            self.plain_db,
+            self.provider,
+            network=self.network,
             table_bytes=table_bytes,
             hom_info=hom_info,
         )
         self.planner = Planner(
-            design,
+            self.design,
             self.schemas,
-            provider,
+            self.provider,
             cost_model,
-            flags,
+            self.flags,
             stats_max=self._designer.stats_max,
-            plain_db=plain_db,
+            plain_db=self.plain_db,
         )
-        if streaming is None:
-            streaming = _default_streaming()
-        self.streaming = streaming
-        self.executor = PlanExecutor(
-            self.backend,
-            provider,
-            network,
-            disk,
-            streaming=streaming,
-            partitions=partitions,
-            prefetch_blocks=prefetch_blocks,
-        )
+
+    @property
+    def dml(self):
+        """The encrypted DML executor (built on first use)."""
+        if self._dml is None:
+            from repro.core.dml import DmlExecutor
+
+            self._dml = DmlExecutor(self)
+        return self._dml
 
     @property
     def server_db(self) -> Database:
@@ -381,14 +408,28 @@ class MonomiClient:
 
     def execute(
         self,
-        sql: str | ast.Select,
+        sql: str | ast.Select | ast.Insert | ast.Update | ast.Delete,
         params: dict[str, object] | None = None,
         timeout: float | None = None,
     ) -> QueryOutcome:
-        """Execute one query; ``timeout`` (seconds) arms a deadline that is
-        checked at every block boundary and caps retry backoff — expiry
-        raises :class:`~repro.common.errors.DeadlineExceededError`."""
-        query = normalize_for_execution(sql, params)
+        """Execute one statement; ``timeout`` (seconds) arms a deadline that
+        is checked at every block boundary and caps retry backoff — expiry
+        raises :class:`~repro.common.errors.DeadlineExceededError`.
+
+        INSERT/UPDATE/DELETE run through the encrypted DML path: the
+        statement is evaluated on the trusted side, rows travel through the
+        same batch-encrypt pipeline as the loader, and packed Paillier
+        aggregates are patched in place.  The outcome's result set is one
+        ``rows_affected`` row and ``planned`` is ``None``.
+        """
+        statement = parse_statement(sql) if isinstance(sql, str) else sql
+        if ast.is_dml(statement):
+            statement = normalize_dml(statement, params)
+            result, ledger = self.dml.execute(statement)
+            # DML moved table/hom sizes; re-snapshot them for cost estimates.
+            self._refresh_planner()
+            return QueryOutcome(result, ledger, None)
+        query = normalize_for_execution(statement, params)
         planned = self.planner.plan(query)
         deadline = Deadline.after(timeout) if timeout is not None else None
         result, ledger = self.executor.execute(planned.plan, deadline=deadline)
@@ -412,7 +453,12 @@ class MonomiClient:
         ``timeout`` deadline covers the whole stream's lifetime, not just
         its creation — a slow consumer can also run out of time.
         """
-        query = normalize_for_execution(sql, params)
+        statement = parse_statement(sql) if isinstance(sql, str) else sql
+        if ast.is_dml(statement):
+            raise UnsupportedQueryError(
+                "DML statements do not stream; use execute()"
+            )
+        query = normalize_for_execution(statement, params)
         planned = self.planner.plan(query)
         deadline = Deadline.after(timeout) if timeout is not None else None
         stream = self.executor.execute_iter(

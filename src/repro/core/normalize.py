@@ -39,6 +39,32 @@ def normalize_for_execution(
     return query
 
 
+def normalize_dml(
+    statement: "ast.Insert | ast.Update | ast.Delete",
+    params: dict[str, object] | None = None,
+) -> "ast.Insert | ast.Update | ast.Delete":
+    """Normalize a DML statement: bind parameters and fold constants.
+
+    The AVG rewrite never applies (DML expressions are scalar); the
+    multi-pattern-LIKE gate does — an UPDATE/DELETE predicate runs
+    through the same client-side evaluator as a SELECT's residual.
+    """
+    bound = params or {}
+    statement = statement.map_expressions(
+        lambda e: ast.transform(e, lambda n: _rewrite_node(n, bound))
+    )
+    where = getattr(statement, "where", None)
+    if where is not None:
+        probe = ast.Select(
+            items=(ast.SelectItem(ast.Literal(1)),), where=where
+        )
+        if has_multi_pattern_like(probe):
+            raise UnsupportedQueryError(
+                "multi-pattern LIKE is not supported (paper §7)"
+            )
+    return statement
+
+
 def normalize_query(query: ast.Select, params: dict[str, object] | None = None) -> ast.Select:
     params = params or {}
 

@@ -38,6 +38,16 @@ class Table:
         return len(self.rows)
 
     def insert(self, row: tuple) -> None:
+        self._validate(row)
+        self.rows.append(row)
+        self.total_bytes += row_bytes(row)
+        self._stats = None
+
+    def insert_many(self, rows) -> None:
+        for row in rows:
+            self.insert(row)
+
+    def _validate(self, row: tuple) -> None:
         if len(row) != len(self.schema.columns):
             raise CatalogError(
                 f"row has {len(row)} values, table {self.name!r} has "
@@ -49,13 +59,56 @@ class Table:
                     f"value {value!r} not valid for column "
                     f"{self.name}.{col.name} ({col.type})"
                 )
-        self.rows.append(row)
-        self.total_bytes += row_bytes(row)
-        self._stats = None
 
-    def insert_many(self, rows) -> None:
+    def delete_exact(self, rows) -> int:
+        """Remove one stored match per requested tuple; return the count
+        removed.  Requests with no stored match are skipped, which is what
+        makes a retried delete converge instead of over-deleting."""
+        wanted: dict[tuple, int] = {}
         for row in rows:
-            self.insert(row)
+            key = tuple(row)
+            wanted[key] = wanted.get(key, 0) + 1
+        if not wanted:
+            return 0
+        kept: list[tuple] = []
+        removed = 0
+        for row in self.rows:
+            count = wanted.get(row, 0)
+            if count:
+                wanted[row] = count - 1
+                removed += 1
+                self.total_bytes -= row_bytes(row)
+            else:
+                kept.append(row)
+        if removed:
+            self.rows[:] = kept
+            self._stats = None
+        return removed
+
+    def replace_exact(self, pairs) -> int:
+        """Replace, in place, one stored match of ``old`` with ``new`` per
+        ``(old, new)`` pair; return the count replaced.  Matching is by
+        value, so the final row multiset is the same under any apply
+        order — the property retried partial applies rely on."""
+        pending: dict[tuple, list[tuple]] = {}
+        total = 0
+        for old, new in pairs:
+            pending.setdefault(tuple(old), []).append(tuple(new))
+            total += 1
+        if not total:
+            return 0
+        replaced = 0
+        for i, row in enumerate(self.rows):
+            queue = pending.get(row)
+            if queue:
+                new = queue.pop(0)
+                self._validate(new)
+                self.rows[i] = new
+                self.total_bytes += row_bytes(new) - row_bytes(row)
+                replaced += 1
+        if replaced:
+            self._stats = None
+        return replaced
 
     def analyze(self) -> dict[str, ColumnStats]:
         """Compute (and cache) per-column statistics."""

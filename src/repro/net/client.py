@@ -395,15 +395,113 @@ class RemoteBackend(ServerBackend):
 
     def create_table(self, schema: object) -> None:
         raise ConfigError(
-            "remote backend is read-only: run the encrypted load on the "
-            "server side, then connect"
+            "remote backend cannot create tables: run the encrypted load "
+            "on the server side, then connect"
         )
 
+    # -- ServerBackend: writes (the WRITE frame) ------------------------------
+    #
+    # Incremental DML and hom maintenance cross the wire as WRITE frames;
+    # the bulk load still happens server-side (``create_table`` above).
+    # Every WRITE_RESULT carries a fresh catalog (table heap sizes and
+    # ciphertext-file metadata), so the cost model keeps planning against
+    # the server's post-write state without a reconnect.
+
+    def _write(self, body: dict) -> dict:
+        conn = self._checkout()
+        try:
+            conn.send(wire.WRITE, body)
+            ftype, reply = conn.recv()
+            if ftype == wire.ERROR:
+                raise wire.decode_error(reply)
+            if ftype != wire.WRITE_RESULT:
+                conn.destroy()
+                raise FramingError(
+                    f"expected WRITE_RESULT, got {wire.FRAME_NAMES[ftype]}"
+                )
+        except BaseException:
+            self._discard_or_checkin(conn)
+            raise
+        self._checkin(conn)
+        tables = reply.get("tables")
+        if type(tables) is dict:
+            self._table_bytes = dict(tables)
+        files = reply.get("ciphertext_files")
+        if type(files) is list:
+            self.ciphertext_store = _RemoteCiphertextStore(files)
+        return reply
+
     def insert_rows(self, table_name: str, rows: object) -> None:
-        raise ConfigError(
-            "remote backend is read-only: run the encrypted load on the "
-            "server side, then connect"
+        self._write(
+            {
+                "op": "insert",
+                "table": table_name,
+                "rows": [tuple(r) for r in rows],
+            }
         )
+
+    def delete_rows(self, table_name: str, rows: object) -> int:
+        reply = self._write(
+            {
+                "op": "delete",
+                "table": table_name,
+                "rows": [tuple(r) for r in rows],
+            }
+        )
+        return int(reply.get("count", 0))
+
+    def replace_rows(self, table_name: str, pairs: object) -> int:
+        reply = self._write(
+            {
+                "op": "replace",
+                "table": table_name,
+                "pairs": [(tuple(old), tuple(new)) for old, new in pairs],
+            }
+        )
+        return int(reply.get("count", 0))
+
+    def hom_apply(
+        self,
+        file_name: str,
+        updates: object = (),
+        appended: object = (),
+        num_rows: int | None = None,
+        token: str | None = None,
+    ) -> None:
+        self._write(
+            {
+                "op": "hom_apply",
+                "file": file_name,
+                "updates": [tuple(u) for u in updates],
+                "appended": list(appended),
+                "num_rows": num_rows,
+                "token": token,
+            }
+        )
+
+    def hom_file_info(self, file_name: str) -> dict:
+        reply = self._write({"op": "hom_info", "file": file_name})
+        info = reply.get("info")
+        if type(info) is not dict:
+            raise wire.CodecError("WRITE_RESULT carries no hom file info")
+        return info
+
+    def hom_read(self, file_name: str, indices: object) -> list[int]:
+        reply = self._write(
+            {
+                "op": "hom_read",
+                "file": file_name,
+                "indices": [int(i) for i in indices],
+            }
+        )
+        cts = reply.get("ciphertexts")
+        if type(cts) is not list:
+            raise wire.CodecError("WRITE_RESULT carries no ciphertexts")
+        return cts
+
+    def row_count(self, table_name: str) -> int:
+        reply = self._write({"op": "row_count", "table": table_name})
+        return int(reply.get("count", 0))
 
     # -- ServerBackend: introspection (HELLO catalog) ------------------------
 

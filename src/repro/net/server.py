@@ -106,6 +106,11 @@ class MonomiServer:
         self._drop_rate = drop_rate
         self._drop_rng = random.Random(drop_seed)
         self._lock = threading.Lock()
+        # One server-wide write lock: DML and hom maintenance from
+        # concurrent sessions serialize here (worker views delegate
+        # writes to the one parent backend, which has a single write
+        # connection/state; reads keep their per-view concurrency).
+        self._write_lock = threading.Lock()
         self._listener: socket.socket | None = None
         self._accept_thread: threading.Thread | None = None
         self._closed = False
@@ -257,6 +262,8 @@ class MonomiServer:
                     self._handle_prepare(sock, session, body)
                 elif ftype == wire.EXECUTE:
                     self._handle_execute(sock, decoder, session, body)
+                elif ftype == wire.WRITE:
+                    self._handle_write(sock, session, body)
                 elif ftype == wire.CANCEL:
                     pass  # Stale cancel for a stream that already ended.
                 else:
@@ -298,7 +305,9 @@ class MonomiServer:
             self._sessions[session_id] = session
         return session
 
-    def _hello_body(self, session: _Session) -> dict:
+    def _catalog_body(self) -> dict:
+        """Table heap sizes + ciphertext-file metadata: shipped in HELLO
+        and refreshed in every WRITE_RESULT (writes change both)."""
         backend = self.backend
         store = backend.ciphertext_store
         files = []
@@ -313,15 +322,21 @@ class MonomiServer:
                 }
             )
         return {
-            "server": "monomi",
-            "kind": backend.kind,
-            "session": session.id,
             "tables": {
                 name: backend.table_bytes(name)
                 for name in backend.table_names()
             },
             "ciphertext_files": files,
         }
+
+    def _hello_body(self, session: _Session) -> dict:
+        body = {
+            "server": "monomi",
+            "kind": self.backend.kind,
+            "session": session.id,
+        }
+        body.update(self._catalog_body())
+        return body
 
     def _handle_prepare(
         self, sock: socket.socket, session: _Session, body: dict
@@ -354,6 +369,65 @@ class MonomiServer:
         session.next_statement += 1
         session.prepared[statement_id] = query
         wire.send_message(sock, wire.PREPARE, {"statement": statement_id})
+
+    def _apply_write(self, view: ServerBackend, body: dict) -> dict:
+        """Dispatch one WRITE body to the backend write surface."""
+        op = body.get("op")
+        table = body.get("table")
+        file_name = body.get("file")
+        if op == "insert":
+            rows = [tuple(r) for r in body.get("rows") or []]
+            view.insert_rows(table, rows)
+            return {"count": len(rows)}
+        if op == "delete":
+            rows = [tuple(r) for r in body.get("rows") or []]
+            return {"count": view.delete_rows(table, rows)}
+        if op == "replace":
+            pairs = [
+                (tuple(old), tuple(new))
+                for old, new in body.get("pairs") or []
+            ]
+            return {"count": view.replace_rows(table, pairs)}
+        if op == "hom_apply":
+            view.hom_apply(
+                file_name,
+                updates=[
+                    (int(i), int(f)) for i, f in body.get("updates") or []
+                ],
+                appended=[int(c) for c in body.get("appended") or []],
+                num_rows=body.get("num_rows"),
+                token=body.get("token"),
+            )
+            return {"count": 0}
+        if op == "hom_info":
+            return {"count": 0, "info": view.hom_file_info(file_name)}
+        if op == "hom_read":
+            indices = [int(i) for i in body.get("indices") or []]
+            return {
+                "count": 0,
+                "ciphertexts": view.hom_read(file_name, indices),
+            }
+        if op == "row_count":
+            return {"count": view.row_count(table)}
+        raise ConfigError(f"unknown write op {op!r}")
+
+    def _handle_write(
+        self, sock: socket.socket, session: _Session, body: dict
+    ) -> None:
+        session.queries += 1
+        try:
+            with self._write_lock:
+                result = self._apply_write(session.view, body)
+        except (ReproError, TypeError, ValueError, KeyError) as exc:
+            session.errors_sent += 1
+            wire.send_message(sock, wire.ERROR, wire.encode_error(exc))
+            return
+        result.update(self._catalog_body())
+        # Drop *before* acking: the write applied but the client never
+        # hears so — the lost-ack fault a real network makes possible,
+        # which the client-side idempotent retry must absorb.
+        self._maybe_drop()
+        wire.send_message(sock, wire.WRITE_RESULT, result)
 
     def _resolve_query(self, session: _Session, body: dict) -> ast.Select:
         query = body.get("query")

@@ -81,6 +81,8 @@ BLOCK = 4
 LEDGER = 5
 ERROR = 6
 CANCEL = 7
+WRITE = 8
+WRITE_RESULT = 9
 
 FRAME_NAMES = {
     HELLO: "HELLO",
@@ -90,6 +92,8 @@ FRAME_NAMES = {
     LEDGER: "LEDGER",
     ERROR: "ERROR",
     CANCEL: "CANCEL",
+    WRITE: "WRITE",
+    WRITE_RESULT: "WRITE_RESULT",
 }
 
 #: Ceiling on one frame's payload.  A 4,096-row block of 2048-bit

@@ -58,9 +58,115 @@ class ServerBackend(ABC):
     def insert_rows(self, table_name: str, rows: Iterable[tuple]) -> None:
         """Bulk-insert encrypted rows (the loader's one write path)."""
 
+    #: Whether a partially applied ``insert_rows`` batch is always a
+    #: *prefix* of the requested rows.  True for single-store backends
+    #: (their batch insert is transactional, so the committed count is 0
+    #: or everything); the sharded backend commits per routed bucket and
+    #: sets this False, telling the idempotent-retry helper that a
+    #: row-count delta cannot be resumed by slicing the batch.
+    supports_prefix_resume: bool = True
+
     def add_ciphertext_file(self, file: CiphertextFile) -> None:
         """Install a packed-Paillier file for the ``hom_agg`` UDF."""
         self.ciphertext_store.add(file)
+
+    # -- encrypted DML (PR 10) ----------------------------------------------
+    #
+    # The write surface the client-side DML executor drives.  Rows are
+    # addressed by their *stored* encrypted tuples (the exact values a
+    # prior fetch returned — RND ciphertexts are not reproducible, so
+    # re-encryption can never be used as a match key).  Both operations
+    # consume at most one stored match per requested tuple and are
+    # state-idempotent: re-applying the same request after a partial
+    # apply converges on the same final state (already-deleted tuples
+    # match nothing; already-replaced tuples match nothing) — the
+    # property the fault-model's retry discipline relies on.
+
+    def delete_rows(self, table_name: str, rows: Iterable[tuple]) -> int:
+        """Delete one stored match per encrypted tuple; return the count
+        actually removed."""
+        raise ConfigError(
+            f"backend {self.kind!r} does not support encrypted DML "
+            "(delete_rows is not implemented)"
+        )
+
+    def replace_rows(
+        self, table_name: str, pairs: Iterable[tuple[tuple, tuple]]
+    ) -> int:
+        """For each ``(old, new)`` pair replace one stored match of
+        ``old`` with ``new`` in place; return the count replaced."""
+        raise ConfigError(
+            f"backend {self.kind!r} does not support encrypted DML "
+            "(replace_rows is not implemented)"
+        )
+
+    # -- incremental hom maintenance (PR 10) --------------------------------
+    #
+    # Packed-Paillier files are maintained *in place* by ciphertext
+    # multiplication: the client ships E(delta << slot_offset) factors
+    # and the server multiplies them into the stored ciphertexts (it
+    # only ever needs the public key).  ``token`` deduplicates retries:
+    # hom multiplication is not idempotent, so the server remembers the
+    # last applied token per file and silently skips a re-send — the
+    # lost-ack-after-commit fault the chaos harness injects.
+
+    def hom_apply(
+        self,
+        file_name: str,
+        updates: Iterable[tuple[int, int]] = (),
+        appended: Iterable[int] = (),
+        num_rows: int | None = None,
+        token: str | None = None,
+    ) -> None:
+        """Multiply ``updates`` ``(ciphertext_index, factor)`` pairs into
+        the file, append whole new ciphertexts, and advance the logical
+        row count.  Applied atomically with respect to readers of the
+        store's file object (list mutation under the GIL)."""
+        applied = getattr(self, "_hom_applied_tokens", None)
+        if applied is None:
+            applied = {}
+            self._hom_applied_tokens = applied
+        if token is not None and applied.get(file_name) == token:
+            return
+        file = self.ciphertext_store.get(file_name)
+        public = file.public_key
+        for index, factor in updates:
+            if not 0 <= index < len(file.ciphertexts):
+                raise ConfigError(
+                    f"hom_apply index {index} outside file {file_name!r}"
+                )
+            file.ciphertexts[index] = public.add(
+                file.ciphertexts[index], factor
+            )
+        appended = list(appended)
+        if appended:
+            file.ciphertexts.extend(appended)
+        if num_rows is not None:
+            file.num_rows = num_rows
+        if token is not None:
+            applied[file_name] = token
+
+    def hom_file_info(self, file_name: str) -> dict:
+        """Public packing metadata of one ciphertext file (widths and
+        counts, never contents): what the DML executor needs to compute
+        slot offsets and append positions client-side."""
+        file = self.ciphertext_store.get(file_name)
+        layout = file.layout
+        return {
+            "num_rows": file.num_rows,
+            "num_ciphertexts": len(file.ciphertexts),
+            "column_bits": tuple(layout.column_bits),
+            "pad_bits": layout.pad_bits,
+            "plaintext_bits": layout.plaintext_bits,
+            "column_names": tuple(file.column_names),
+        }
+
+    def hom_read(self, file_name: str, indices: Iterable[int]) -> list[int]:
+        """Read individual stored ciphertexts (charged to the scan
+        ledger like any ``hom_agg`` read); the maintained-aggregate
+        reader decrypts them client-side."""
+        file = self.ciphertext_store.get(file_name)
+        return [file.read(i) for i in indices]
 
     # -- introspection -------------------------------------------------------
 
@@ -238,6 +344,40 @@ class DelegatingView(ServerBackend):
     def add_ciphertext_file(self, file: CiphertextFile) -> None:
         self._parent.add_ciphertext_file(file)
 
+    @property
+    def supports_prefix_resume(self) -> bool:  # type: ignore[override]
+        return self._parent.supports_prefix_resume
+
+    def delete_rows(self, table_name: str, rows: Iterable[tuple]) -> int:
+        return self._parent.delete_rows(table_name, rows)
+
+    def replace_rows(
+        self, table_name: str, pairs: Iterable[tuple[tuple, tuple]]
+    ) -> int:
+        return self._parent.replace_rows(table_name, pairs)
+
+    def hom_apply(
+        self,
+        file_name: str,
+        updates: Iterable[tuple[int, int]] = (),
+        appended: Iterable[int] = (),
+        num_rows: int | None = None,
+        token: str | None = None,
+    ) -> None:
+        self._parent.hom_apply(
+            file_name,
+            updates=updates,
+            appended=appended,
+            num_rows=num_rows,
+            token=token,
+        )
+
+    def hom_file_info(self, file_name: str) -> dict:
+        return self._parent.hom_file_info(file_name)
+
+    def hom_read(self, file_name: str, indices: Iterable[int]) -> list[int]:
+        return self._parent.hom_read(file_name, indices)
+
     def table_names(self) -> list[str]:
         return self._parent.table_names()
 
@@ -283,6 +423,33 @@ class LockScopedView(DelegatingView):
     def add_ciphertext_file(self, file: CiphertextFile) -> None:
         with self._lock:
             self._parent.add_ciphertext_file(file)
+
+    def delete_rows(self, table_name: str, rows: Iterable[tuple]) -> int:
+        with self._lock:
+            return self._parent.delete_rows(table_name, rows)
+
+    def replace_rows(
+        self, table_name: str, pairs: Iterable[tuple[tuple, tuple]]
+    ) -> int:
+        with self._lock:
+            return self._parent.replace_rows(table_name, pairs)
+
+    def hom_apply(
+        self,
+        file_name: str,
+        updates: Iterable[tuple[int, int]] = (),
+        appended: Iterable[int] = (),
+        num_rows: int | None = None,
+        token: str | None = None,
+    ) -> None:
+        with self._lock:
+            self._parent.hom_apply(
+                file_name,
+                updates=updates,
+                appended=appended,
+                num_rows=num_rows,
+                token=token,
+            )
 
     def execute(
         self, query: ast.Select, params: dict[str, object] | None = None

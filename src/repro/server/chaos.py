@@ -124,6 +124,21 @@ class _ChaosCore:
             self.injected_errors += 1
         raise InjectedFaultError(f"injected fault before {what}")
 
+    def decide_after(self, what: str) -> None:
+        """One injection point *after* a write applied: the lost-ack
+        fault.  The server committed; the client sees a transient error
+        and will retry — exactly the case the write path's idempotency
+        discipline (watermarks, exact-tuple matching, apply tokens)
+        exists to survive."""
+        with self._lock:
+            self.draws += 1
+            if self.rate <= 0.0 or self._rng.random() >= self.rate:
+                return
+            self.injected_errors += 1
+        raise InjectedFaultError(
+            f"injected fault after {what}: apply committed, ack lost"
+        )
+
     def decide_stream_point(self) -> tuple[str, float] | None:
         """One injection point per streamed block.
 
@@ -162,10 +177,16 @@ class FaultInjectingBackend(DelegatingView):
 
     Injection points (each a Bernoulli draw at the configured rate):
 
-    * **before** ``execute`` / ``insert_rows`` / ``execute_stream`` — a
-      transient :class:`InjectedFaultError`, as if the request never
-      reached the server (no server work is wasted, matching a
-      connection failure);
+    * **before** ``execute`` / ``execute_stream`` and every write
+      (``insert_rows`` / ``delete_rows`` / ``replace_rows`` /
+      ``hom_apply``) — a transient :class:`InjectedFaultError`, as if
+      the request never reached the server (no server work is wasted,
+      matching a connection failure);
+    * **after** every write — the lost-ack fault: the server applied
+      the change, the client sees a transient error and retries.  Only
+      the write path's idempotency discipline (insert watermarks,
+      exact-tuple delete/replace matching, hom apply tokens) keeps a
+      retried request from double-applying;
     * **per block** of a streamed result —
       :class:`InjectedFaultError` (connection dropped),
       :class:`TruncatedStreamError` (result cut off mid-flight), or a
@@ -173,7 +194,7 @@ class FaultInjectingBackend(DelegatingView):
 
     Loads through ``create_table`` / ``add_ciphertext_file`` and all
     introspection pass through untouched — chaos targets the query and
-    bulk-insert paths the resilience layer defends.
+    write paths the resilience layer defends.
     """
 
     def __init__(
@@ -218,8 +239,48 @@ class FaultInjectingBackend(DelegatingView):
     # -- faulted paths -------------------------------------------------------
 
     def insert_rows(self, table_name: str, rows: Iterable[tuple]) -> None:
+        # Materialize first: a retried call must re-send identical rows
+        # even when the caller handed us a one-shot iterable.
+        rows = list(rows)
         self._core.decide_call(f"insert_rows({table_name!r})")
         self._parent.insert_rows(table_name, rows)
+        self._core.decide_after(f"insert_rows({table_name!r})")
+
+    def delete_rows(self, table_name: str, rows: Iterable[tuple]) -> int:
+        rows = list(rows)
+        self._core.decide_call(f"delete_rows({table_name!r})")
+        count = self._parent.delete_rows(table_name, rows)
+        self._core.decide_after(f"delete_rows({table_name!r})")
+        return count
+
+    def replace_rows(
+        self, table_name: str, pairs: Iterable[tuple[tuple, tuple]]
+    ) -> int:
+        pairs = list(pairs)
+        self._core.decide_call(f"replace_rows({table_name!r})")
+        count = self._parent.replace_rows(table_name, pairs)
+        self._core.decide_after(f"replace_rows({table_name!r})")
+        return count
+
+    def hom_apply(
+        self,
+        file_name: str,
+        updates: Iterable[tuple[int, int]] = (),
+        appended: Iterable[int] = (),
+        num_rows: int | None = None,
+        token: str | None = None,
+    ) -> None:
+        updates = list(updates)
+        appended = list(appended)
+        self._core.decide_call(f"hom_apply({file_name!r})")
+        self._parent.hom_apply(
+            file_name,
+            updates=updates,
+            appended=appended,
+            num_rows=num_rows,
+            token=token,
+        )
+        self._core.decide_after(f"hom_apply({file_name!r})")
 
     def execute(
         self, query: ast.Select, params: dict[str, object] | None = None

@@ -54,6 +54,14 @@ class InMemoryBackend(ServerBackend):
     def insert_rows(self, table_name: str, rows: Iterable[tuple]) -> None:
         self.database.table(table_name).insert_many(rows)
 
+    def delete_rows(self, table_name: str, rows: Iterable[tuple]) -> int:
+        return self.database.table(table_name).delete_exact(rows)
+
+    def replace_rows(
+        self, table_name: str, pairs: Iterable[tuple[tuple, tuple]]
+    ) -> int:
+        return self.database.table(table_name).replace_exact(pairs)
+
     # -- introspection -------------------------------------------------------
 
     @property

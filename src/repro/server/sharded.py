@@ -286,6 +286,11 @@ class ShardedBackend(ServerBackend):
 
     kind = "sharded"
 
+    #: Bucket commits are per shard, not a prefix of the request order:
+    #: a partially applied insert cannot be resumed by slicing the batch
+    #: (see the idempotent-insert helper in ``core.loader``).
+    supports_prefix_resume = False
+
     def __init__(
         self,
         shards: Sequence[ServerBackend],
@@ -408,20 +413,25 @@ class ShardedBackend(ServerBackend):
             return
         count = len(self.shards)
         buckets: list[list[tuple]] = [[] for _ in range(count)]
-        added_bytes = 0
+        bucket_bytes = [0] * count
         ordinal = meta.next_ordinal
         for row in rows:
             if meta.route_index is None:
                 target = ordinal % count
             else:
                 target = route_hash(row[meta.route_index]) % count
-            added_bytes += row_bytes(row)
+            bucket_bytes[target] += row_bytes(row)
             buckets[target].append(tuple(row) + (ordinal,))
             ordinal += 1
         # Per-shard inserts retry independently so a transient fault on
         # one shard never leaves the batch half-routed: by the time this
         # method returns (or raises a fatal error on first attempt), no
         # sibling shard holds rows a caller-level retry would duplicate.
+        # The ordinal watermark and byte accounting advance per committed
+        # bucket — not once at the end — so a failure on a later bucket
+        # cannot leave `next_ordinal` below ordinals an earlier bucket
+        # already committed (a caller-level retry would then mint
+        # duplicate `__shard_ord` values for the surviving rows).
         for index, bucket in enumerate(buckets):
             if not bucket:
                 continue
@@ -433,8 +443,117 @@ class ShardedBackend(ServerBackend):
                 self.retry_policy,
                 rng=self._retry_rng(),
             )
-        meta.next_ordinal = ordinal
-        meta.logical_bytes += added_bytes
+            meta.next_ordinal = max(meta.next_ordinal, bucket[-1][-1] + 1)
+            meta.logical_bytes += bucket_bytes[index]
+
+    # -- encrypted DML (PR 10) -----------------------------------------------
+    #
+    # DML requests address rows by their *logical* encrypted tuples
+    # (without the hidden ordinal — callers never see it).  The
+    # coordinator gathers each shard's stored rows, matches requests in
+    # global ordinal order (deterministic under any shard interleaving),
+    # and forwards full shard rows — ordinal included, so each forwarded
+    # tuple is globally unique and a shard-side exact match can never
+    # touch a sibling duplicate.  Replaced rows keep their ordinal and
+    # shard: DET-key co-residency may drift after updates, but routing
+    # is a locality optimization — merges are key-exact regardless.
+
+    def _gathered_rows(
+        self, table_name: str, meta: "_ShardedTable"
+    ) -> list[tuple[int, tuple]]:
+        """Every stored ``(shard_index, full_row)``, ordinal-sorted."""
+        scan = ast.Select(
+            items=tuple(
+                ast.SelectItem(ast.Column(c.name))
+                for c in meta.shard_schema.columns
+            ),
+            from_items=(ast.TableName(table_name),),
+        )
+        pairs: list[tuple[int, tuple]] = []
+        for index, shard in enumerate(self.shards):
+            for row in shard.execute(scan).rows:
+                pairs.append((index, tuple(row)))
+        pairs.sort(key=lambda pair: pair[1][-1])
+        return pairs
+
+    def delete_rows(self, table_name: str, rows: Iterable[tuple]) -> int:
+        meta = self._tables.get(table_name)
+        if meta is None:
+            return self._db.table(table_name).delete_exact(rows)
+        wanted: dict[tuple, int] = {}
+        for row in rows:
+            key = tuple(row)
+            wanted[key] = wanted.get(key, 0) + 1
+        if not wanted:
+            return 0
+        batches: list[list[tuple]] = [[] for _ in self.shards]
+        for index, full in self._gathered_rows(table_name, meta):
+            logical = full[:-1]
+            count = wanted.get(logical, 0)
+            if count:
+                wanted[logical] = count - 1
+                batches[index].append(full)
+        removed = 0
+        # Per-shard accounting, same discipline as insert: a later
+        # shard's fatal failure must not un-account an earlier shard's
+        # committed deletes.
+        for index, batch in enumerate(batches):
+            if not batch:
+                continue
+            shard = self.shards[index]
+            retry_call(
+                lambda shard=shard, batch=batch: shard.delete_rows(
+                    table_name, batch
+                ),
+                self.retry_policy,
+                rng=self._retry_rng(),
+            )
+            # The matched rows are gone once the shard call converges —
+            # a faulted-then-retried attempt may report a smaller count
+            # for rows the first attempt already removed, so accounting
+            # follows the match set, not the last attempt's return.
+            removed += len(batch)
+            meta.logical_bytes -= sum(row_bytes(r[:-1]) for r in batch)
+        return removed
+
+    def replace_rows(
+        self, table_name: str, pairs: Iterable[tuple[tuple, tuple]]
+    ) -> int:
+        meta = self._tables.get(table_name)
+        if meta is None:
+            return self._db.table(table_name).replace_exact(pairs)
+        pending: dict[tuple, list[tuple]] = {}
+        total = 0
+        for old, new in pairs:
+            pending.setdefault(tuple(old), []).append(tuple(new))
+            total += 1
+        if not total:
+            return 0
+        batches: list[list[tuple[tuple, tuple]]] = [[] for _ in self.shards]
+        deltas = [0] * len(self.shards)
+        for index, full in self._gathered_rows(table_name, meta):
+            logical = full[:-1]
+            queue = pending.get(logical)
+            if queue:
+                new = queue.pop(0)
+                new_full = tuple(new) + (full[-1],)
+                batches[index].append((full, new_full))
+                deltas[index] += row_bytes(tuple(new)) - row_bytes(logical)
+        replaced = 0
+        for index, batch in enumerate(batches):
+            if not batch:
+                continue
+            shard = self.shards[index]
+            retry_call(
+                lambda shard=shard, batch=batch: shard.replace_rows(
+                    table_name, batch
+                ),
+                self.retry_policy,
+                rng=self._retry_rng(),
+            )
+            replaced += len(batch)
+            meta.logical_bytes += deltas[index]
+        return replaced
 
     # -- introspection -------------------------------------------------------
 

@@ -550,6 +550,113 @@ class SQLiteBackend(ServerBackend):
             raise _translate_sqlite_error(exc, insert_sql) from exc
         self._table_bytes[table_name] += total
 
+    # -- encrypted DML (PR 10) -----------------------------------------------
+    #
+    # Rows are matched by *decoded logical value* (the tuples a fetch
+    # returned), not by encoded-at-rest bytes: the wide-int marker-blob
+    # encoding is deterministic, but matching on decoded values keeps the
+    # contract identical to the in-memory backend's.  Each batch commits
+    # in one transaction, so a failed batch leaves the store untouched
+    # and a retried one re-matches from scratch.
+
+    def _match_stored(
+        self, table_name: str, keys: dict[tuple, int]
+    ) -> list[tuple[int, tuple]]:
+        """Scan the table, consuming one stored match per requested key;
+        return ``(rowid, decoded_row)`` pairs for the matches."""
+        store = self.ciphertext_store
+        matches: list[tuple[int, tuple]] = []
+        cursor = self.connection.execute(
+            f"SELECT rowid, * FROM {quote_ident(table_name)}"
+        )
+        while True:
+            raw = cursor.fetchmany(DEFAULT_BLOCK_ROWS)
+            if not raw:
+                break
+            for values in raw:
+                decoded = tuple(
+                    decode_sqlite_value(v, store) for v in values[1:]
+                )
+                count = keys.get(decoded, 0)
+                if count:
+                    keys[decoded] = count - 1
+                    matches.append((values[0], decoded))
+        return matches
+
+    def delete_rows(self, table_name: str, rows: Iterable[tuple]) -> int:
+        if table_name not in self.schemas:
+            raise EngineError(f"unknown table {table_name!r}")
+        wanted: dict[tuple, int] = {}
+        for row in rows:
+            key = tuple(row)
+            wanted[key] = wanted.get(key, 0) + 1
+        if not wanted:
+            return 0
+        matches = self._match_stored(table_name, wanted)
+        if not matches:
+            return 0
+        delete_sql = (
+            f"DELETE FROM {quote_ident(table_name)} WHERE rowid = ?"
+        )
+        try:
+            self.connection.executemany(
+                delete_sql, [(rowid,) for rowid, _ in matches]
+            )
+            self.connection.commit()
+        except sqlite3.Error as exc:
+            self.connection.rollback()
+            raise _translate_sqlite_error(exc, delete_sql) from exc
+        self._table_bytes[table_name] -= sum(
+            row_bytes(decoded) for _, decoded in matches
+        )
+        return len(matches)
+
+    def replace_rows(
+        self, table_name: str, pairs: Iterable[tuple[tuple, tuple]]
+    ) -> int:
+        schema = self.schemas.get(table_name)
+        if schema is None:
+            raise EngineError(f"unknown table {table_name!r}")
+        width = len(schema.columns)
+        pending: dict[tuple, list[tuple]] = {}
+        total = 0
+        for old, new in pairs:
+            if len(new) != width:
+                raise EngineError(
+                    f"row has {len(new)} values, table {table_name!r} "
+                    f"has {width}"
+                )
+            pending.setdefault(tuple(old), []).append(tuple(new))
+            total += 1
+        if not total:
+            return 0
+        counts = {key: len(queue) for key, queue in pending.items()}
+        updates: list[tuple] = []
+        delta = 0
+        for rowid, decoded in self._match_stored(table_name, counts):
+            new = pending[decoded].pop(0)
+            updates.append(
+                tuple(encode_sqlite_value(v) for v in new) + (rowid,)
+            )
+            delta += row_bytes(new) - row_bytes(decoded)
+        if not updates:
+            return 0
+        assignments = ", ".join(
+            f"{quote_ident(c.name)} = ?" for c in schema.columns
+        )
+        update_sql = (
+            f"UPDATE {quote_ident(table_name)} SET {assignments} "
+            "WHERE rowid = ?"
+        )
+        try:
+            self.connection.executemany(update_sql, updates)
+            self.connection.commit()
+        except sqlite3.Error as exc:
+            self.connection.rollback()
+            raise _translate_sqlite_error(exc, update_sql) from exc
+        self._table_bytes[table_name] += delta
+        return len(updates)
+
     # -- introspection -------------------------------------------------------
 
     def table_names(self) -> list[str]:

@@ -36,6 +36,22 @@ scanned bytes, round trips) of every query are identical to running the
 same query serially through the underlying client — the service changes
 scheduling, never semantics.  The stress suite asserts this per query
 across 8 concurrent sessions.
+
+**DML and cache freshness.**  INSERT/UPDATE/DELETE submitted to the
+service route to the client's encrypted DML executor, serialized by a
+service-wide write lock (DML never runs concurrently with DML) and bound
+to a worker view, so each backend operation is atomic against concurrent
+readers.  The plan and prepared-statement caches stay *valid* across DML
+by construction: they memoize plans, never results, and a plan re-scans
+live tables on every execution — a cached SELECT sees rows a later DML
+statement added or removed.  Only the cached cost *estimates* go stale
+(they snapshot table sizes at plan time), which affects `explain`-style
+reporting, not correctness; the client's planner is refreshed after each
+DML statement so new plans estimate against current sizes.  Isolation is
+per-backend-operation, not snapshot: an analytic query racing a DML
+statement may observe it partially applied (rows landed, homomorphic
+patch still in flight) — quiesce writes when byte-exact repeatability
+across reads is required.
 """
 
 from __future__ import annotations
@@ -50,7 +66,7 @@ from repro.common.errors import ConfigError
 from repro.common.ledger import CostLedger
 from repro.common.retry import Deadline, RetryPolicy, retry_call
 from repro.core.client import MonomiClient, QueryOutcome
-from repro.core.normalize import normalize_for_execution
+from repro.core.normalize import normalize_dml, normalize_for_execution
 from repro.core.pexec import PlanExecutor
 from repro.core.planner import PlannedQuery
 from repro.service.cache import PlanCache, PlanCacheStats
@@ -62,7 +78,7 @@ from repro.service.prepared import (
     rebind_plan,
     substitution_safety,
 )
-from repro.sql import ast, parse, to_sql
+from repro.sql import ast, parse, parse_statement, to_sql
 
 DEFAULT_WORKERS = 4
 DEFAULT_PLAN_CACHE_SIZE = 128
@@ -176,8 +192,14 @@ class MonomiService:
         # full execution, and the inner layer has already burned its budget.
         self.retry_policy = retry_policy or RetryPolicy(max_attempts=2)
         self._retry_rng = random.Random(0x5EED)
-        # The design is immutable once loaded; fingerprint it once.
+        # The design is immutable once loaded; fingerprint it once.  DML
+        # changes table *contents*, never the design, so cached plans keyed
+        # on this fingerprint survive writes (see the module docstring).
         self._design_fp = client.design.fingerprint()
+        # Service-wide DML serialization: statements apply one at a time,
+        # on a dedicated worker view (built lazily on first write).
+        self._write_lock = threading.Lock()
+        self._dml_executor_cached = None
         # Planning mutates nothing, but the planner/cost-model stack was
         # written single-threaded; a single-flight lock serializes cache
         # misses (repeat queries bypass it via the cache entirely).
@@ -246,11 +268,18 @@ class MonomiService:
         covers time spent waiting in the worker queue, not just execution,
         so a saturated service times queries out instead of letting them
         age silently in the backlog.
+
+        INSERT/UPDATE/DELETE are accepted too: they route to the encrypted
+        DML path under the service write lock (see the module docstring).
         """
         self._ensure_open()
-        query = self._normalize(sql, params)
+        statement = parse_statement(sql) if isinstance(sql, str) else sql
         target = session or self._default_session
         deadline = Deadline.after(timeout) if timeout is not None else None
+        if ast.is_dml(statement):
+            statement = normalize_dml(statement, params)
+            return self._pool.submit(self._run_dml, target, statement, deadline)
+        query = self._normalize(statement, params)
         return self._pool.submit(self._run_planned_query, target, query, deadline)
 
     def execute(
@@ -402,6 +431,42 @@ class MonomiService:
         if deadline is not None:
             deadline.check("query (queued)")
         return self._finish(session, self._plan_cached(query), deadline)
+
+    def _dml_executor(self):
+        """The service's DML executor: bound to its own worker view so each
+        backend call serializes against concurrent readers, and sharing the
+        client executor's listener list so maintained aggregates see writes
+        regardless of which path applied them.  Caller holds the write lock.
+        """
+        if self._dml_executor_cached is None:
+            from repro.core.dml import DmlExecutor
+
+            view = self._client.backend.worker_view()
+            with self._state_lock:
+                self._views.append(view)
+            executor = DmlExecutor(self._client, backend=view)
+            executor.listeners = self._client.dml.listeners
+            self._dml_executor_cached = executor
+        return self._dml_executor_cached
+
+    def _run_dml(
+        self,
+        session: ServiceSession,
+        statement,
+        deadline: Deadline | None = None,
+    ) -> QueryOutcome:
+        if deadline is not None:
+            deadline.check("dml (queued)")
+        with self._write_lock:
+            result, ledger = self._dml_executor().execute(statement)
+            # Refresh under the plan lock: planning reads the plaintext
+            # mirror's statistics, which this statement just changed.
+            with self._plan_lock:
+                self._client._refresh_planner()
+        session._absorb(ledger)
+        with self._state_lock:
+            self._queries += 1
+        return QueryOutcome(result, ledger, None)
 
     def _run_prepared(
         self,

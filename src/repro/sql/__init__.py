@@ -1,7 +1,7 @@
 """SQL frontend: lexer, parser, AST, and printer."""
 
 from repro.sql import ast
-from repro.sql.parser import parse, parse_expression
+from repro.sql.parser import parse, parse_expression, parse_statement
 from repro.sql.printer import to_sql
 
-__all__ = ["ast", "parse", "parse_expression", "to_sql"]
+__all__ = ["ast", "parse", "parse_expression", "parse_statement", "to_sql"]

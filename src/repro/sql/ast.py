@@ -296,6 +296,78 @@ class Select:
 
 
 # ---------------------------------------------------------------------------
+# DML statements (PR 10)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Assignment:
+    """One ``SET column = expr`` item of an UPDATE."""
+
+    column: str
+    value: Expr
+
+
+@dataclass(frozen=True)
+class Insert:
+    """``INSERT INTO table [(cols)] VALUES (...), (...)``.
+
+    ``columns`` empty means schema order; every row is a tuple of
+    expressions (literals and params after normalization).
+    """
+
+    table: str
+    columns: tuple[str, ...]
+    rows: tuple[tuple[Expr, ...], ...]
+
+    def map_expressions(self, fn) -> "Insert":
+        return replace(
+            self,
+            rows=tuple(tuple(fn(e) for e in row) for row in self.rows),
+        )
+
+
+@dataclass(frozen=True)
+class Update:
+    """``UPDATE table SET a = ..., b = ... [WHERE ...]``."""
+
+    table: str
+    assignments: tuple[Assignment, ...]
+    where: Expr | None = None
+
+    def map_expressions(self, fn) -> "Update":
+        return replace(
+            self,
+            assignments=tuple(
+                Assignment(a.column, fn(a.value)) for a in self.assignments
+            ),
+            where=fn(self.where) if self.where is not None else None,
+        )
+
+
+@dataclass(frozen=True)
+class Delete:
+    """``DELETE FROM table [WHERE ...]``."""
+
+    table: str
+    where: Expr | None = None
+
+    def map_expressions(self, fn) -> "Delete":
+        return replace(
+            self,
+            where=fn(self.where) if self.where is not None else None,
+        )
+
+
+#: Every statement kind the parser can produce (``parse_statement``).
+Statement = Union["Select", Insert, Update, Delete]
+
+
+def is_dml(node: object) -> bool:
+    return isinstance(node, (Insert, Update, Delete))
+
+
+# ---------------------------------------------------------------------------
 # Traversal helpers used throughout the planner
 # ---------------------------------------------------------------------------
 

@@ -23,6 +23,7 @@ KEYWORDS = frozenset(
     not in like between is null exists case when then else end inner left
     outer join on interval year month day date extract substring for true
     false cast integer bigint text union all
+    insert into values update set delete
     """.split()
 )
 

@@ -29,6 +29,30 @@ def parse(sql: str) -> ast.Select:
     return select
 
 
+@lru_cache(maxsize=4096)
+def parse_statement(sql: str) -> "ast.Statement":
+    """Parse one statement: SELECT, INSERT, UPDATE, or DELETE.
+
+    SELECTs share :func:`parse`'s semantics (and its cache holds the
+    same immutable trees); DML statements are new in PR 10 and only the
+    client-side DML executor consumes them — the planner still receives
+    SELECTs exclusively.
+    """
+    parser = _Parser(tokenize(sql))
+    token = parser.current
+    if token.is_keyword("insert"):
+        statement: ast.Statement = parser.parse_insert()
+    elif token.is_keyword("update"):
+        statement = parser.parse_update()
+    elif token.is_keyword("delete"):
+        statement = parser.parse_delete()
+    else:
+        return parse(sql)
+    parser.skip_symbol(";")
+    parser.expect_eof()
+    return statement
+
+
 @lru_cache(maxsize=65536)
 def parse_expression(sql: str) -> ast.Expr:
     """Parse a standalone expression (cached; see :func:`parse`)."""
@@ -124,6 +148,58 @@ class _Parser:
             limit=limit,
             distinct=distinct,
         )
+
+    def parse_insert(self) -> ast.Insert:
+        self.expect_keyword("insert")
+        self.expect_keyword("into")
+        table = self.expect_ident()
+        columns: tuple[str, ...] = ()
+        if self.accept_symbol("("):
+            names = [self.expect_ident()]
+            while self.accept_symbol(","):
+                names.append(self.expect_ident())
+            self.expect_symbol(")")
+            columns = tuple(names)
+        self.expect_keyword("values")
+        rows: list[tuple[ast.Expr, ...]] = []
+        while True:
+            self.expect_symbol("(")
+            rows.append(tuple(self._parse_expr_list()))
+            self.expect_symbol(")")
+            if not self.accept_symbol(","):
+                break
+        if columns:
+            for row in rows:
+                if len(row) != len(columns):
+                    raise ParseError(
+                        f"INSERT row has {len(row)} values for "
+                        f"{len(columns)} columns"
+                    )
+        return ast.Insert(table=table, columns=columns, rows=tuple(rows))
+
+    def parse_update(self) -> ast.Update:
+        self.expect_keyword("update")
+        table = self.expect_ident()
+        self.expect_keyword("set")
+        assignments = [self._parse_assignment()]
+        while self.accept_symbol(","):
+            assignments.append(self._parse_assignment())
+        where = self.parse_expr() if self.accept_keyword("where") else None
+        return ast.Update(
+            table=table, assignments=tuple(assignments), where=where
+        )
+
+    def _parse_assignment(self) -> ast.Assignment:
+        column = self.expect_ident()
+        self.expect_symbol("=")
+        return ast.Assignment(column, self.parse_expr())
+
+    def parse_delete(self) -> ast.Delete:
+        self.expect_keyword("delete")
+        self.expect_keyword("from")
+        table = self.expect_ident()
+        where = self.parse_expr() if self.accept_keyword("where") else None
+        return ast.Delete(table=table, where=where)
 
     def _parse_select_items(self) -> list[ast.SelectItem]:
         items = []

@@ -37,7 +37,43 @@ def to_sql(node: ast.Select | ast.Expr, dialect: str = STANDARD) -> str:
         raise ValueError(f"unknown SQL dialect {dialect!r}")
     if isinstance(node, ast.Select):
         return _select_sql(node, dialect)
+    if isinstance(node, ast.Insert):
+        return _insert_sql(node, dialect)
+    if isinstance(node, ast.Update):
+        return _update_sql(node, dialect)
+    if isinstance(node, ast.Delete):
+        return _delete_sql(node, dialect)
     return _expr_sql(node, 0, dialect)
+
+
+def _insert_sql(s: ast.Insert, d: str) -> str:
+    parts = [f"INSERT INTO {_ident(s.table, d)}"]
+    if s.columns:
+        parts.append("(" + ", ".join(_ident(c, d) for c in s.columns) + ")")
+    rows = ", ".join(
+        "(" + ", ".join(_expr_sql(e, 0, d) for e in row) + ")"
+        for row in s.rows
+    )
+    parts.append(f"VALUES {rows}")
+    return " ".join(parts)
+
+
+def _update_sql(s: ast.Update, d: str) -> str:
+    sets = ", ".join(
+        f"{_ident(a.column, d)} = {_expr_sql(a.value, 0, d)}"
+        for a in s.assignments
+    )
+    text = f"UPDATE {_ident(s.table, d)} SET {sets}"
+    if s.where is not None:
+        text += " WHERE " + _expr_sql(s.where, 0, d)
+    return text
+
+
+def _delete_sql(s: ast.Delete, d: str) -> str:
+    text = f"DELETE FROM {_ident(s.table, d)}"
+    if s.where is not None:
+        text += " WHERE " + _expr_sql(s.where, 0, d)
+    return text
 
 
 def _ident(name: str, dialect: str) -> str:

@@ -92,6 +92,56 @@ def build_sales_db(num_orders: int = 240, seed: int = 11) -> Database:
     return db
 
 
+def apply_plain_dml(db: Database, sql: str, params: dict | None = None) -> int:
+    """Plaintext oracle for encrypted DML: apply a statement to ``db``.
+
+    Evaluates the same normalized AST the encrypted path executes, but
+    directly against the plaintext table — the differential suites compare
+    every analytic query (and the returned row count) against this.
+    """
+    from repro.core.normalize import normalize_dml
+    from repro.engine.eval import EvalContext, Scope, compile_expr
+    from repro.sql import ast, parse_statement
+
+    statement = normalize_dml(parse_statement(sql), params)
+    table = db.table(statement.table)
+    names = list(table.schema.column_names)
+    scope = Scope([(statement.table, c) for c in names])
+    ctx = EvalContext()
+    if isinstance(statement, ast.Insert):
+        positions = (
+            [names.index(c) for c in statement.columns]
+            if statement.columns
+            else list(range(len(names)))
+        )
+        empty = Scope([])
+        for value_row in statement.rows:
+            filled = [None] * len(names)
+            for pos, expr in zip(positions, value_row):
+                filled[pos] = compile_expr(expr, empty, ctx)(())
+            table.insert(tuple(filled))
+        return len(statement.rows)
+    where = statement.where
+    match = (
+        compile_expr(where, scope, ctx) if where is not None else (lambda row: True)
+    )
+    if isinstance(statement, ast.Delete):
+        dead = [row for row in table.rows if match(row)]
+        return table.delete_exact(dead)
+    assign = [
+        (names.index(a.column), compile_expr(a.value, scope, ctx))
+        for a in statement.assignments
+    ]
+    pairs = []
+    for row in table.rows:
+        if match(row):
+            out = list(row)
+            for index, fn in assign:
+                out[index] = fn(row)
+            pairs.append((row, tuple(out)))
+    return table.replace_exact(pairs)
+
+
 def canonical(rows) -> list[str]:
     """Order-insensitive, float-tolerant row comparison form."""
     out = []

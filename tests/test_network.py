@@ -330,11 +330,13 @@ class TestAddressing:
 
 class TestReadOnlySurface:
     def test_remote_backend_rejects_loads(self, sales_client_remote):
+        # Bulk loading stays server-side: schema creation and ciphertext
+        # file installation are rejected.  (Incremental writes — DML and
+        # hom maintenance — go through the WRITE frame since PR 10 and
+        # are covered by the DML suites.)
         backend = sales_client_remote.backend
         with pytest.raises(ConfigError):
             backend.create_table(object())
-        with pytest.raises(ConfigError):
-            backend.insert_rows("orders", [])
         with pytest.raises(ConfigError):
             backend.ciphertext_store.add(object())
 
